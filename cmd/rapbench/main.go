@@ -1,0 +1,131 @@
+// Command rapbench regenerates every table and figure of the paper's
+// evaluation. Each subcommand corresponds to one figure/table; `all` runs
+// the full suite (the output EXPERIMENTS.md quotes).
+//
+// Usage:
+//
+//	rapbench [-n events] [-seed s] fig2|fig3|fig5|fig6|fig7|fig8|fig9|fig10|hw|headline|narrow|ablations|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rap/internal/experiments"
+)
+
+func main() {
+	n := flag.Uint64("n", experiments.DefaultOptions().Events, "events per profiling run")
+	seed := flag.Uint64("seed", experiments.DefaultOptions().Seed, "workload seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rapbench [-n events] [-seed s] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 hw headline narrow ablations mini extensions all\n")
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	o := experiments.Options{Events: *n, Seed: *seed}
+	if err := run(os.Stdout, flag.Arg(0), o); err != nil {
+		fmt.Fprintf(os.Stderr, "rapbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, name string, o experiments.Options) error {
+	switch name {
+	case "fig2":
+		experiments.Fig2().Print(w)
+	case "fig3":
+		experiments.Fig3().Print(w)
+	case "fig5":
+		r, err := experiments.Fig5(o)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "fig6":
+		r, err := experiments.Fig6(o)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "fig7":
+		r, err := experiments.Fig7(o)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "fig8":
+		for _, kind := range []experiments.ProfileKind{experiments.CodeProfile, experiments.ValueProfile} {
+			r, err := experiments.Fig8(kind, o)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+		}
+	case "fig9":
+		r, err := experiments.Fig9(o)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "fig10":
+		r, err := experiments.Fig10(o)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "hw":
+		r, err := experiments.HW(o)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "headline":
+		r, err := experiments.Headline(o)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "narrow":
+		r, err := experiments.Narrow(o)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "ablations":
+		r, err := experiments.Ablations(o)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "extensions":
+		r, err := experiments.Extensions(o)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "mini":
+		r, err := experiments.Mini(o)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "all":
+		for _, sub := range []string{
+			"fig2", "fig3", "fig5", "fig6", "fig7", "fig8",
+			"fig9", "fig10", "hw", "headline", "narrow", "ablations", "mini", "extensions",
+		} {
+			if err := run(w, sub, o); err != nil {
+				return fmt.Errorf("%s: %w", sub, err)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

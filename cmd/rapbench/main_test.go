@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rap/internal/experiments"
+)
+
+func testOpts() experiments.Options {
+	return experiments.Options{Events: 60_000, Seed: 1}
+}
+
+func TestRunEachExperiment(t *testing.T) {
+	// Light smoke over every subcommand except "all" (covered piecewise).
+	for _, name := range []string{
+		"fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"hw", "headline", "narrow", "ablations", "mini", "extensions",
+	} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(&sb, name, testOpts()); err != nil {
+				t.Fatalf("run(%s): %v", name, err)
+			}
+			if !strings.Contains(sb.String(), "==") {
+				t.Fatalf("run(%s) produced no report header:\n%s", name, sb.String())
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "nope", testOpts()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

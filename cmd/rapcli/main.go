@@ -1,0 +1,136 @@
+// Command rapcli profiles a trace with RAP and reports hot ranges — the
+// software-only entry point of Section 3.2 (rap_init / rap_add_points /
+// rap_finalize) as a tool. It reads the binary trace format produced by
+// raptrace (or text traces with -text) from a file or stdin.
+//
+// Usage:
+//
+//	raptrace -bench gzip -kind value -n 1000000 | rapcli -eps 0.01 -hot 0.10
+//	rapcli -in trace.bin -dump tree.txt -dot tree.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rap/internal/analysis"
+	"rap/internal/core"
+	"rap/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "-", "input trace file ('-' for stdin)")
+	text := flag.Bool("text", false, "input is 'hexvalue weight' lines rather than binary")
+	eps := flag.Float64("eps", 0.01, "error bound epsilon")
+	hot := flag.Float64("hot", 0.10, "hot-range threshold")
+	universe := flag.Int("w", 64, "universe bits")
+	branch := flag.Int("b", 4, "branching factor (power of two)")
+	buffer := flag.Int("buffer", 0, "stage-0 coalescing buffer size (0 = off)")
+	dump := flag.String("dump", "", "write full ASCII tree dump to this file")
+	dot := flag.String("dot", "", "write Graphviz rendering to this file")
+	flag.Parse()
+
+	if err := run(*in, *text, *eps, *hot, *universe, *branch, *buffer, *dump, *dot); err != nil {
+		fmt.Fprintf(os.Stderr, "rapcli: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, text bool, eps, hot float64, universe, branch, buffer int, dump, dot string) error {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	var src trace.Source
+	var reader *trace.Reader
+	if text {
+		events, err := trace.ReadText(r)
+		if err != nil {
+			return err
+		}
+		src = &eventSource{events: events}
+	} else {
+		reader = trace.NewReader(r)
+		src = reader
+	}
+	var buf *trace.CoalescingBuffer
+	if buffer > 0 {
+		buf = trace.NewCoalescingBuffer(src, buffer)
+		src = buf
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.UniverseBits = universe
+	cfg.Branch = branch
+	cfg.Epsilon = eps
+	t, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		t.AddN(e.Value, e.Weight)
+	}
+	if reader != nil && reader.Err() != nil {
+		return reader.Err()
+	}
+
+	st := t.Finalize()
+	fmt.Printf("events=%d nodes=%d (max %d) memory=%dB splits=%d merges=%d batches=%d\n",
+		st.N, st.Nodes, st.MaxNodes, st.MemoryBytes, st.Splits, st.Merges, st.MergeBatches)
+	if buf != nil {
+		fmt.Printf("stage-0 buffer: %.1fx compression (%d in, %d out)\n",
+			buf.CompressionFactor(), buf.EventsIn(), buf.EventsOut())
+	}
+	fmt.Printf("\nhot ranges (>= %.0f%%):\n", 100*hot)
+	if err := analysis.HotRangeTable(os.Stdout, t, hot); err != nil {
+		return err
+	}
+
+	if dump != "" {
+		f, err := os.Create(dump)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := t.WriteASCII(f); err != nil {
+			return err
+		}
+	}
+	if dot != "" {
+		f, err := os.Create(dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := t.WriteDOT(f, hot); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type eventSource struct {
+	events []trace.Event
+	pos    int
+}
+
+func (s *eventSource) Next() (trace.Event, bool) {
+	if s.pos >= len(s.events) {
+		return trace.Event{}, false
+	}
+	e := s.events[s.pos]
+	s.pos++
+	return e, true
+}

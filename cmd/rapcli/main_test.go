@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rap/internal/trace"
+)
+
+// writeTestTrace writes a small binary trace and returns its path.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	for i := 0; i < 5000; i++ {
+		v := uint64(i % 7)
+		if i%2 == 0 {
+			v = 0xABCD
+		}
+		if err := w.Write(trace.Event{Value: v, Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunProducesArtifacts(t *testing.T) {
+	in := writeTestTrace(t)
+	dir := t.TempDir()
+	dump := filepath.Join(dir, "tree.txt")
+	dot := filepath.Join(dir, "tree.dot")
+	if err := run(in, false, 0.05, 0.10, 16, 4, 256, dump, dot); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "abcd") {
+		t.Errorf("dump missing hot value:\n%s", txt)
+	}
+	g, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(g), "digraph rap {") {
+		t.Errorf("dot output malformed")
+	}
+}
+
+func TestRunTextInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.txt")
+	if err := os.WriteFile(path, []byte("abcd 100\n7 50\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, true, 0.05, 0.10, 16, 4, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in := writeTestTrace(t)
+	if err := run("/no/such/file", false, 0.05, 0.1, 16, 4, 0, "", ""); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := run(in, false, 5.0, 0.1, 16, 4, 0, "", ""); err == nil {
+		t.Fatal("bad epsilon accepted")
+	}
+	if err := run(in, false, 0.05, 0.1, 16, 4, 0, "/no/dir/dump.txt", ""); err == nil {
+		t.Fatal("unwritable dump path accepted")
+	}
+	if err := run(in, false, 0.05, 0.1, 16, 4, 0, "", "/no/dir/t.dot"); err == nil {
+		t.Fatal("unwritable dot path accepted")
+	}
+	// Garbage binary input must error, not hang or panic.
+	bad := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(bad, []byte("NOTATRACE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, false, 0.05, 0.1, 16, 4, 0, "", ""); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+	// Garbage text input likewise.
+	badTxt := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(badTxt, []byte("zz not a line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(badTxt, true, 0.05, 0.1, 16, 4, 0, "", ""); err == nil {
+		t.Fatal("garbage text accepted")
+	}
+}

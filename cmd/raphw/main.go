@@ -1,0 +1,95 @@
+// Command raphw characterizes the Pipelined RAP Engine of Section 3.3-3.4:
+// area/delay/energy estimates for a hardware configuration and a
+// cycle-accurate pipeline simulation over a chosen workload stream.
+//
+// Usage:
+//
+//	raphw                               # the paper's 4096-row configuration
+//	raphw -rows 400 -sram 1600          # the small configuration
+//	raphw -bench gcc -kind code -n 2e6  # pipeline simulation workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rap/internal/core"
+	"rap/internal/hw"
+	"rap/internal/trace"
+	"rap/internal/workload"
+)
+
+func main() {
+	rows := flag.Int("rows", 4096, "TCAM rows")
+	width := flag.Int("width", 36, "TCAM row width in bits")
+	sram := flag.Int("sram", 16<<10, "SRAM bytes")
+	tech := flag.Int("tech", 180, "technology node in nm")
+	bench := flag.String("bench", "gcc", "workload benchmark for the pipeline simulation")
+	kind := flag.String("kind", "code", "stream kind: code | value")
+	n := flag.Uint64("n", 1_000_000, "events to simulate")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	eps := flag.Float64("eps", 0.10, "tree error bound")
+	bufSize := flag.Int("buffer", 1024, "stage-0 buffer size (0 = off)")
+	flag.Parse()
+
+	if err := run(*rows, *width, *sram, *tech, *bench, *kind, *n, *seed, *eps, *bufSize); err != nil {
+		fmt.Fprintf(os.Stderr, "raphw: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(rows, width, sram, tech int, bench, kind string, n, seed uint64, eps float64, bufSize int) error {
+	hwCfg := hw.Config{TCAMEntries: rows, TCAMWidth: width, SRAMBytes: sram, TechNM: tech}
+	est, err := hwCfg.Estimate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("configuration: %dx%d TCAM, %d B SRAM, %d nm\n", rows, width, sram, tech)
+	fmt.Printf("area:   TCAM %.3f + SRAM %.3f + arbiter %.3f + logic %.3f = %.3f mm^2\n",
+		est.TCAMAreaMM2, est.SRAMAreaMM2, est.ArbiterAreaMM2, est.LogicAreaMM2, est.TotalAreaMM2)
+	fmt.Printf("delay:  TCAM %.2f ns, SRAM %.2f ns; pipelined critical path %.2f ns (%.2f GHz)\n",
+		est.TCAMDelayNS, est.SRAMDelayNS, est.CriticalPathNS, est.ClockGHz)
+	fmt.Printf("energy: %.3f nJ per event worst case\n\n", est.TotalEnergyNJ)
+
+	b, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	var src trace.Source
+	treeCfg := core.DefaultConfig()
+	treeCfg.Epsilon = eps
+	switch kind {
+	case "code":
+		treeCfg.UniverseBits = 32
+		src = trace.Limit(b.Code(seed, n), n)
+	case "value":
+		src = trace.Limit(b.Values(seed, n), n)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	var buf *trace.CoalescingBuffer
+	if bufSize > 0 {
+		buf = trace.NewCoalescingBuffer(src, bufSize)
+		src = buf
+	}
+
+	eng, err := hw.NewEngine(hwCfg, treeCfg)
+	if err != nil {
+		return err
+	}
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		eng.Process(e)
+	}
+	fmt.Printf("pipeline simulation (%s %s stream, eps=%.0f%%):\n  %s\n",
+		bench, kind, 100*eps, eng.Report())
+	if buf != nil {
+		fmt.Printf("  stage-0 buffer: %.1fx compression\n", buf.CompressionFactor())
+	}
+	fmt.Printf("  profile: %d hot ranges at 10%%\n", len(eng.Tree().HotRanges(0.10)))
+	return nil
+}

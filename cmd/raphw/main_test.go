@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunConfigurations(t *testing.T) {
+	cases := []struct {
+		name                    string
+		rows, width, sram, tech int
+		bench, kind             string
+	}{
+		{"paper big", 4096, 36, 16 << 10, 180, "gcc", "code"},
+		{"paper small", 400, 36, 1600, 180, "gcc", "code"},
+		{"value stream", 4096, 36, 16 << 10, 180, "gzip", "value"},
+		{"newer node", 4096, 36, 16 << 10, 90, "mcf", "code"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.rows, tc.width, tc.sram, tc.tech, tc.bench, tc.kind, 50_000, 1, 0.10, 1024); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(0, 36, 16, 180, "gcc", "code", 100, 1, 0.1, 0); err == nil {
+		t.Fatal("bad hw config accepted")
+	}
+	if err := run(4096, 36, 16<<10, 180, "nope", "code", 100, 1, 0.1, 0); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if err := run(4096, 36, 16<<10, 180, "gcc", "wat", 100, 1, 0.1, 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Command raptrace generates profile trace files: either from the modeled
+// SPEC-like workloads (internal/workload) or by running a Mini benchmark
+// program under the instrumented VM (internal/mini). The binary output
+// feeds rapcli.
+//
+// Usage:
+//
+//	raptrace -bench gzip -kind value -n 1000000 -out gzip-values.trace
+//	raptrace -mini compress -kind code -out compress-blocks.trace
+//	raptrace -bench gcc -kind zeroload -n 500000   # to stdout
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rap/internal/mini"
+	"rap/internal/trace"
+	"rap/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "modeled benchmark (gcc gzip mcf parser vortex vpr bzip2)")
+	miniProg := flag.String("mini", "", "mini VM program (compress tokens graph anneal store)")
+	kind := flag.String("kind", "value", "stream kind: code | value | address | zeroload")
+	n := flag.Uint64("n", 1_000_000, "events to generate (modeled benchmarks)")
+	seed := flag.Uint64("seed", 1, "seed")
+	out := flag.String("out", "-", "output file ('-' for stdout)")
+	asText := flag.Bool("text", false, "write 'hexvalue weight' lines instead of binary")
+	flag.Parse()
+
+	if err := run(*bench, *miniProg, *kind, *n, *seed, *out, *asText); err != nil {
+		fmt.Fprintf(os.Stderr, "raptrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, miniProg, kind string, n, seed uint64, out string, asText bool) error {
+	src, err := buildSource(bench, miniProg, kind, n, seed)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+	if asText {
+		return trace.WriteText(w, src)
+	}
+	tw := trace.NewWriter(w)
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(e); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+func buildSource(bench, miniProg, kind string, n, seed uint64) (trace.Source, error) {
+	switch {
+	case bench != "" && miniProg != "":
+		return nil, fmt.Errorf("pass -bench or -mini, not both")
+
+	case miniProg != "":
+		tr, err := mini.CollectTrace(miniProg, seed)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case "code":
+			return trace.NewSliceSource(tr.BlockPCs), nil
+		case "value":
+			return trace.NewSliceSource(tr.LoadValues()), nil
+		case "zeroload":
+			return trace.NewSliceSource(tr.ZeroLoadAddresses()), nil
+		case "address":
+			addrs := make([]uint64, len(tr.Loads))
+			for i, ld := range tr.Loads {
+				addrs[i] = ld.Addr
+			}
+			return trace.NewSliceSource(addrs), nil
+		}
+		return nil, fmt.Errorf("unknown kind %q", kind)
+
+	case bench != "":
+		b, err := workload.ByName(bench)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case "code":
+			return trace.Limit(b.Code(seed, n), n), nil
+		case "value":
+			return trace.Limit(b.Values(seed, n), n), nil
+		case "zeroload":
+			return trace.Limit(b.Loads(seed, n).ZeroLoadAddresses(), n), nil
+		case "address":
+			loads := b.Loads(seed, n)
+			return trace.Limit(trace.FuncSource(func() (uint64, bool) {
+				return loads.Next().Addr, true
+			}), n), nil
+		}
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+	return nil, fmt.Errorf("pass -bench <name> or -mini <program>")
+}

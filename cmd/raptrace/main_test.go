@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rap/internal/trace"
+)
+
+func TestBuildSourceValidation(t *testing.T) {
+	cases := []struct {
+		name        string
+		bench, mini string
+		kind        string
+	}{
+		{"neither", "", "", "value"},
+		{"both", "gcc", "graph", "value"},
+		{"bad bench", "nope", "", "value"},
+		{"bad mini", "", "nope", "value"},
+		{"bad kind bench", "gcc", "", "wat"},
+		{"bad kind mini", "", "graph", "wat"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := buildSource(tc.bench, tc.mini, tc.kind, 10, 1); err == nil {
+				t.Fatalf("buildSource accepted %+v", tc)
+			}
+		})
+	}
+}
+
+func TestBuildSourceKinds(t *testing.T) {
+	for _, kind := range []string{"code", "value", "address", "zeroload"} {
+		src, err := buildSource("gzip", "", kind, 500, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		events := trace.Collect(src)
+		if len(events) != 500 {
+			t.Fatalf("%s: %d events, want 500", kind, len(events))
+		}
+	}
+	// Mini kinds produce finite traces of program-determined length.
+	for _, kind := range []string{"code", "value", "address", "zeroload"} {
+		src, err := buildSource("", "graph", kind, 0, 1)
+		if err != nil {
+			t.Fatalf("mini %s: %v", kind, err)
+		}
+		if events := trace.Collect(src); len(events) == 0 {
+			t.Fatalf("mini %s: empty trace", kind)
+		}
+	}
+}
+
+func TestRunWritesReadableFile(t *testing.T) {
+	dir := t.TempDir()
+	for _, asText := range []bool{false, true} {
+		out := filepath.Join(dir, "t.trace")
+		if err := run("gzip", "", "value", 200, 1, out, asText); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if asText {
+			events, err := trace.ReadText(f)
+			if err != nil || len(events) != 200 {
+				t.Fatalf("text round trip: %d events, %v", len(events), err)
+			}
+		} else {
+			r := trace.NewReader(f)
+			events := trace.Collect(r)
+			if r.Err() != nil || len(events) != 200 {
+				t.Fatalf("binary round trip: %d events, %v", len(events), r.Err())
+			}
+		}
+		f.Close()
+	}
+}
+
+func TestRunBadOutputPath(t *testing.T) {
+	if err := run("gzip", "", "value", 10, 1, "/nonexistent-dir/x.trace", false); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a RAP tree over a skewed stream, ask for the hot
+// ranges, and check the answers against the guarantees — the five-minute
+// tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rap/internal/core"
+	"rap/internal/stats"
+)
+
+func main() {
+	// A RAP tree with the paper's defaults: 64-bit universe, branching
+	// factor 4, eps = 1% error bound, batched merges doubling in period.
+	cfg := core.DefaultConfig()
+	tree, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Feed it two million events: a hot point, a hot narrow band, and a
+	// uniform background — without telling RAP which is which.
+	rng := stats.NewSplitMix64(42)
+	const n = 2_000_000
+	for i := 0; i < n; i++ {
+		switch {
+		case i%5 == 0: // 20%: one hot value
+			tree.Add(0xCAFEBABE)
+		case i%5 == 1 || i%5 == 2: // 40%: a hot 4KB band
+			tree.Add(0x7F000000 + rng.Uint64n(4096))
+		default: // 40%: uniform noise over the whole 64-bit universe
+			tree.Add(rng.Uint64())
+		}
+	}
+
+	st := tree.Finalize()
+	fmt.Printf("profiled %d events with %d live counters (%d bytes, max %d)\n",
+		st.N, st.Nodes, st.MemoryBytes, st.MaxNodes)
+	fmt.Printf("split threshold is eps*n/H = %.0f events\n\n", tree.SplitThreshold())
+
+	// Hot ranges at the 10% threshold: RAP finds the hot point and the
+	// hot band at full precision, and summarizes the noise coarsely.
+	fmt.Println("ranges holding >= 10% of the stream:")
+	for _, h := range tree.HotRanges(0.10) {
+		fmt.Printf("  [%x, %x]  %5.1f%%\n", h.Lo, h.Hi, 100*h.Frac)
+	}
+
+	// Range queries come with guarantees: the estimate is a lower bound
+	// and the upper bound brackets the truth.
+	lo, hi := tree.EstimateBounds(0x7F000000, 0x7F000FFF)
+	fmt.Printf("\nband estimate: between %d and %d events (true: ~%d)\n", lo, hi, 2*n/5)
+
+	// Snapshots round-trip, so profiles can be shipped and post-processed.
+	blob, err := tree.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var restored core.Tree
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsnapshot: %d bytes; restored tree sees %d events\n", len(blob), restored.N())
+
+	fmt.Println("\nfull tree dump:")
+	if err := restored.WriteASCII(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module rap
+
+go 1.24

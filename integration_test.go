@@ -1,0 +1,227 @@
+// Integration tests: cross-module flows that mirror how the tools and the
+// hardware engine compose the packages.
+package rap_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rap/internal/core"
+	"rap/internal/exact"
+	"rap/internal/hw"
+	"rap/internal/mini"
+	"rap/internal/multidim"
+	"rap/internal/trace"
+	"rap/internal/workload"
+)
+
+// TestEngineEquivalenceOnWorkload drives the hardware engine and the
+// software tree from the same buffered workload stream and requires
+// bit-identical profiles — the hardware design is an implementation of
+// the same algorithm, not an approximation of it.
+func TestEngineEquivalenceOnWorkload(t *testing.T) {
+	gcc, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.UniverseBits = 32
+	cfg.Epsilon = 0.10
+
+	const n = 300_000
+	buf := trace.NewCoalescingBuffer(trace.Limit(gcc.Code(3, n), n), 1024)
+	eng, err := hw.NewEngine(hw.DefaultConfig(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft := core.MustNew(cfg)
+	for {
+		e, ok := buf.Next()
+		if !ok {
+			break
+		}
+		eng.Process(e)
+		soft.AddN(e.Value, e.Weight)
+	}
+	var a, b bytes.Buffer
+	if err := eng.Tree().WriteASCII(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := soft.WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("hardware engine and software tree diverged on the same stream")
+	}
+	if r := eng.Report(); r.Events != n {
+		t.Fatalf("engine absorbed %d raw events, want %d", r.Events, n)
+	}
+}
+
+// TestTraceFilePipeline is the raptrace | rapcli flow: generate a trace,
+// encode it, decode it, profile it, and compare with profiling the stream
+// directly.
+func TestTraceFilePipeline(t *testing.T) {
+	gzipB, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100_000
+
+	var file bytes.Buffer
+	w := trace.NewWriter(&file)
+	src := trace.Limit(gzipB.Values(5, n), n)
+	direct := core.MustNew(core.DefaultConfig())
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+		direct.AddN(e.Value, e.Weight)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	viaFile := core.MustNew(core.DefaultConfig())
+	r := trace.NewReader(&file)
+	for {
+		e, ok := r.Next()
+		if !ok {
+			break
+		}
+		viaFile.AddN(e.Value, e.Weight)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	var a, b bytes.Buffer
+	direct.WriteASCII(&a)
+	viaFile.WriteASCII(&b)
+	if a.String() != b.String() {
+		t.Fatal("profiling via trace file diverged from direct profiling")
+	}
+}
+
+// TestMiniHotRegionsMatchExact profiles a Mini program's block stream
+// with RAP and checks the reported hot regions against exact counting:
+// every RAP-hot range must be truly hot (the paper's no-false-positives
+// guarantee), and RAP must attribute at least as much weight as exact
+// counting finds in the top function.
+func TestMiniHotRegionsMatchExact(t *testing.T) {
+	tr, err := mini.CollectTrace("compress", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.UniverseBits = 32
+	cfg.Epsilon = 0.10
+	tree := core.MustNew(cfg)
+	ex := exact.New()
+	for _, pc := range tr.BlockPCs {
+		tree.Add(pc)
+		ex.Add(pc)
+	}
+	tree.Finalize()
+	for _, h := range tree.HotRanges(0.10) {
+		truth := ex.RangeCount(h.Lo, h.Hi)
+		if h.Weight > truth {
+			t.Fatalf("hot range [%x,%x] weight %d exceeds exact %d", h.Lo, h.Hi, h.Weight, truth)
+		}
+		if float64(truth) < 0.10*float64(tree.N()) {
+			t.Fatalf("reported hot range [%x,%x] is not truly hot (%d of %d)",
+				h.Lo, h.Hi, truth, tree.N())
+		}
+	}
+}
+
+// TestSnapshotResumeOnWorkload interrupts profiling mid-stream, ships the
+// snapshot, and resumes in a second tree: the final profile must be
+// identical to an uninterrupted run.
+func TestSnapshotResumeOnWorkload(t *testing.T) {
+	parserB, err := workload.ByName("parser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 120_000
+	src := trace.Limit(parserB.Values(7, n), n)
+
+	full := core.MustNew(core.DefaultConfig())
+	first := core.MustNew(core.DefaultConfig())
+	var tail []trace.Event
+	i := 0
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		full.AddN(e.Value, e.Weight)
+		if i < n/2 {
+			first.AddN(e.Value, e.Weight)
+		} else {
+			tail = append(tail, e)
+		}
+		i++
+	}
+	blob, err := first.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumed core.Tree
+	if err := resumed.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tail {
+		resumed.AddN(e.Value, e.Weight)
+	}
+	var a, b bytes.Buffer
+	full.WriteASCII(&a)
+	resumed.WriteASCII(&b)
+	if a.String() != b.String() {
+		t.Fatal("snapshot-resume diverged from uninterrupted profiling")
+	}
+}
+
+// TestDataCodeCorrelation exercises the 2-D tree on (PC, address-page)
+// tuples from a Mini program — the "data-code correlation studies" of
+// Section 6 — and checks the basic invariants.
+func TestDataCodeCorrelation(t *testing.T) {
+	prog, err := mini.LoadProgram("store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := multidim.New2D(multidim.Config2D{BitsPerDim: 32, Epsilon: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastPC uint64
+	vm := mini.NewVM(prog, mini.Config{
+		Seed: 4,
+		Hooks: mini.Hooks{
+			OnBlock: func(pc uint64) { lastPC = pc },
+			OnLoad: func(addr, value uint64) {
+				t2.Add(lastPC, addr>>12) // (issuing block, data page)
+			},
+		},
+	})
+	if _, err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := t2.Finalize()
+	if st.Nodes > 20_000 {
+		t.Fatalf("correlation tree grew to %d nodes", st.Nodes)
+	}
+	cells := t2.HotCells(0.05)
+	if len(cells) == 0 {
+		t.Fatal("no hot (code, data) correlations found")
+	}
+	// Hot cells must name code in the text segment and data pages.
+	for _, c := range cells {
+		if c.XHi < mini.CodeBase {
+			t.Fatalf("hot cell code side [%x,%x] below text base", c.XLo, c.XHi)
+		}
+	}
+}

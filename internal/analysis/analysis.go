@@ -1,0 +1,247 @@
+// Package analysis post-processes RAP trees into the paper's evaluation
+// artifacts: hot-range trees (Figures 5 and 10), percent-error comparisons
+// against a perfect profiler (Figure 8), coverage-vs-range-width curves
+// (Figure 9), and memory-over-time traces (Figure 6).
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rap/internal/core"
+	"rap/internal/exact"
+	"rap/internal/stats"
+	"rap/internal/trace"
+)
+
+// RangeError compares RAP's estimate for one hot range against the exact
+// count, both taken over the range excluding its hot sub-ranges (the
+// Section 4.3 methodology: the perfect profiler tracks "one hot range at a
+// time" with the same exclusion the hot-weight definition uses).
+type RangeError struct {
+	Lo, Hi   uint64
+	Estimate uint64  // RAP's hot weight
+	Actual   uint64  // exact residual count
+	Percent  float64 // |Actual-Estimate| / Actual * 100
+}
+
+// PercentErrors evaluates every hot range of the tree at threshold theta
+// against the exact profiler.
+func PercentErrors(t *core.Tree, ex *exact.Profiler, theta float64) []RangeError {
+	hot := t.HotRanges(theta)
+	out := make([]RangeError, 0, len(hot))
+	for i, h := range hot {
+		actual := ex.RangeCount(h.Lo, h.Hi)
+		// Subtract the maximal hot ranges strictly inside h: hot ranges
+		// are tree nodes, so containment is laminar.
+		for j, g := range hot {
+			if j == i || g.Lo < h.Lo || g.Hi > h.Hi || (g.Lo == h.Lo && g.Hi == h.Hi) {
+				continue
+			}
+			if !maximalWithin(hot, j, i) {
+				continue
+			}
+			actual -= ex.RangeCount(g.Lo, g.Hi)
+		}
+		re := RangeError{Lo: h.Lo, Hi: h.Hi, Estimate: h.Weight, Actual: actual}
+		if actual > 0 {
+			diff := float64(actual) - float64(re.Estimate)
+			if diff < 0 {
+				diff = -diff
+			}
+			re.Percent = 100 * diff / float64(actual)
+		}
+		out = append(out, re)
+	}
+	return out
+}
+
+// maximalWithin reports whether hot[j] is a maximal proper sub-range of
+// hot[i]: contained in hot[i] but in no other proper sub-range of hot[i].
+func maximalWithin(hot []core.HotRange, j, i int) bool {
+	g, h := hot[j], hot[i]
+	for k, m := range hot {
+		if k == i || k == j {
+			continue
+		}
+		// m strictly inside h, and g inside m.
+		if m.Lo >= h.Lo && m.Hi <= h.Hi && !(m.Lo == h.Lo && m.Hi == h.Hi) &&
+			g.Lo >= m.Lo && g.Hi <= m.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrorSummary reduces a RangeError set to the Figure 8 statistics.
+func ErrorSummary(errs []RangeError) (maxPct, avgPct float64) {
+	if len(errs) == 0 {
+		return 0, 0
+	}
+	xs := make([]float64, len(errs))
+	for i, e := range errs {
+		xs[i] = e.Percent
+	}
+	s := stats.Summarize(xs)
+	return s.Max, s.Mean
+}
+
+// CoveragePoint is one step of the Figure 9 curve: the cumulative stream
+// fraction covered by hot ranges of width <= 2^LogWidth.
+type CoveragePoint struct {
+	LogWidth int
+	Coverage float64
+}
+
+// CoverageCurve computes the coverage-vs-log(range-width) curve of the
+// tree's hot ranges at threshold theta. The curve is cumulative and
+// defined on logWidth = 0..universeBits.
+func CoverageCurve(t *core.Tree, theta float64) []CoveragePoint {
+	byWidth := make(map[int]float64)
+	for _, h := range t.HotRanges(theta) {
+		byWidth[stats.Log2Bucket(h.Hi-h.Lo)] += h.Frac
+	}
+	w := t.Config().UniverseBits
+	out := make([]CoveragePoint, 0, w+1)
+	cum := 0.0
+	for k := 0; k <= w; k++ {
+		cum += byWidth[k]
+		out = append(out, CoveragePoint{LogWidth: k, Coverage: cum})
+	}
+	return out
+}
+
+// CoverageAt returns the curve's value at a given log width.
+func CoverageAt(curve []CoveragePoint, logWidth int) float64 {
+	v := 0.0
+	for _, p := range curve {
+		if p.LogWidth > logWidth {
+			break
+		}
+		v = p.Coverage
+	}
+	return v
+}
+
+// AverageCurves pointwise-averages coverage curves of equal domain (the
+// Figure 9 "averaged over a set of benchmarks" treatment).
+func AverageCurves(curves [][]CoveragePoint) []CoveragePoint {
+	if len(curves) == 0 {
+		return nil
+	}
+	out := make([]CoveragePoint, len(curves[0]))
+	copy(out, curves[0])
+	for i := range out {
+		sum := 0.0
+		for _, c := range curves {
+			sum += c[i].Coverage
+		}
+		out[i].Coverage = sum / float64(len(curves))
+	}
+	return out
+}
+
+// TimelinePoint is one sample of the Figure 6 memory-over-time trace.
+type TimelinePoint struct {
+	N            uint64
+	Nodes        int
+	MergeBatches uint64
+}
+
+// Timeline is a sampled memory-over-time trace with its summary.
+type Timeline struct {
+	Points   []TimelinePoint
+	MaxNodes int
+	AvgNodes float64
+}
+
+// MemoryTimeline streams up to limit events from src into a fresh tree
+// with the given config, sampling the node count at `samples` evenly
+// spaced points (the Figure 6 experiment).
+func MemoryTimeline(src trace.Source, cfg core.Config, limit uint64, samples int) (Timeline, error) {
+	t, err := core.New(cfg)
+	if err != nil {
+		return Timeline{}, err
+	}
+	if samples < 1 {
+		samples = 1
+	}
+	every := limit / uint64(samples)
+	if every == 0 {
+		every = 1
+	}
+	var tl Timeline
+	var sumNodes float64
+	var fed uint64
+	for fed < limit {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		t.AddN(e.Value, e.Weight)
+		fed += e.Weight
+		if fed%every == 0 || fed >= limit {
+			st := t.Stats()
+			tl.Points = append(tl.Points, TimelinePoint{N: st.N, Nodes: st.Nodes, MergeBatches: st.MergeBatches})
+			sumNodes += float64(st.Nodes)
+		}
+	}
+	tl.MaxNodes = t.MaxNodeCount()
+	if len(tl.Points) > 0 {
+		tl.AvgNodes = sumNodes / float64(len(tl.Points))
+	}
+	return tl, nil
+}
+
+// RenderHotTree writes the Figure 5 / Figure 10 style view: the hot nodes
+// at threshold theta plus their ancestors, indented by depth, annotated
+// with their hot weight share. Ancestor lines that are not themselves hot
+// are shown for structure with their residual share in parentheses.
+func RenderHotTree(w io.Writer, t *core.Tree, theta float64) error {
+	hot := t.HotRanges(theta)
+	isHot := make(map[[2]uint64]core.HotRange, len(hot))
+	for _, h := range hot {
+		isHot[[2]uint64{h.Lo, h.Hi}] = h
+	}
+	var err error
+	t.Walk(func(info core.NodeInfo) bool {
+		key := [2]uint64{info.Lo, info.Hi}
+		h, hotNode := isHot[key]
+		if !hotNode && !coversAnyHot(info, hot) {
+			return true // prune silently: neither hot nor an ancestor
+		}
+		indent := strings.Repeat("  ", info.Depth)
+		if hotNode {
+			_, err = fmt.Fprintf(w, "%s[%x, %x] %.1f%%\n", indent, info.Lo, info.Hi, 100*h.Frac)
+		} else {
+			_, err = fmt.Fprintf(w, "%s[%x, %x] .\n", indent, info.Lo, info.Hi)
+		}
+		return err == nil
+	})
+	return err
+}
+
+func coversAnyHot(info core.NodeInfo, hot []core.HotRange) bool {
+	for _, h := range hot {
+		if h.Lo >= info.Lo && h.Hi <= info.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// HotRangeTable renders hot ranges as a sorted text table (range, width,
+// weight share), the form the experiment harness prints.
+func HotRangeTable(w io.Writer, t *core.Tree, theta float64) error {
+	hot := t.HotRanges(theta)
+	sort.Slice(hot, func(i, j int) bool { return hot[i].Frac > hot[j].Frac })
+	for _, h := range hot {
+		if _, err := fmt.Fprintf(w, "  [%16x, %16x] width=2^%-2d %6.2f%%\n",
+			h.Lo, h.Hi, stats.Log2Bucket(h.Hi-h.Lo), 100*h.Frac); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rap/internal/core"
+	"rap/internal/exact"
+	"rap/internal/stats"
+	"rap/internal/trace"
+	"rap/internal/workload"
+)
+
+func buildTreeAndExact(t *testing.T, eps float64, n int) (*core.Tree, *exact.Profiler) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.UniverseBits = 24
+	cfg.Epsilon = eps
+	tr := core.MustNew(cfg)
+	ex := exact.New()
+	rng := stats.NewSplitMix64(99)
+	z := stats.NewZipf(rng, 1<<20, 1.25)
+	for i := 0; i < n; i++ {
+		p := uint64(z.Rank())
+		tr.Add(p)
+		ex.Add(p)
+	}
+	return tr, ex
+}
+
+func TestPercentErrorsLowOnSkewedStream(t *testing.T) {
+	tr, ex := buildTreeAndExact(t, 0.01, 300_000)
+	errs := PercentErrors(tr, ex, 0.10)
+	if len(errs) == 0 {
+		t.Fatal("no hot ranges found on a heavily skewed stream")
+	}
+	maxPct, avgPct := ErrorSummary(errs)
+	if avgPct > 10 {
+		t.Fatalf("average percent error %.2f too high for eps=1%%", avgPct)
+	}
+	if maxPct > 50 {
+		t.Fatalf("max percent error %.2f implausible", maxPct)
+	}
+	for _, e := range errs {
+		if e.Actual == 0 && e.Estimate > 0 {
+			t.Fatalf("hot range [%x,%x] estimate %d with zero actual", e.Lo, e.Hi, e.Estimate)
+		}
+	}
+}
+
+func TestPercentErrorsTighterEpsilonIsBetter(t *testing.T) {
+	tr1, ex := buildTreeAndExact(t, 0.10, 300_000)
+	tr2, _ := buildTreeAndExact(t, 0.01, 300_000)
+	_, avg1 := ErrorSummary(PercentErrors(tr1, ex, 0.10))
+	_, avg2 := ErrorSummary(PercentErrors(tr2, ex, 0.10))
+	if avg2 > avg1+1e-9 && avg2 > 1 {
+		t.Fatalf("eps=1%% avg error %.3f should not exceed eps=10%% avg %.3f by this much", avg2, avg1)
+	}
+}
+
+func TestErrorSummaryEmpty(t *testing.T) {
+	maxPct, avgPct := ErrorSummary(nil)
+	if maxPct != 0 || avgPct != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+func TestCoverageCurveMonotone(t *testing.T) {
+	tr, _ := buildTreeAndExact(t, 0.01, 200_000)
+	curve := CoverageCurve(tr, 0.10)
+	if len(curve) != 25 { // universeBits 24 -> 0..24
+		t.Fatalf("curve has %d points, want 25", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Coverage < curve[i-1].Coverage {
+			t.Fatal("coverage curve not monotone")
+		}
+	}
+	last := curve[len(curve)-1].Coverage
+	if last <= 0 || last > 1.000001 {
+		t.Fatalf("final coverage %v out of range", last)
+	}
+	if got := CoverageAt(curve, 24); math.Abs(got-last) > 1e-12 {
+		t.Fatalf("CoverageAt(24) = %v, want %v", got, last)
+	}
+	if CoverageAt(curve, -1) != 0 {
+		t.Fatal("CoverageAt below domain must be 0")
+	}
+}
+
+func TestAverageCurves(t *testing.T) {
+	a := []CoveragePoint{{0, 0.2}, {1, 0.4}}
+	b := []CoveragePoint{{0, 0.4}, {1, 0.8}}
+	avg := AverageCurves([][]CoveragePoint{a, b})
+	if math.Abs(avg[0].Coverage-0.3) > 1e-12 || math.Abs(avg[1].Coverage-0.6) > 1e-12 {
+		t.Fatalf("AverageCurves = %+v", avg)
+	}
+	if AverageCurves(nil) != nil {
+		t.Fatal("AverageCurves(nil) must be nil")
+	}
+}
+
+func TestMemoryTimelineSawtooth(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Epsilon = 0.10
+	src := workload.All()[0].Code(5, 500_000) // gcc
+	tl, err := MemoryTimeline(src, cfg, 500_000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Points) < 90 {
+		t.Fatalf("timeline has %d points", len(tl.Points))
+	}
+	if tl.MaxNodes <= 0 || tl.AvgNodes <= 0 || tl.AvgNodes > float64(tl.MaxNodes) {
+		t.Fatalf("summary wrong: max=%d avg=%.1f", tl.MaxNodes, tl.AvgNodes)
+	}
+	// The Figure 6 shape: node count must both grow and shrink over time.
+	grew, shrank := false, false
+	for i := 1; i < len(tl.Points); i++ {
+		if tl.Points[i].Nodes > tl.Points[i-1].Nodes {
+			grew = true
+		}
+		if tl.Points[i].Nodes < tl.Points[i-1].Nodes {
+			shrank = true
+		}
+	}
+	if !grew || !shrank {
+		t.Fatalf("no sawtooth: grew=%v shrank=%v", grew, shrank)
+	}
+	if tl.Points[len(tl.Points)-1].MergeBatches == 0 {
+		t.Fatal("no merge batches recorded")
+	}
+}
+
+func TestMemoryTimelineBadConfig(t *testing.T) {
+	if _, err := MemoryTimeline(trace.NewSliceSource(nil), core.Config{}, 10, 1); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestRenderHotTree(t *testing.T) {
+	tr, _ := buildTreeAndExact(t, 0.01, 200_000)
+	var sb strings.Builder
+	if err := RenderHotTree(&sb, tr, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "%") {
+		t.Fatalf("no hot annotation in output:\n%s", out)
+	}
+	// The rendering is a small subset of the full tree.
+	lines := strings.Count(out, "\n")
+	if lines == 0 || lines > tr.NodeCount() {
+		t.Fatalf("rendered %d lines, tree has %d nodes", lines, tr.NodeCount())
+	}
+}
+
+func TestHotRangeTable(t *testing.T) {
+	tr, _ := buildTreeAndExact(t, 0.01, 200_000)
+	var sb strings.Builder
+	if err := HotRangeTable(&sb, tr, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "width=2^") {
+		t.Fatalf("table malformed:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"fmt"
+
+	"rap/internal/core"
+)
+
+// Phase identification, one of the post-processing uses the paper lists
+// for dumped RAP trees (Section 3.2: "identifying hot-spots, range
+// coverage, phase identification, and so on"). The detector profiles the
+// stream in fixed windows, one small RAP tree per window, and compares
+// consecutive windows' hot-range sets: program phases show up as abrupt
+// changes in which ranges are hot.
+
+// HotSetSimilarity compares two hot-range sets: the shared weight
+// (summing min(frac) over ranges present in both, matched by exact range
+// identity — hot ranges are tree nodes, so stable structure yields stable
+// keys) relative to the larger total. 1 means identical hot structure,
+// 0 means disjoint.
+func HotSetSimilarity(a, b []core.HotRange) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	index := make(map[[2]uint64]float64, len(a))
+	var totalA, totalB, shared float64
+	for _, h := range a {
+		index[[2]uint64{h.Lo, h.Hi}] = h.Frac
+		totalA += h.Frac
+	}
+	for _, h := range b {
+		totalB += h.Frac
+		if fa, ok := index[[2]uint64{h.Lo, h.Hi}]; ok {
+			shared += min(fa, h.Frac)
+		}
+	}
+	denom := max(totalA, totalB)
+	if denom == 0 {
+		return 1
+	}
+	return shared / denom
+}
+
+// PhaseDetector finds phase boundaries in a profile stream.
+type PhaseDetector struct {
+	cfg       core.Config
+	window    uint64
+	theta     float64
+	threshold float64
+
+	cur      *core.Tree
+	fed      uint64
+	n        uint64
+	prevHot  []core.HotRange
+	havePrev bool
+
+	boundaries   []uint64
+	similarities []float64
+}
+
+// NewPhaseDetector builds a detector: the stream is profiled in windows
+// of the given size (a fresh tree per window, built with cfg); a phase
+// boundary is reported when consecutive windows' hot-range sets (at the
+// theta hot threshold) have similarity below threshold. Typical values:
+// theta 0.05, threshold 0.5.
+func NewPhaseDetector(cfg core.Config, window uint64, theta, threshold float64) (*PhaseDetector, error) {
+	if window == 0 {
+		return nil, fmt.Errorf("analysis: phase window must be >= 1")
+	}
+	if theta <= 0 || theta >= 1 || threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("analysis: bad theta %v or threshold %v", theta, threshold)
+	}
+	t, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &PhaseDetector{
+		cfg: cfg, window: window, theta: theta, threshold: threshold, cur: t,
+	}, nil
+}
+
+// Add feeds one event. It returns true exactly when the event closes a
+// window whose hot structure differs from the previous window's — a phase
+// boundary at the current stream position.
+func (d *PhaseDetector) Add(p uint64) bool {
+	d.cur.Add(p)
+	d.fed++
+	d.n++
+	if d.fed < d.window {
+		return false
+	}
+	d.fed = 0
+	d.cur.Finalize()
+	hot := d.cur.HotRanges(d.theta)
+	boundary := false
+	if d.havePrev {
+		sim := HotSetSimilarity(d.prevHot, hot)
+		d.similarities = append(d.similarities, sim)
+		if sim < d.threshold {
+			boundary = true
+			d.boundaries = append(d.boundaries, d.n)
+		}
+	}
+	d.prevHot = hot
+	d.havePrev = true
+	d.cur = core.MustNew(d.cfg)
+	return boundary
+}
+
+// Boundaries returns the stream positions at which phase changes were
+// detected.
+func (d *PhaseDetector) Boundaries() []uint64 { return d.boundaries }
+
+// Similarities returns the inter-window similarity series (one entry per
+// completed window after the first) for plotting.
+func (d *PhaseDetector) Similarities() []float64 { return d.similarities }

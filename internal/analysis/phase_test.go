@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"testing"
+
+	"rap/internal/core"
+	"rap/internal/stats"
+	"rap/internal/workload"
+)
+
+func TestHotSetSimilarity(t *testing.T) {
+	a := []core.HotRange{{Lo: 0, Hi: 15, Frac: 0.5}, {Lo: 16, Hi: 31, Frac: 0.3}}
+	same := []core.HotRange{{Lo: 0, Hi: 15, Frac: 0.5}, {Lo: 16, Hi: 31, Frac: 0.3}}
+	disjoint := []core.HotRange{{Lo: 100, Hi: 115, Frac: 0.8}}
+	partial := []core.HotRange{{Lo: 0, Hi: 15, Frac: 0.4}}
+
+	if sim := HotSetSimilarity(a, same); sim != 1 {
+		t.Fatalf("identical sets similarity %v, want 1", sim)
+	}
+	if sim := HotSetSimilarity(a, disjoint); sim != 0 {
+		t.Fatalf("disjoint sets similarity %v, want 0", sim)
+	}
+	if sim := HotSetSimilarity(a, partial); sim != 0.5 {
+		t.Fatalf("partial similarity %v, want 0.5 (min 0.4 over max 0.8)", sim)
+	}
+	if sim := HotSetSimilarity(nil, nil); sim != 1 {
+		t.Fatalf("empty sets similarity %v, want 1", sim)
+	}
+}
+
+func TestPhaseDetectorValidation(t *testing.T) {
+	cfg := core.DefaultConfig()
+	if _, err := NewPhaseDetector(cfg, 0, 0.05, 0.5); err == nil {
+		t.Fatal("window 0 accepted")
+	}
+	if _, err := NewPhaseDetector(cfg, 100, 0, 0.5); err == nil {
+		t.Fatal("theta 0 accepted")
+	}
+	if _, err := NewPhaseDetector(cfg, 100, 0.05, 2); err == nil {
+		t.Fatal("threshold 2 accepted")
+	}
+	if _, err := NewPhaseDetector(core.Config{}, 100, 0.05, 0.5); err == nil {
+		t.Fatal("bad tree config accepted")
+	}
+}
+
+func TestPhaseDetectorFindsSwitch(t *testing.T) {
+	// Two synthetic phases: hot range A for the first half, hot range B
+	// for the second. Exactly one boundary, at the switch.
+	cfg := core.DefaultConfig()
+	cfg.UniverseBits = 32
+	cfg.Epsilon = 0.05
+	d, err := NewPhaseDetector(cfg, 10_000, 0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewSplitMix64(1)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		var p uint64
+		if i < n/2 {
+			p = 0x1000 + rng.Uint64n(64)
+		} else {
+			p = 0x90000 + rng.Uint64n(64)
+		}
+		d.Add(p)
+	}
+	bs := d.Boundaries()
+	if len(bs) != 1 {
+		t.Fatalf("detected %d boundaries (%v), want exactly 1", len(bs), bs)
+	}
+	if bs[0] < n/2 || bs[0] > n/2+10_000 {
+		t.Fatalf("boundary at %d, want just after %d", bs[0], n/2)
+	}
+	if len(d.Similarities()) != n/10_000-1 {
+		t.Fatalf("similarity series has %d points", len(d.Similarities()))
+	}
+}
+
+func TestPhaseDetectorQuietOnStationaryStream(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.UniverseBits = 32
+	cfg.Epsilon = 0.05
+	d, err := NewPhaseDetector(cfg, 10_000, 0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewSplitMix64(2)
+	z := stats.NewZipf(rng, 1000, 1.3)
+	for i := 0; i < 100_000; i++ {
+		if d.Add(uint64(z.Rank())) && i < 25_000 {
+			t.Fatalf("spurious early boundary at event %d", i)
+		}
+	}
+	if len(d.Boundaries()) > 1 {
+		t.Fatalf("stationary stream produced %d boundaries", len(d.Boundaries()))
+	}
+}
+
+func TestPhaseDetectorOnWorkloadPhases(t *testing.T) {
+	// The gcc code model switches region activations at the run midpoint;
+	// the detector must notice around there.
+	cfg := core.DefaultConfig()
+	cfg.UniverseBits = 32
+	cfg.Epsilon = 0.05
+	const n = 400_000
+	d, err := NewPhaseDetector(cfg, n/16, 0.05, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcc, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := gcc.Code(9, n)
+	hit := false
+	for i := 0; i < n; i++ {
+		v, _ := src.Next()
+		if d.Add(v.Value) {
+			if pos := d.Boundaries()[len(d.Boundaries())-1]; pos > n/2-n/8 && pos < n/2+n/8 {
+				hit = true
+			}
+		}
+	}
+	if !hit {
+		t.Errorf("midpoint phase switch not detected (boundaries: %v)", d.Boundaries())
+	}
+}

@@ -1,0 +1,136 @@
+// Package cachesim implements the set-associative data caches used to
+// derive the paper's cache-miss value profiles (Figure 9): the load
+// stream's addresses are played through a two-level hierarchy and the
+// load values are split into the all-loads, DL1-miss, and DL2-miss
+// subsequences.
+package cachesim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int // total capacity
+	LineBytes int // line (block) size
+	Ways      int // associativity
+}
+
+// DL1Config is the paper-era first-level data cache: 32 KB, 2-way, 64 B
+// lines.
+func DL1Config() Config { return Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 2} }
+
+// DL2Config is the unified second level: 512 KB, 8-way, 64 B lines.
+func DL2Config() Config { return Config{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8} }
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     [][]way
+	setShift int
+	setMask  uint64
+	clock    uint64
+
+	accesses uint64
+	misses   uint64
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	used  uint64
+}
+
+// New builds a cache. Sizes must be powers of two with at least one set.
+func New(cfg Config) (*Cache, error) {
+	if cfg.LineBytes <= 0 || bits.OnesCount(uint(cfg.LineBytes)) != 1 {
+		return nil, fmt.Errorf("cachesim: line size %d must be a power of two", cfg.LineBytes)
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cachesim: ways %d must be positive", cfg.Ways)
+	}
+	if cfg.SizeBytes <= 0 || cfg.SizeBytes%(cfg.LineBytes*cfg.Ways) != 0 {
+		return nil, fmt.Errorf("cachesim: size %d not divisible into %d-way sets of %d-byte lines",
+			cfg.SizeBytes, cfg.Ways, cfg.LineBytes)
+	}
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	if bits.OnesCount(uint(numSets)) != 1 {
+		return nil, fmt.Errorf("cachesim: set count %d must be a power of two", numSets)
+	}
+	sets := make([][]way, numSets)
+	backing := make([]way, numSets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setShift: bits.TrailingZeros(uint(cfg.LineBytes)),
+		setMask:  uint64(numSets - 1),
+	}, nil
+}
+
+// MustNew is New for known-valid configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access looks up addr, fills on miss, and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	c.accesses++
+	line := addr >> c.setShift
+	set := c.sets[line&c.setMask]
+	tag := line >> bits.TrailingZeros(uint(len(c.sets)))
+
+	victim := 0
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			w.used = c.clock
+			return true
+		}
+		if !set[victim].valid {
+			continue // keep first invalid way as victim
+		}
+		if !w.valid || w.used < set[victim].used {
+			victim = i
+		}
+	}
+	c.misses++
+	set[victim] = way{tag: tag, valid: true, used: c.clock}
+	return false
+}
+
+// Stats returns accesses, misses, and the miss ratio so far.
+func (c *Cache) Stats() (accesses, misses uint64, ratio float64) {
+	accesses, misses = c.accesses, c.misses
+	if accesses > 0 {
+		ratio = float64(misses) / float64(accesses)
+	}
+	return
+}
+
+// Hierarchy is a two-level data-cache stack.
+type Hierarchy struct {
+	L1, L2 *Cache
+}
+
+// NewHierarchy builds the paper's DL1+DL2 stack.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{L1: MustNew(DL1Config()), L2: MustNew(DL2Config())}
+}
+
+// Access plays addr through the hierarchy: L2 is only consulted on an L1
+// miss. Returns which levels missed.
+func (h *Hierarchy) Access(addr uint64) (l1Miss, l2Miss bool) {
+	if h.L1.Access(addr) {
+		return false, false
+	}
+	return true, !h.L2.Access(addr)
+}

@@ -1,0 +1,132 @@
+package cachesim
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 0, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 48, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 64, Ways: 0},
+		{SizeBytes: 1000, LineBytes: 64, Ways: 2},
+		{SizeBytes: 64 * 2 * 3, LineBytes: 64, Ways: 2}, // 3 sets
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New accepted %+v", cfg)
+		}
+	}
+	if _, err := New(DL1Config()); err != nil {
+		t.Fatalf("DL1 config rejected: %v", err)
+	}
+	if _, err := New(DL2Config()); err != nil {
+		t.Fatalf("DL2 config rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2}) // 8 sets
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(64) {
+		t.Fatal("next-line cold access hit")
+	}
+	acc, miss, ratio := c.Stats()
+	if acc != 4 || miss != 2 || ratio != 0.5 {
+		t.Fatalf("stats = %d/%d/%v", acc, miss, ratio)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 1 set, 2 ways, 64B lines: lines A, B, C conflict.
+	c := MustNew(Config{SizeBytes: 128, LineBytes: 64, Ways: 2})
+	a, b, cc := uint64(0), uint64(64), uint64(128)
+	c.Access(a)  // miss, fill
+	c.Access(b)  // miss, fill
+	c.Access(a)  // hit, refresh A
+	c.Access(cc) // miss, evicts LRU = B
+	if !c.Access(a) {
+		t.Fatal("A evicted, want B (LRU) evicted")
+	}
+	if c.Access(b) {
+		t.Fatal("B survived, want B evicted")
+	}
+}
+
+func TestSequentialScanMissesPerLine(t *testing.T) {
+	// A scan larger than the cache must miss exactly once per line.
+	c := MustNew(Config{SizeBytes: 4096, LineBytes: 64, Ways: 2})
+	for addr := uint64(0); addr < 64*1024; addr += 8 {
+		c.Access(addr)
+	}
+	acc, miss, _ := c.Stats()
+	if acc != 8192 {
+		t.Fatalf("accesses = %d", acc)
+	}
+	if want := uint64(64 * 1024 / 64); miss != want {
+		t.Fatalf("scan misses = %d, want %d (one per line)", miss, want)
+	}
+}
+
+func TestSmallWorkingSetAllHits(t *testing.T) {
+	c := MustNew(DL1Config())
+	for pass := 0; pass < 10; pass++ {
+		for addr := uint64(0); addr < 8<<10; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	_, miss, _ := c.Stats()
+	if want := uint64(8 << 10 / 64); miss != want {
+		t.Fatalf("misses = %d, want %d compulsory only", miss, want)
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	h := NewHierarchy()
+	l1, l2 := h.Access(0)
+	if !l1 || !l2 {
+		t.Fatal("cold access must miss both levels")
+	}
+	l1, l2 = h.Access(0)
+	if l1 || l2 {
+		t.Fatal("warm access must hit L1")
+	}
+	// L2 hit after L1 eviction: thrash L1's set with conflicting lines
+	// that share an L1 set but spread across L2 sets.
+	h2 := NewHierarchy()
+	l1Sets := uint64(32 << 10 / (64 * 2)) // 256 sets
+	stride := l1Sets * 64                 // same L1 set each time
+	h2.Access(0)
+	for i := uint64(1); i <= 4; i++ {
+		h2.Access(i * stride)
+	}
+	l1, l2 = h2.Access(0)
+	if !l1 {
+		t.Fatal("address should have been evicted from L1")
+	}
+	if l2 {
+		t.Fatal("address should still hit in the larger L2")
+	}
+	// L2 misses must be a subset of L1 misses.
+	_, m1, _ := h2.L1.Stats()
+	_, m2, _ := h2.L2.Stats()
+	if m2 > m1 {
+		t.Fatalf("L2 misses %d exceed L1 misses %d", m2, m1)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import "sync"
+
+// ConcurrentTree wraps a Tree with a mutex so several goroutines can feed
+// and query one profile. The paper's hardware processes one event per
+// pipeline slot — inherently serial — and the plain Tree mirrors that; a
+// software deployment tapping multiple event sources (per-CPU buffers,
+// several sockets) wants this wrapper instead. For very high ingest
+// rates, prefer per-source Trees and post-hoc aggregation over a shared
+// lock.
+type ConcurrentTree struct {
+	mu   sync.Mutex
+	tree *Tree
+}
+
+// NewConcurrent builds a mutex-guarded RAP tree.
+func NewConcurrent(cfg Config) (*ConcurrentTree, error) {
+	t, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentTree{tree: t}, nil
+}
+
+// Add records one occurrence of p.
+func (c *ConcurrentTree) Add(p uint64) { c.AddN(p, 1) }
+
+// AddN records weight occurrences of p.
+func (c *ConcurrentTree) AddN(p uint64, weight uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tree.AddN(p, weight)
+}
+
+// AddBatch records a batch of points under one lock acquisition —
+// substantially cheaper than per-event locking for buffered sources.
+func (c *ConcurrentTree) AddBatch(points []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range points {
+		c.tree.Add(p)
+	}
+}
+
+// N returns the total event weight processed.
+func (c *ConcurrentTree) N() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.N()
+}
+
+// Stats returns a snapshot of the tree's counters.
+func (c *ConcurrentTree) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.Stats()
+}
+
+// Estimate returns the lower-bound estimate for [lo, hi].
+func (c *ConcurrentTree) Estimate(lo, hi uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.Estimate(lo, hi)
+}
+
+// EstimateBounds returns the bracketing estimates for [lo, hi].
+func (c *ConcurrentTree) EstimateBounds(lo, hi uint64) (low, high uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.EstimateBounds(lo, hi)
+}
+
+// HotRanges reports the hot ranges at threshold theta.
+func (c *ConcurrentTree) HotRanges(theta float64) []HotRange {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.HotRanges(theta)
+}
+
+// Finalize compacts the tree and returns its statistics.
+func (c *ConcurrentTree) Finalize() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.Finalize()
+}
+
+// Snapshot serializes the tree under the lock.
+func (c *ConcurrentTree) Snapshot() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.MarshalBinary()
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcurrentValidation(t *testing.T) {
+	if _, err := NewConcurrent(Config{}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestConcurrentParallelFeeds(t *testing.T) {
+	c, err := NewConcurrent(testConfig(24, 4, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		each    = 20_000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker hammers its own hot point plus shared noise.
+			batch := make([]uint64, 0, 128)
+			for i := 0; i < each; i++ {
+				p := uint64(0x1000 * (w + 1))
+				if i%4 == 0 {
+					p = uint64(i * 37 % (1 << 24))
+				}
+				if i%2 == 0 {
+					c.Add(p)
+				} else {
+					batch = append(batch, p)
+					if len(batch) == 128 {
+						c.AddBatch(batch)
+						batch = batch[:0]
+					}
+				}
+			}
+			c.AddBatch(batch)
+		}(w)
+	}
+	// Concurrent readers while feeding.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			c.HotRanges(0.05)
+			c.Estimate(0, 1<<23)
+			c.EstimateBounds(0, 1<<20)
+			c.Stats()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if c.N() != workers*each {
+		t.Fatalf("N = %d, want %d", c.N(), workers*each)
+	}
+	st := c.Finalize()
+	if st.N != workers*each {
+		t.Fatalf("stats N = %d", st.N)
+	}
+	// Each worker's hot point must be individually resolved.
+	hot := c.HotRanges(0.05)
+	singles := 0
+	for _, h := range hot {
+		if h.Lo == h.Hi {
+			singles++
+		}
+	}
+	if singles < workers {
+		t.Fatalf("found %d hot singletons, want >= %d", singles, workers)
+	}
+	if _, err := c.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+}

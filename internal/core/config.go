@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Defaults used by DefaultConfig, matching the operating point the paper
+// engineers in Section 3: branching factor 4 (Figure 2), merge-interval
+// ratio 2 (Figure 2), and a 64-bit universe (load values and memory
+// addresses in Section 4 span 0..ffffffffffffffff). The first merge fires
+// at 2^9 events — half the paper's "at least a thousand (2^10)" working
+// assumption — which prunes the cold-start transient early enough that
+// measured peak tree sizes match the published Figure 6/7 scale.
+const (
+	DefaultUniverseBits = 64
+	DefaultBranch       = 4
+	DefaultEpsilon      = 0.01
+	DefaultMergeRatio   = 2.0
+	DefaultFirstMerge   = 1 << 9
+	// DefaultMinSplitCount is the cold-start split guard (see
+	// Config.MinSplitCount).
+	DefaultMinSplitCount = 12
+
+	// NodeBytes is the memory cost accounted per tree node: the paper
+	// budgets "about 128 bits of memory" per node (Section 4.2), i.e. a
+	// range (min, max) and a counter as stored in the TCAM+SRAM rows.
+	NodeBytes = 16
+)
+
+// Config parameterizes a RAP tree. The zero value is not valid; use
+// DefaultConfig and override fields, or fill every field explicitly.
+type Config struct {
+	// UniverseBits is w: events are drawn from [0, 2^w). 1..64.
+	UniverseBits int
+
+	// Branch is the branching factor b of a split. It must be a power of
+	// two between 2 and 256 so that every node is a bit-prefix range, the
+	// encoding the hardware TCAM of Section 3.3 requires.
+	Branch int
+
+	// Epsilon is the user error bound ε in (0, 1): for any tracked range
+	// the estimate is never short of the true count by more than ε·n.
+	Epsilon float64
+
+	// MergeRatio is q, the geometric growth factor of the interval
+	// between batched merge passes. Must be > 1. Figure 2 selects q = 2.
+	MergeRatio float64
+
+	// FirstMerge is the number of events before the first merge batch
+	// (the paper assumes "at least a thousand (2^10) events before we do
+	// our first merge", Section 3.3). Must be >= 1.
+	FirstMerge uint64
+
+	// MergeEvery, when nonzero, replaces the geometric schedule with a
+	// fixed merge period. This models the "continuous merging" regime of
+	// Figure 3 and is exposed for the batched-vs-continuous ablation.
+	MergeEvery uint64
+
+	// MergeThresholdScale scales the merge threshold relative to the
+	// split threshold. 0 means 1.0: "the split and merge thresholds can
+	// be the same" (Section 3.3, Stage 4). Exposed for ablation.
+	MergeThresholdScale float64
+
+	// MinSplitCount is the cold-start guard on the split threshold: a
+	// node never bursts before accumulating this many events, preventing
+	// the startup explosion when ε·n/H is still below one event (the
+	// "critical constants" engineering of Section 1; the asymptotic
+	// bounds are unaffected since the guard is dominated by ε·n/H as n
+	// grows). 0 means the default of 8.
+	MinSplitCount uint64
+}
+
+// DefaultConfig returns the paper's default operating point: a 64-bit
+// universe, b = 4, ε = 1%, q = 2, first merge after 512 events.
+func DefaultConfig() Config {
+	return Config{
+		UniverseBits: DefaultUniverseBits,
+		Branch:       DefaultBranch,
+		Epsilon:      DefaultEpsilon,
+		MergeRatio:   DefaultMergeRatio,
+		FirstMerge:   DefaultFirstMerge,
+	}
+}
+
+// validate checks c and returns a normalized copy.
+func (c Config) validate() (Config, error) {
+	if c.UniverseBits < 1 || c.UniverseBits > 64 {
+		return c, fmt.Errorf("core: UniverseBits %d out of range [1,64]", c.UniverseBits)
+	}
+	if c.Branch < 2 || c.Branch > 256 || bits.OnesCount(uint(c.Branch)) != 1 {
+		return c, fmt.Errorf("core: Branch %d must be a power of two in [2,256]", c.Branch)
+	}
+	if !(c.Epsilon > 0 && c.Epsilon < 1) {
+		return c, fmt.Errorf("core: Epsilon %v must be in (0,1)", c.Epsilon)
+	}
+	if c.MergeEvery == 0 && c.MergeRatio <= 1 {
+		return c, fmt.Errorf("core: MergeRatio %v must be > 1", c.MergeRatio)
+	}
+	if c.FirstMerge == 0 && c.MergeEvery == 0 {
+		return c, fmt.Errorf("core: FirstMerge must be >= 1")
+	}
+	if c.MergeThresholdScale < 0 {
+		return c, fmt.Errorf("core: MergeThresholdScale %v must be >= 0", c.MergeThresholdScale)
+	}
+	if c.MergeThresholdScale == 0 {
+		c.MergeThresholdScale = 1
+	}
+	if c.MinSplitCount == 0 {
+		c.MinSplitCount = DefaultMinSplitCount
+	}
+	return c, nil
+}
+
+// Height returns H, the maximum height of a tree with this configuration:
+// the number of split steps from the root range to a singleton.
+func (c Config) Height() int {
+	s := bits.TrailingZeros(uint(c.Branch))
+	return (c.UniverseBits + s - 1) / s
+}

@@ -1,0 +1,31 @@
+// Package core implements Range Adaptive Profiling (RAP), the streaming
+// range profiler of Mysore et al., "Profiling over Adaptive Ranges"
+// (CGO 2006).
+//
+// A RAP tree summarizes a stream of events drawn from a power-of-two
+// universe [0, 2^w) using a bounded number of range counters. Every event
+// is credited to the smallest range currently tracked that covers it; no
+// event is ever sampled away or dropped. Ranges whose counters grow past a
+// split threshold
+//
+//	SplitThreshold = ε·n / H
+//
+// (n = events seen so far, H = maximum tree height log_b R) are split into
+// b aligned subranges, refining precision exactly where the stream has
+// weight. Cold subtrees are folded back into their parents during batched
+// merge passes scheduled at geometrically growing intervals (ratio q),
+// which keeps live memory bounded by O(b·log_b R / ε) independent of the
+// stream length.
+//
+// Guarantees, as established in the paper (and in Hershberger et al.,
+// "Adaptive Spatial Partitioning for Multidimensional Data Streams"):
+//
+//   - every range estimate is a lower bound on the true count;
+//   - the underestimate for any tracked range is at most ε·n;
+//   - a range reported hot is guaranteed hot (no false positives against
+//     the same additive slack).
+//
+// The package mirrors the software API of Section 3.2 of the paper:
+// [New] plays the role of rap_init, [Tree.Add] and [Tree.AddN] of
+// rap_add_points, and [Tree.Finalize] of rap_finalize.
+package core

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteASCII writes the tree in the indented ASCII form that rap_finalize
+// dumps "for further processing such as identifying hot-spots, range
+// coverage, phase identification" (Section 3.2). One line per node:
+//
+//	[lo, hi] count=C subtree=S frac=F%
+//
+// indented two spaces per level, ranges in hexadecimal as in the paper's
+// figures.
+func (t *Tree) WriteASCII(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	n := t.n
+	var write func(v *node, depth int)
+	write = func(v *node, depth int) {
+		sub := subtreeSum(v)
+		frac := 0.0
+		if n > 0 {
+			frac = 100 * float64(sub) / float64(n)
+		}
+		fmt.Fprintf(bw, "%s[%x, %x] count=%d subtree=%d frac=%.2f%%\n",
+			strings.Repeat("  ", depth), v.lo, v.hi(t.cfg.UniverseBits), v.count, sub, frac)
+		for _, c := range v.children {
+			if c != nil {
+				write(c, depth+1)
+			}
+		}
+	}
+	write(t.root, 0)
+	return bw.Flush()
+}
+
+// WriteDOT writes the tree as a Graphviz digraph, hot nodes (at the given
+// theta) double-circled — the rendering used for the paper's Figure 5 and
+// Figure 10 style tree snapshots.
+func (t *Tree) WriteDOT(w io.Writer, theta float64) error {
+	bw := bufio.NewWriter(w)
+	hotSet := make(map[uint64]map[uint8]bool)
+	for _, h := range t.HotRanges(theta) {
+		plen := uint8(0)
+		// Recover plen from the width of the reported range.
+		width := h.Hi - h.Lo
+		for k := 0; k <= t.cfg.UniverseBits; k++ {
+			if suffixMask(t.cfg.UniverseBits-k) == width {
+				plen = uint8(k)
+				break
+			}
+		}
+		if hotSet[h.Lo] == nil {
+			hotSet[h.Lo] = make(map[uint8]bool)
+		}
+		hotSet[h.Lo][plen] = true
+	}
+	fmt.Fprintln(bw, "digraph rap {")
+	fmt.Fprintln(bw, "  node [shape=box, fontname=\"monospace\"];")
+	id := 0
+	var write func(v *node) int
+	write = func(v *node) int {
+		my := id
+		id++
+		sub := subtreeSum(v)
+		frac := 0.0
+		if t.n > 0 {
+			frac = 100 * float64(sub) / float64(t.n)
+		}
+		style := ""
+		if hotSet[v.lo][v.plen] {
+			style = ", peripheries=2, style=bold"
+		}
+		fmt.Fprintf(bw, "  n%d [label=\"[%x, %x]\\n%.1f%%\"%s];\n",
+			my, v.lo, v.hi(t.cfg.UniverseBits), frac, style)
+		for _, c := range v.children {
+			if c == nil {
+				continue
+			}
+			child := write(c)
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", my, child)
+		}
+		return my
+	}
+	write(t.root)
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// String returns a one-line summary of the tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("rap.Tree{n=%d nodes=%d max=%d eps=%g b=%d w=%d}",
+		t.n, t.nodes, t.maxNodes, t.cfg.Epsilon, t.cfg.Branch, t.cfg.UniverseBits)
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHotRangesEmptyTree(t *testing.T) {
+	tr := MustNew(DefaultConfig())
+	if got := tr.HotRanges(0.1); got != nil {
+		t.Fatalf("empty tree reported hot ranges: %v", got)
+	}
+}
+
+func TestHotRangesSinglePoint(t *testing.T) {
+	tr := MustNew(testConfig(16, 4, 0.01))
+	for i := 0; i < 100_000; i++ {
+		tr.Add(0x00AB)
+	}
+	hot := tr.HotRanges(0.10)
+	if len(hot) == 0 {
+		t.Fatal("no hot ranges on a single-point stream")
+	}
+	// The tightest hot range must be the singleton, carrying nearly all
+	// the weight.
+	best := hot[0]
+	for _, h := range hot {
+		if h.Hi-h.Lo < best.Hi-best.Lo {
+			best = h
+		}
+	}
+	if best.Lo != 0x00AB || best.Hi != 0x00AB {
+		t.Fatalf("tightest hot range is [%x,%x], want the singleton ab", best.Lo, best.Hi)
+	}
+	if best.Frac < 0.90 {
+		t.Fatalf("singleton hot fraction %.3f, want > 0.90", best.Frac)
+	}
+}
+
+func TestHotWeightExcludesHotChildren(t *testing.T) {
+	// Two hot points under a common parent: the parent's hot weight (if
+	// the parent is reported at all) must not double-count the children,
+	// per the Section 4.1 definition.
+	tr := MustNew(testConfig(16, 4, 0.01))
+	for i := 0; i < 50_000; i++ {
+		tr.Add(0x1000)
+		tr.Add(0x1001)
+	}
+	hot := tr.HotRanges(0.10)
+	var sum uint64
+	for _, h := range hot {
+		sum += h.Weight
+	}
+	if sum > tr.N() {
+		t.Fatalf("hot weights sum to %d > n=%d: hot children double-counted", sum, tr.N())
+	}
+	// Both singletons hot, each ~half the stream.
+	singles := 0
+	for _, h := range hot {
+		if h.Lo == h.Hi {
+			singles++
+			if h.Frac < 0.40 {
+				t.Errorf("singleton [%x] hot frac %.3f, want ~0.5", h.Lo, h.Frac)
+			}
+		}
+	}
+	if singles != 2 {
+		t.Fatalf("found %d hot singletons, want 2", singles)
+	}
+}
+
+func TestHotRangesGuaranteedHot(t *testing.T) {
+	// Lower-bound property implies reported hot weight never exceeds the
+	// true count of events in the range.
+	tr := MustNew(testConfig(20, 4, 0.02))
+	ex := exact{}
+	rng := rand.New(rand.NewSource(31))
+	zipf := rand.NewZipf(rng, 1.4, 16, 1<<20-1)
+	for i := 0; i < 150_000; i++ {
+		p := zipf.Uint64()
+		tr.Add(p)
+		ex.add(p)
+	}
+	for _, h := range tr.HotRanges(0.05) {
+		if truth := ex.rangeCount(h.Lo, h.Hi); h.Weight > truth {
+			t.Fatalf("hot range [%x,%x] weight %d exceeds true count %d",
+				h.Lo, h.Hi, h.Weight, truth)
+		}
+	}
+}
+
+func TestHotRangesSorted(t *testing.T) {
+	tr := MustNew(testConfig(16, 4, 0.02))
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 100_000; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			tr.Add(0x0010)
+		case 1:
+			tr.Add(0x8000)
+		default:
+			tr.Add(uint64(rng.Intn(1 << 16)))
+		}
+	}
+	hot := tr.HotRanges(0.10)
+	if !sort.SliceIsSorted(hot, func(i, j int) bool {
+		if hot[i].Lo != hot[j].Lo {
+			return hot[i].Lo < hot[j].Lo
+		}
+		return hot[i].Hi > hot[j].Hi
+	}) {
+		t.Fatalf("hot ranges not sorted: %+v", hot)
+	}
+}
+
+func TestHotRangesThetaMonotone(t *testing.T) {
+	// Raising theta can only shrink (or keep) the aggregate hot weight.
+	tr := MustNew(testConfig(16, 4, 0.02))
+	rng := rand.New(rand.NewSource(41))
+	zipf := rand.NewZipf(rng, 1.5, 8, 1<<16-1)
+	for i := 0; i < 100_000; i++ {
+		tr.Add(zipf.Uint64())
+	}
+	weight := func(theta float64) (total uint64) {
+		for _, h := range tr.HotRanges(theta) {
+			total += h.Weight
+		}
+		return
+	}
+	w5, w10, w25 := weight(0.05), weight(0.10), weight(0.25)
+	if w10 > w5 || w25 > w10 {
+		t.Fatalf("hot weight not monotone in theta: %d (5%%) %d (10%%) %d (25%%)", w5, w10, w25)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Snapshot serialization: a compact preorder binary encoding of the tree
+// so profiles can be shipped off the profiling host and post-processed,
+// the way the hardware engine's SRAM contents would be read out.
+
+const (
+	marshalMagic   = "RAPT"
+	marshalVersion = 1
+)
+
+// MarshalBinary encodes the tree (configuration, schedule state, and all
+// nodes) into a portable byte slice.
+func (t *Tree) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(marshalMagic)
+	buf.WriteByte(marshalVersion)
+
+	writeUvarint(&buf, uint64(t.cfg.UniverseBits))
+	writeUvarint(&buf, uint64(t.cfg.Branch))
+	writeFloat(&buf, t.cfg.Epsilon)
+	writeFloat(&buf, t.cfg.MergeRatio)
+	writeUvarint(&buf, t.cfg.FirstMerge)
+	writeUvarint(&buf, t.cfg.MergeEvery)
+	writeFloat(&buf, t.cfg.MergeThresholdScale)
+
+	writeUvarint(&buf, t.n)
+	writeUvarint(&buf, uint64(t.maxNodes))
+	writeUvarint(&buf, t.splits)
+	writeUvarint(&buf, t.merges)
+	writeUvarint(&buf, t.mergeBatches)
+	writeUvarint(&buf, t.nextMerge)
+	writeUvarint(&buf, t.mergeInterval)
+
+	t.marshalNode(&buf, t.root)
+	return buf.Bytes(), nil
+}
+
+func (t *Tree) marshalNode(buf *bytes.Buffer, v *node) {
+	writeUvarint(buf, v.lo)
+	buf.WriteByte(v.plen)
+	writeUvarint(buf, v.count)
+	live := 0
+	for _, c := range v.children {
+		if c != nil {
+			live++
+		}
+	}
+	writeUvarint(buf, uint64(live))
+	if live == 0 {
+		return
+	}
+	for i, c := range v.children {
+		if c == nil {
+			continue
+		}
+		writeUvarint(buf, uint64(i))
+		t.marshalNode(buf, c)
+	}
+}
+
+// UnmarshalBinary decodes a tree previously encoded with MarshalBinary,
+// replacing the receiver's contents.
+func (t *Tree) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != marshalMagic {
+		return fmt.Errorf("core: bad snapshot magic")
+	}
+	ver, err := r.ReadByte()
+	if err != nil || ver != marshalVersion {
+		return fmt.Errorf("core: unsupported snapshot version %d", ver)
+	}
+
+	var cfg Config
+	cfg.UniverseBits = int(mustUvarint(r, &err))
+	cfg.Branch = int(mustUvarint(r, &err))
+	cfg.Epsilon = readFloat(r, &err)
+	cfg.MergeRatio = readFloat(r, &err)
+	cfg.FirstMerge = mustUvarint(r, &err)
+	cfg.MergeEvery = mustUvarint(r, &err)
+	cfg.MergeThresholdScale = readFloat(r, &err)
+	if err != nil {
+		return fmt.Errorf("core: truncated snapshot header: %w", err)
+	}
+	nt, nerr := New(cfg)
+	if nerr != nil {
+		return nerr
+	}
+
+	nt.n = mustUvarint(r, &err)
+	nt.maxNodes = int(mustUvarint(r, &err))
+	nt.splits = mustUvarint(r, &err)
+	nt.merges = mustUvarint(r, &err)
+	nt.mergeBatches = mustUvarint(r, &err)
+	nt.nextMerge = mustUvarint(r, &err)
+	nt.mergeInterval = mustUvarint(r, &err)
+	if err != nil {
+		return fmt.Errorf("core: truncated snapshot state: %w", err)
+	}
+
+	nt.nodes = 0
+	root, err := nt.unmarshalNode(r)
+	if err != nil {
+		return err
+	}
+	nt.root = root
+	if nt.nodes > nt.maxNodes {
+		nt.maxNodes = nt.nodes
+	}
+	*t = *nt
+	return nil
+}
+
+func (t *Tree) unmarshalNode(r *bytes.Reader) (*node, error) {
+	var err error
+	v := &node{}
+	v.lo = mustUvarint(r, &err)
+	plen, perr := r.ReadByte()
+	if perr != nil {
+		err = perr
+	}
+	v.plen = plen
+	v.count = mustUvarint(r, &err)
+	live := mustUvarint(r, &err)
+	if err != nil {
+		return nil, fmt.Errorf("core: truncated snapshot node: %w", err)
+	}
+	if int(v.plen) > t.cfg.UniverseBits {
+		return nil, fmt.Errorf("core: snapshot node plen %d exceeds universe", v.plen)
+	}
+	t.nodes++
+	if live == 0 {
+		return v, nil
+	}
+	fan := t.fanout(v.plen)
+	if live > uint64(fan) {
+		return nil, fmt.Errorf("core: snapshot node has %d children, fanout %d", live, fan)
+	}
+	v.children = make([]*node, fan)
+	for k := uint64(0); k < live; k++ {
+		idx := mustUvarint(r, &err)
+		if err != nil || idx >= uint64(fan) {
+			return nil, fmt.Errorf("core: bad snapshot child index")
+		}
+		c, cerr := t.unmarshalNode(r)
+		if cerr != nil {
+			return nil, cerr
+		}
+		v.children[idx] = c
+	}
+	return v, nil
+}
+
+func writeUvarint(buf *bytes.Buffer, x uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], x)
+	buf.Write(tmp[:n])
+}
+
+func mustUvarint(r *bytes.Reader, err *error) uint64 {
+	if *err != nil {
+		return 0
+	}
+	x, e := binary.ReadUvarint(r)
+	if e != nil {
+		*err = e
+	}
+	return x
+}
+
+func writeFloat(buf *bytes.Buffer, f float64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f))
+	buf.Write(tmp[:])
+}
+
+func readFloat(r *bytes.Reader, err *error) float64 {
+	if *err != nil {
+		return 0
+	}
+	var tmp [8]byte
+	if _, e := io.ReadFull(r, tmp[:]); e != nil {
+		*err = e
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(tmp[:]))
+}

@@ -1,0 +1,83 @@
+package core
+
+// node is one range counter in the RAP tree. A node covers the bit-prefix
+// range [lo, hi] where lo has the node's prefix in its top plen bits and
+// zeros below, and hi has ones below. This is exactly the ternary-CAM row
+// encoding of the hardware design (Section 3.3): prefix bits exact, suffix
+// bits wildcarded.
+type node struct {
+	lo    uint64
+	plen  uint8
+	count uint64
+	// children has length equal to the node's fanout once the node has
+	// ever split, with nil holes where a subtree was merged away (the
+	// "children do not cover the entire range of the parent" case of
+	// Section 3.3). nil children slice means the node is a leaf.
+	children []*node
+}
+
+// hi returns the inclusive upper end of the node's range in a w-bit
+// universe.
+func (v *node) hi(w int) uint64 {
+	return v.lo | suffixMask(w-int(v.plen))
+}
+
+// suffixMask returns a mask with the k low bits set; k in [0, 64].
+func suffixMask(k int) uint64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << k) - 1
+}
+
+// isLeaf reports whether the node currently has no live children.
+func (v *node) isLeaf() bool { return v.children == nil }
+
+// normalize drops an all-nil children slice so isLeaf is meaningful.
+func (v *node) normalize() {
+	for _, c := range v.children {
+		if c != nil {
+			return
+		}
+	}
+	v.children = nil
+}
+
+// fanout returns the number of children a split of v creates: the full
+// branching factor, except at the bottom of an unevenly dividing universe
+// where only the remaining bits are available.
+func (t *Tree) fanout(plen uint8) int {
+	rem := t.cfg.UniverseBits - int(plen)
+	if rem >= t.shift {
+		return 1 << t.shift
+	}
+	return 1 << rem
+}
+
+// childStride returns the number of prefix bits a child of a node at plen
+// adds.
+func (t *Tree) childStride(plen uint8) int {
+	rem := t.cfg.UniverseBits - int(plen)
+	if rem >= t.shift {
+		return t.shift
+	}
+	return rem
+}
+
+// childIndex returns which child slot of v the point p falls in. The
+// caller guarantees p is inside v's range and v is not a singleton.
+func (t *Tree) childIndex(v *node, p uint64) int {
+	s := t.childStride(v.plen)
+	shift := t.cfg.UniverseBits - int(v.plen) - s
+	return int((p >> shift) & suffixMask(s))
+}
+
+// childBounds returns the lo and plen of child slot i of v.
+func (t *Tree) childBounds(v *node, i int) (lo uint64, plen uint8) {
+	s := t.childStride(v.plen)
+	shift := t.cfg.UniverseBits - int(v.plen) - s
+	return v.lo | uint64(i)<<shift, v.plen + uint8(s)
+}

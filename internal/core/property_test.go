@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests on the core invariants, driven by testing/quick.
+
+func TestPropTotalConservation(t *testing.T) {
+	f := func(points []uint64, seed int64) bool {
+		cfg := testConfig(32, 4, 0.05)
+		cfg.FirstMerge = 16
+		tr := MustNew(cfg)
+		var n uint64
+		for _, p := range points {
+			w := p%3 + 1 // mixed weights
+			tr.AddN(p, w)
+			n += w
+		}
+		return tr.N() == n && tr.Total() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropLowerBound(t *testing.T) {
+	f := func(points []uint16, a, b uint16) bool {
+		cfg := testConfig(16, 4, 0.05)
+		cfg.FirstMerge = 16
+		tr := MustNew(cfg)
+		ex := exact{}
+		for _, p := range points {
+			tr.Add(uint64(p))
+			ex.add(uint64(p))
+		}
+		if a > b {
+			a, b = b, a
+		}
+		truth := ex.rangeCount(uint64(a), uint64(b))
+		low, high := tr.EstimateBounds(uint64(a), uint64(b))
+		return low <= truth && truth <= high
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropNodeRangesNested(t *testing.T) {
+	// Structural invariant: every child range is strictly inside its
+	// parent range, siblings are disjoint, and all node counts sum to N.
+	f := func(points []uint32) bool {
+		cfg := testConfig(32, 4, 0.03)
+		cfg.FirstMerge = 32
+		tr := MustNew(cfg)
+		for _, p := range points {
+			tr.Add(uint64(p))
+		}
+		ok := true
+		var check func(v *node)
+		check = func(v *node) {
+			vhi := v.hi(32)
+			var prevHi uint64
+			first := true
+			for _, c := range v.children {
+				if c == nil {
+					continue
+				}
+				chi := c.hi(32)
+				if c.lo < v.lo || chi > vhi || (c.lo == v.lo && chi == vhi) {
+					ok = false
+				}
+				if !first && c.lo <= prevHi {
+					ok = false // overlap with previous sibling
+				}
+				prevHi, first = chi, false
+				check(c)
+			}
+		}
+		check(tr.root)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropHotRangesDisjointWeights(t *testing.T) {
+	// Hot weights partition a subset of the stream: they are individually
+	// true lower bounds and never sum past N.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := testConfig(16, 4, 0.05)
+		tr := MustNew(cfg)
+		zipf := rand.NewZipf(rng, 1.1+rng.Float64(), 4, 1<<16-1)
+		n := 5_000 + rng.Intn(20_000)
+		for i := 0; i < n; i++ {
+			tr.Add(zipf.Uint64())
+		}
+		theta := 0.02 + rng.Float64()*0.2
+		var sum uint64
+		for _, h := range tr.HotRanges(theta) {
+			if float64(h.Weight) < theta*float64(tr.N()) {
+				return false // reported below the cut
+			}
+			sum += h.Weight
+		}
+		return sum <= tr.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMarshalRoundTrip(t *testing.T) {
+	f := func(points []uint32) bool {
+		cfg := testConfig(32, 4, 0.05)
+		cfg.FirstMerge = 32
+		tr := MustNew(cfg)
+		for _, p := range points {
+			tr.Add(uint64(p))
+		}
+		data, err := tr.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Tree
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return back.Stats() == tr.Stats() && back.Total() == tr.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropChildGeometry(t *testing.T) {
+	// childIndex / childBounds agree: for any point inside a node, the
+	// child slot chosen by childIndex covers the point.
+	f := func(p uint64, plenSeed uint8, bSeed uint8) bool {
+		branches := []int{2, 4, 8, 16}
+		b := branches[int(bSeed)%len(branches)]
+		cfg := testConfig(64, b, 0.05)
+		tr := MustNew(cfg)
+		stride := tr.shift
+		plen := (int(plenSeed) % cfg.Height()) * stride
+		if plen >= 64 {
+			plen = 64 - stride
+		}
+		v := &node{lo: p &^ suffixMask(64-plen), plen: uint8(plen)}
+		idx := tr.childIndex(v, p)
+		lo, cplen := tr.childBounds(v, idx)
+		chi := lo | suffixMask(64-int(cplen))
+		return lo <= p && p <= chi && lo >= v.lo && chi <= v.hi(64)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuffixMask(t *testing.T) {
+	cases := []struct {
+		k    int
+		want uint64
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {4, 0xF}, {16, 0xFFFF}, {63, ^uint64(0) >> 1}, {64, ^uint64(0)}, {65, ^uint64(0)},
+	}
+	for _, tc := range cases {
+		if got := suffixMask(tc.k); got != tc.want {
+			t.Errorf("suffixMask(%d) = %x, want %x", tc.k, got, tc.want)
+		}
+	}
+}

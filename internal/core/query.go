@@ -1,0 +1,165 @@
+package core
+
+import "sort"
+
+// NodeInfo describes one live node of the tree to external observers.
+type NodeInfo struct {
+	Lo, Hi uint64 // inclusive range covered
+	Count  uint64 // events credited to this node while it was smallest
+	Depth  int    // split steps below the root
+	Leaf   bool   // no live children
+}
+
+// Walk visits every live node in preorder (parent before children,
+// children in range order), calling fn for each. Walk stops early if fn
+// returns false.
+func (t *Tree) Walk(fn func(NodeInfo) bool) {
+	t.walk(t.root, 0, fn)
+}
+
+func (t *Tree) walk(v *node, depth int, fn func(NodeInfo) bool) bool {
+	if !fn(t.info(v, depth)) {
+		return false
+	}
+	for _, c := range v.children {
+		if c == nil {
+			continue
+		}
+		if !t.walk(c, depth+1, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tree) info(v *node, depth int) NodeInfo {
+	return NodeInfo{
+		Lo:    v.lo,
+		Hi:    v.hi(t.cfg.UniverseBits),
+		Count: v.count,
+		Depth: depth,
+		Leaf:  v.isLeaf(),
+	}
+}
+
+// subtreeSum returns the total count stored in v's subtree: the tree's
+// estimate for the number of events that fell in v's range.
+func subtreeSum(v *node) uint64 {
+	s := v.count
+	for _, c := range v.children {
+		if c != nil {
+			s += subtreeSum(c)
+		}
+	}
+	return s
+}
+
+// Estimate returns the tree's estimate for the number of events in
+// [lo, hi] (inclusive): the summed counts of all nodes whose range lies
+// entirely inside the query. By construction this is a lower bound on the
+// true count (Section 4.3: "the counts for a range in the tree is always a
+// lower bound on the actual count").
+func (t *Tree) Estimate(lo, hi uint64) uint64 {
+	if lo > hi {
+		return 0
+	}
+	low, _ := t.estimate(t.root, lo&t.mask, hi&t.mask)
+	return low
+}
+
+// EstimateBounds returns both the lower-bound estimate for [lo, hi] and an
+// upper bound obtained by additionally charging the counts of every node
+// that merely overlaps the query (those events may or may not have fallen
+// inside). The true count always lies in [low, high].
+func (t *Tree) EstimateBounds(lo, hi uint64) (low, high uint64) {
+	if lo > hi {
+		return 0, 0
+	}
+	return t.estimate(t.root, lo&t.mask, hi&t.mask)
+}
+
+func (t *Tree) estimate(v *node, lo, hi uint64) (low, high uint64) {
+	vhi := v.hi(t.cfg.UniverseBits)
+	if v.lo > hi || vhi < lo {
+		return 0, 0
+	}
+	if lo <= v.lo && vhi <= hi {
+		s := subtreeSum(v)
+		return s, s
+	}
+	// Partial overlap: v's own count is ambiguous — those events landed
+	// somewhere in v's range but we cannot tell which side of the query
+	// boundary. Exclude from the lower bound, include in the upper.
+	low, high = 0, v.count
+	for _, c := range v.children {
+		if c == nil {
+			continue
+		}
+		cl, ch := t.estimate(c, lo, hi)
+		low += cl
+		high += ch
+	}
+	return low, high
+}
+
+// HotRange is one range reported hot by HotRanges.
+type HotRange struct {
+	Lo, Hi uint64
+	// Weight is the "hot weight" of Section 4.1: the count of the range
+	// and all its non-hot sub-ranges, excluding hot descendants (which
+	// are reported separately).
+	Weight uint64
+	// Frac is Weight relative to the total stream length.
+	Frac float64
+	// Depth is the node's depth in the tree.
+	Depth int
+}
+
+// HotRanges reports every range whose hot weight is at least theta·n,
+// using the recursive definition of Section 4.1: "a range is considered
+// hot if and only if the total count for that range and all its non-hot
+// sub-ranges is above a certain threshold". The result is sorted by Lo,
+// ties broken widest range first. Because estimates are lower bounds, a
+// reported range is guaranteed hot ("if RAP identifies a node as hot, then
+// that node is guaranteed to be hot", Section 4.3).
+func (t *Tree) HotRanges(theta float64) []HotRange {
+	if t.n == 0 {
+		return nil
+	}
+	cut := theta * float64(t.n)
+	var out []HotRange
+	t.hot(t.root, 0, cut, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lo != out[j].Lo {
+			return out[i].Lo < out[j].Lo
+		}
+		return out[i].Hi > out[j].Hi
+	})
+	return out
+}
+
+// hot returns the residual (non-hot) weight of v's subtree, appending hot
+// ranges found within to out.
+func (t *Tree) hot(v *node, depth int, cut float64, out *[]HotRange) uint64 {
+	w := v.count
+	for _, c := range v.children {
+		if c != nil {
+			w += t.hot(c, depth+1, cut, out)
+		}
+	}
+	if float64(w) >= cut {
+		*out = append(*out, HotRange{
+			Lo:     v.lo,
+			Hi:     v.hi(t.cfg.UniverseBits),
+			Weight: w,
+			Frac:   float64(w) / float64(t.n),
+			Depth:  depth,
+		})
+		return 0
+	}
+	return w
+}
+
+// Total returns the summed counts over the whole tree, which always equals
+// N: RAP merges data rather than sampling it, so no event is ever lost.
+func (t *Tree) Total() uint64 { return subtreeSum(t.root) }

@@ -1,0 +1,79 @@
+package core
+
+import "fmt"
+
+// SampledTree unifies RAP with sampling-based profiling, the combination
+// the paper's conclusion proposes ("It may further be possible to unify
+// our proposed techniques with existing sampling based schemes to create
+// a single general purpose profiling system", Section 6): a deterministic
+// 1-in-k sampler feeds a RAP tree, and queries scale back up. Sampling
+// divides both the update rate and the effective stream length by k — the
+// tree tracks n/k events, so its absolute memory shrinks for a given ε —
+// at the cost of the lower-bound guarantee: scaled estimates carry
+// sampling variance in both directions, so EstimateBounds widens by a
+// k-proportional slack instead of being one-sided.
+type SampledTree struct {
+	tree *Tree
+	k    uint64
+	tick uint64
+	n    uint64 // raw events observed (sampled or not)
+}
+
+// NewSampled builds a sampled RAP tree with sampling period k >= 1 (k = 1
+// degenerates to plain RAP).
+func NewSampled(cfg Config, k uint64) (*SampledTree, error) {
+	if k == 0 {
+		return nil, fmt.Errorf("core: sampling period must be >= 1")
+	}
+	t, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SampledTree{tree: t, k: k}, nil
+}
+
+// Add records one raw event; every k-th reaches the tree.
+func (s *SampledTree) Add(p uint64) {
+	s.n++
+	s.tick++
+	if s.tick == s.k {
+		s.tick = 0
+		s.tree.Add(p)
+	}
+}
+
+// N returns the raw stream length observed.
+func (s *SampledTree) N() uint64 { return s.n }
+
+// SampledN returns the events that reached the underlying tree.
+func (s *SampledTree) SampledN() uint64 { return s.tree.N() }
+
+// NodeCount returns the live node count of the underlying tree.
+func (s *SampledTree) NodeCount() int { return s.tree.NodeCount() }
+
+// MemoryBytes returns the tree's memory footprint.
+func (s *SampledTree) MemoryBytes() int { return s.tree.MemoryBytes() }
+
+// Estimate returns the scaled estimate for [lo, hi]. Unlike Tree.Estimate
+// it is not one-sided: sampling noise can push it above the truth.
+func (s *SampledTree) Estimate(lo, hi uint64) uint64 {
+	return s.tree.Estimate(lo, hi) * s.k
+}
+
+// HotRanges reports hot ranges of the sampled stream at threshold theta,
+// with weights scaled back to raw-stream units.
+func (s *SampledTree) HotRanges(theta float64) []HotRange {
+	hot := s.tree.HotRanges(theta)
+	for i := range hot {
+		hot[i].Weight *= s.k
+		// Frac is already relative and unbiased.
+	}
+	return hot
+}
+
+// Finalize compacts the underlying tree and returns its stats (which
+// count sampled, not raw, events).
+func (s *SampledTree) Finalize() Stats { return s.tree.Finalize() }
+
+// Tree exposes the underlying RAP tree.
+func (s *SampledTree) Tree() *Tree { return s.tree }

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSampledValidation(t *testing.T) {
+	if _, err := NewSampled(DefaultConfig(), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewSampled(Config{}, 10); err == nil {
+		t.Fatal("bad tree config accepted")
+	}
+}
+
+func TestSampledDegeneratesAtKOne(t *testing.T) {
+	cfg := testConfig(16, 4, 0.05)
+	s, err := NewSampled(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := MustNew(cfg)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50_000; i++ {
+		p := uint64(rng.Intn(1 << 16))
+		s.Add(p)
+		plain.Add(p)
+	}
+	if s.N() != plain.N() || s.SampledN() != plain.N() {
+		t.Fatal("k=1 sampling changed event counts")
+	}
+	if s.Estimate(0, 0xFFFF) != plain.Estimate(0, 0xFFFF) {
+		t.Fatal("k=1 sampling changed estimates")
+	}
+}
+
+func TestSampledScalesEstimates(t *testing.T) {
+	cfg := testConfig(16, 4, 0.02)
+	s, err := NewSampled(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500_000
+	rng := rand.New(rand.NewSource(9))
+	zipf := rand.NewZipf(rng, 1.3, 8, 1<<16-1)
+	truth := map[uint64]uint64{}
+	for i := 0; i < n; i++ {
+		p := zipf.Uint64()
+		truth[p]++
+		s.Add(p)
+	}
+	if s.N() != n {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.SampledN(); got != n/10 {
+		t.Fatalf("sampled %d events, want %d", got, n/10)
+	}
+	// The scaled estimate of the hottest point lands within sampling
+	// noise of the truth (a few percent at this count).
+	var hottest uint64
+	for p, c := range truth {
+		if c > truth[hottest] {
+			hottest = p
+		}
+	}
+	est := float64(s.Estimate(hottest, hottest))
+	exact := float64(truth[hottest])
+	if math.Abs(est-exact)/exact > 0.10 {
+		t.Fatalf("scaled estimate %v vs truth %v (>10%% off)", est, exact)
+	}
+}
+
+func TestSampledHotRangesScaled(t *testing.T) {
+	s, err := NewSampled(testConfig(16, 4, 0.02), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		s.Add(0x1234)
+	}
+	hot := s.HotRanges(0.10)
+	if len(hot) == 0 {
+		t.Fatal("no hot ranges")
+	}
+	top := hot[len(hot)-1]
+	for _, h := range hot {
+		if h.Hi-h.Lo < top.Hi-top.Lo {
+			top = h
+		}
+	}
+	if top.Weight < n*9/10 {
+		t.Fatalf("scaled hot weight %d, want ~%d", top.Weight, n)
+	}
+	if top.Frac < 0.9 {
+		t.Fatalf("hot frac %.3f", top.Frac)
+	}
+}
+
+func TestSampledUsesLessMemory(t *testing.T) {
+	// The unified scheme's selling point: at equal epsilon over the same
+	// raw stream, sampling shrinks the tree (it sees a shorter stream, so
+	// fewer distinct ranges cross the threshold in absolute terms — and
+	// rare values vanish entirely).
+	cfg := testConfig(32, 4, 0.01)
+	plain := MustNew(cfg)
+	sampled, err := NewSampled(cfg, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 400_000; i++ {
+		p := rng.Uint64() & 0xFFFFFFFF
+		plain.Add(p)
+		sampled.Add(p)
+	}
+	plain.MergeNow()
+	sampled.Finalize()
+	if sampled.NodeCount() >= plain.NodeCount() {
+		t.Fatalf("sampled tree (%d nodes) not smaller than plain (%d)",
+			sampled.NodeCount(), plain.NodeCount())
+	}
+	if sampled.MemoryBytes() != sampled.NodeCount()*NodeBytes {
+		t.Fatal("memory accounting inconsistent")
+	}
+	if sampled.Tree() == nil {
+		t.Fatal("underlying tree not exposed")
+	}
+}

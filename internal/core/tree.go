@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Tree is a Range Adaptive Profiling tree: a one-pass, bounded-memory
+// summary of a stream of uint64 events. Tree is not safe for concurrent
+// use; wrap it or shard streams if profiling from several goroutines.
+type Tree struct {
+	cfg    Config
+	shift  int // log2(Branch)
+	height int // H = max split steps root -> singleton
+	mask   uint64
+
+	root *node
+	n    uint64 // events (total weight) processed
+
+	nodes    int
+	maxNodes int
+
+	nextMerge     uint64
+	mergeInterval uint64
+
+	// operation statistics
+	splits       uint64
+	merges       uint64 // nodes folded away
+	mergeBatches uint64
+}
+
+// Stats is a snapshot of the tree's bookkeeping counters.
+type Stats struct {
+	N            uint64 // total event weight processed
+	Nodes        int    // live nodes (including the root)
+	MaxNodes     int    // high-water mark of live nodes
+	MemoryBytes  int    // Nodes * NodeBytes
+	Splits       uint64 // split operations performed
+	Merges       uint64 // nodes folded into their parents
+	MergeBatches uint64 // batched merge passes run
+	Height       int    // maximum tree height H
+}
+
+// New builds an empty RAP tree (the rap_init of Section 3.2). The tree
+// starts as a single counter covering the whole universe, the "one counter
+// which counts all instructions" starting point of Section 2.
+func New(cfg Config) (*Tree, error) {
+	cfg, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		cfg:    cfg,
+		shift:  bits.TrailingZeros(uint(cfg.Branch)),
+		height: cfg.Height(),
+		mask:   suffixMask(cfg.UniverseBits),
+		root:   &node{},
+		nodes:  1,
+	}
+	t.maxNodes = 1
+	if cfg.MergeEvery != 0 {
+		t.mergeInterval = cfg.MergeEvery
+	} else {
+		t.mergeInterval = cfg.FirstMerge
+	}
+	t.nextMerge = t.mergeInterval
+	return t, nil
+}
+
+// MustNew is New for configurations known to be valid; it panics on error.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the (normalized) configuration the tree was built with.
+func (t *Tree) Config() Config { return t.cfg }
+
+// N returns the total event weight processed so far.
+func (t *Tree) N() uint64 { return t.n }
+
+// NodeCount returns the number of live nodes in the tree.
+func (t *Tree) NodeCount() int { return t.nodes }
+
+// MaxNodeCount returns the high-water mark of live nodes, the paper's
+// "maximum memory" metric (Figure 7).
+func (t *Tree) MaxNodeCount() int { return t.maxNodes }
+
+// MemoryBytes returns the current memory footprint charged at the paper's
+// 128 bits per node.
+func (t *Tree) MemoryBytes() int { return t.nodes * NodeBytes }
+
+// Stats returns a snapshot of the tree's counters.
+func (t *Tree) Stats() Stats {
+	return Stats{
+		N:            t.n,
+		Nodes:        t.nodes,
+		MaxNodes:     t.maxNodes,
+		MemoryBytes:  t.nodes * NodeBytes,
+		Splits:       t.splits,
+		Merges:       t.merges,
+		MergeBatches: t.mergeBatches,
+		Height:       t.height,
+	}
+}
+
+// SplitThreshold returns the current split threshold ε·n/H (Section 2.2),
+// floored at the cold-start guard MinSplitCount. Any node whose counter
+// exceeds this value sprouts children on its next update.
+func (t *Tree) SplitThreshold() float64 {
+	thr := t.cfg.Epsilon * float64(t.n) / float64(t.height)
+	if guard := float64(t.cfg.MinSplitCount); thr < guard {
+		return guard
+	}
+	return thr
+}
+
+// mergeThreshold is the cutoff below which a childless node is folded into
+// its parent during a batch merge. By default it equals the split
+// threshold ("the split and merge thresholds can be the same", Section 3).
+func (t *Tree) mergeThreshold() float64 {
+	return t.SplitThreshold() * t.cfg.MergeThresholdScale
+}
+
+// Add records one occurrence of event p (the rap_add_points of Section
+// 3.2). Points outside the universe are masked into it, mirroring how a
+// hardware event bus truncates identifiers to the profiled width.
+func (t *Tree) Add(p uint64) { t.AddN(p, 1) }
+
+// AddN records weight occurrences of event p in one step. It is the
+// coalesced-update entry point used by the Stage-0 event buffer of the
+// hardware design, which merges duplicate events before they reach the
+// profiling engine. AddN(p, w) leaves the tree in the same state as w
+// calls of Add(p) except that the whole weight is credited to the range
+// that was smallest when the call began.
+func (t *Tree) AddN(p uint64, weight uint64) {
+	if weight == 0 {
+		return
+	}
+	p &= t.mask
+	t.n += weight
+
+	// Find the smallest live range covering p: descend while a covering
+	// child exists. Holes left by merges credit the parent (Section 3.3).
+	v := t.root
+	for v.children != nil {
+		c := v.children[t.childIndex(v, p)]
+		if c == nil {
+			break
+		}
+		v = c
+	}
+	v.count += weight
+
+	// Stage 4 of the pipeline: compare against the split threshold.
+	if float64(v.count) > t.SplitThreshold() && int(v.plen) < t.cfg.UniverseBits {
+		t.split(v)
+	}
+
+	if t.n >= t.nextMerge {
+		t.runMergeBatch()
+	}
+}
+
+// split sprouts children under v covering its entire range. The original
+// node keeps its counter; children start at zero (Section 2.2). For a node
+// with merge holes, only the missing children are created (the "extra
+// operation" split case of Section 3.3).
+func (t *Tree) split(v *node) {
+	fan := t.fanout(v.plen)
+	if v.children == nil {
+		v.children = make([]*node, fan)
+	}
+	for i := range v.children {
+		if v.children[i] != nil {
+			continue
+		}
+		lo, plen := t.childBounds(v, i)
+		v.children[i] = &node{lo: lo, plen: plen}
+		t.nodes++
+	}
+	t.splits++
+	if t.nodes > t.maxNodes {
+		t.maxNodes = t.nodes
+	}
+}
+
+// runMergeBatch walks the whole tree once and folds every cold childless
+// node into its parent, then advances the merge schedule. Batching merges
+// this way (rather than hunting for merge candidates on every update) is
+// the engineering contribution of Section 3.1/Figure 3: the worst-case
+// bounds still hold while the merge work is amortized across a
+// geometrically growing interval.
+func (t *Tree) runMergeBatch() {
+	t.mergeBatches++
+	thr := t.mergeThreshold()
+	t.mergeNode(t.root, thr)
+	t.advanceMergeSchedule()
+}
+
+// MergeNow forces an immediate batch merge pass outside the schedule.
+// Finalize uses it so that reported trees are compacted; tests and the
+// hardware pipeline model use it to align merge points.
+func (t *Tree) MergeNow() { t.runMergeBatch() }
+
+func (t *Tree) advanceMergeSchedule() {
+	if t.cfg.MergeEvery != 0 {
+		t.nextMerge = t.n + t.cfg.MergeEvery
+		return
+	}
+	next := uint64(math.Ceil(float64(t.mergeInterval) * t.cfg.MergeRatio))
+	if next <= t.mergeInterval {
+		next = t.mergeInterval + 1
+	}
+	t.mergeInterval = next
+	t.nextMerge = t.n + t.mergeInterval
+}
+
+// mergeNode post-order folds cold childless descendants of v into their
+// parents. A child is folded when, after its own subtree has been
+// compacted, it has no children left and its counter is at or below the
+// merge threshold. Counts only ever move upward, preserving the
+// lower-bound property of every estimate; since at most one threshold of
+// count can move up per level, the ε·n error bound is preserved
+// (Section 2.2).
+func (t *Tree) mergeNode(v *node, thr float64) {
+	if v.children == nil {
+		return
+	}
+	for i, c := range v.children {
+		if c == nil {
+			continue
+		}
+		t.mergeNode(c, thr)
+		if c.children == nil && float64(c.count) <= thr {
+			v.count += c.count
+			v.children[i] = nil
+			t.nodes--
+			t.merges++
+		}
+	}
+	v.normalize()
+}
+
+// Finalize compacts the tree with one last merge batch and returns its
+// statistics (the rap_finalize of Section 3.2). The tree remains usable;
+// Finalize is idempotent apart from the extra merge batch counted.
+func (t *Tree) Finalize() Stats {
+	t.runMergeBatch()
+	return t.Stats()
+}

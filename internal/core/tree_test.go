@@ -1,0 +1,533 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func testConfig(w int, b int, eps float64) Config {
+	cfg := DefaultConfig()
+	cfg.UniverseBits = w
+	cfg.Branch = b
+	cfg.Epsilon = eps
+	return cfg
+}
+
+// exact is a reference perfect profiler for tests.
+type exact map[uint64]uint64
+
+func (e exact) add(p uint64)     { e[p]++ }
+func (e exact) addN(p, w uint64) { e[p] += w }
+
+func (e exact) rangeCount(lo, hi uint64) uint64 {
+	var s uint64
+	for p, c := range e {
+		if p >= lo && p <= hi {
+			s += c
+		}
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"universe zero", func(c *Config) { c.UniverseBits = 0 }},
+		{"universe too big", func(c *Config) { c.UniverseBits = 65 }},
+		{"branch one", func(c *Config) { c.Branch = 1 }},
+		{"branch not power of two", func(c *Config) { c.Branch = 6 }},
+		{"branch too big", func(c *Config) { c.Branch = 512 }},
+		{"epsilon zero", func(c *Config) { c.Epsilon = 0 }},
+		{"epsilon one", func(c *Config) { c.Epsilon = 1 }},
+		{"merge ratio one", func(c *Config) { c.MergeRatio = 1 }},
+		{"first merge zero", func(c *Config) { c.FirstMerge = 0 }},
+		{"negative merge scale", func(c *Config) { c.MergeThresholdScale = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mod(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Fatalf("New accepted invalid config %+v", cfg)
+			}
+		})
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatalf("New rejected default config: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on invalid config")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestHeight(t *testing.T) {
+	cases := []struct {
+		w, b, want int
+	}{
+		{64, 4, 32},
+		{64, 2, 64},
+		{64, 8, 22}, // ceil(64/3)
+		{64, 16, 16},
+		{32, 4, 16},
+		{1, 2, 1},
+		{16, 256, 2},
+	}
+	for _, tc := range cases {
+		cfg := testConfig(tc.w, tc.b, 0.01)
+		if got := cfg.Height(); got != tc.want {
+			t.Errorf("Height(w=%d, b=%d) = %d, want %d", tc.w, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestSingleCounterStart(t *testing.T) {
+	tr := MustNew(DefaultConfig())
+	if tr.NodeCount() != 1 {
+		t.Fatalf("fresh tree has %d nodes, want 1", tr.NodeCount())
+	}
+	if tr.N() != 0 || tr.Total() != 0 {
+		t.Fatalf("fresh tree N=%d Total=%d, want 0, 0", tr.N(), tr.Total())
+	}
+}
+
+func TestTotalEqualsN(t *testing.T) {
+	tr := MustNew(testConfig(32, 4, 0.05))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50_000; i++ {
+		tr.Add(uint64(rng.Intn(1 << 20)))
+	}
+	tr.AddN(12345, 777)
+	if tr.Total() != tr.N() {
+		t.Fatalf("Total=%d N=%d: RAP must merge, never drop, events", tr.Total(), tr.N())
+	}
+	tr.MergeNow()
+	if tr.Total() != tr.N() {
+		t.Fatalf("after merge Total=%d N=%d", tr.Total(), tr.N())
+	}
+}
+
+func TestPointMaskedIntoUniverse(t *testing.T) {
+	tr := MustNew(testConfig(8, 4, 0.1))
+	tr.Add(0x1234) // masked to 0x34
+	if got := tr.Estimate(0, 255); got != 1 {
+		t.Fatalf("masked point not counted: estimate=%d", got)
+	}
+	lo, hi := tr.EstimateBounds(0x34, 0x34)
+	if hi < 1 {
+		t.Fatalf("upper bound for masked point = %d, want >= 1", hi)
+	}
+	_ = lo
+}
+
+func TestZeroWeightIsNoop(t *testing.T) {
+	tr := MustNew(DefaultConfig())
+	tr.AddN(42, 0)
+	if tr.N() != 0 || tr.NodeCount() != 1 {
+		t.Fatalf("AddN weight 0 changed state: N=%d nodes=%d", tr.N(), tr.NodeCount())
+	}
+}
+
+func TestSplitRefinesHotPoint(t *testing.T) {
+	// One point dominating the stream must end up tracked individually:
+	// Section 3.1's convergence argument (log_b R splits to isolate it).
+	cfg := testConfig(16, 4, 0.05)
+	tr := MustNew(cfg)
+	for i := 0; i < 20_000; i++ {
+		tr.Add(0xABCD)
+	}
+	found := false
+	tr.Walk(func(n NodeInfo) bool {
+		if n.Lo == 0xABCD && n.Hi == 0xABCD {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("dominant point 0xABCD never isolated into a singleton range")
+	}
+	// The singleton's subtree estimate must capture almost everything.
+	est := tr.Estimate(0xABCD, 0xABCD)
+	slack := uint64(2 * cfg.Epsilon * float64(tr.N()))
+	if est+slack < tr.N() {
+		t.Fatalf("singleton estimate %d too low for n=%d (slack %d)", est, tr.N(), slack)
+	}
+}
+
+func TestSingletonNeverSplits(t *testing.T) {
+	tr := MustNew(testConfig(4, 4, 0.01))
+	for i := 0; i < 10_000; i++ {
+		tr.Add(7)
+	}
+	tr.Walk(func(n NodeInfo) bool {
+		if n.Lo == n.Hi && !n.Leaf {
+			t.Errorf("singleton [%x,%x] has children", n.Lo, n.Hi)
+		}
+		return true
+	})
+}
+
+func TestLowerBoundProperty(t *testing.T) {
+	// Every estimate must be a lower bound on the true count, and the
+	// upper bound from EstimateBounds must bracket it (Section 4.3).
+	cfg := testConfig(24, 4, 0.02)
+	tr := MustNew(cfg)
+	ex := exact{}
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.3, 8, 1<<24-1)
+	for i := 0; i < 100_000; i++ {
+		p := zipf.Uint64()
+		tr.Add(p)
+		ex.add(p)
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Uint64()&(1<<24-1), rng.Uint64()&(1<<24-1)
+		if a > b {
+			a, b = b, a
+		}
+		truth := ex.rangeCount(a, b)
+		low, high := tr.EstimateBounds(a, b)
+		if low > truth {
+			t.Fatalf("range [%x,%x]: estimate %d exceeds true count %d", a, b, low, truth)
+		}
+		if high < truth {
+			t.Fatalf("range [%x,%x]: upper bound %d below true count %d", a, b, high, truth)
+		}
+		if tr.Estimate(a, b) != low {
+			t.Fatalf("Estimate and EstimateBounds disagree on [%x,%x]", a, b)
+		}
+	}
+}
+
+func TestEpsilonErrorBound(t *testing.T) {
+	// For prefix-aligned ranges the undercount must be bounded by a small
+	// multiple of ε·n (the paper's ε guarantee; the geometric fold/resplit
+	// schedule costs at most a factor 2 on the constant).
+	cfg := testConfig(16, 4, 0.02)
+	tr := MustNew(cfg)
+	ex := exact{}
+	rng := rand.New(rand.NewSource(11))
+	zipf := rand.NewZipf(rng, 1.2, 4, 1<<16-1)
+	for i := 0; i < 200_000; i++ {
+		p := zipf.Uint64()
+		tr.Add(p)
+		ex.add(p)
+	}
+	slack := 2 * cfg.Epsilon * float64(tr.N())
+	for plen := 0; plen <= 16; plen += 2 {
+		width := uint64(1) << (16 - plen)
+		for trial := 0; trial < 50; trial++ {
+			lo := (rng.Uint64() & (1<<16 - 1)) &^ (width - 1)
+			hi := lo + width - 1
+			truth := ex.rangeCount(lo, hi)
+			est := tr.Estimate(lo, hi)
+			if float64(truth-est) > slack {
+				t.Fatalf("plen %d range [%x,%x]: undercount %d exceeds 2εn=%g",
+					plen, lo, hi, truth-est, slack)
+			}
+		}
+	}
+}
+
+func TestInvalidRangeQueries(t *testing.T) {
+	tr := MustNew(DefaultConfig())
+	tr.Add(5)
+	if tr.Estimate(10, 3) != 0 {
+		t.Fatal("Estimate(lo>hi) must be 0")
+	}
+	lo, hi := tr.EstimateBounds(10, 3)
+	if lo != 0 || hi != 0 {
+		t.Fatal("EstimateBounds(lo>hi) must be 0, 0")
+	}
+}
+
+func TestMergeBoundsMemory(t *testing.T) {
+	// Adversarial uniform stream over a big universe: without merging the
+	// tree would grow without bound; batched merging must keep the node
+	// count within a small multiple of b·H/ε.
+	cfg := testConfig(32, 4, 0.05)
+	tr := MustNew(cfg)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300_000; i++ {
+		tr.Add(rng.Uint64())
+	}
+	tr.MergeNow()
+	bound := 4 * float64(cfg.Branch) * float64(cfg.Height()) / cfg.Epsilon
+	if float64(tr.NodeCount()) > bound {
+		t.Fatalf("post-merge nodes %d exceed 4·b·H/ε = %.0f", tr.NodeCount(), bound)
+	}
+	if tr.Stats().MergeBatches == 0 {
+		t.Fatal("no merge batches ran on a 300k-event stream")
+	}
+}
+
+func TestGeometricMergeSchedule(t *testing.T) {
+	cfg := testConfig(16, 4, 0.1)
+	cfg.FirstMerge = 100
+	cfg.MergeRatio = 2
+	tr := MustNew(cfg)
+	rng := rand.New(rand.NewSource(9))
+	var batches []uint64
+	last := uint64(0)
+	for i := 0; i < 100_000; i++ {
+		tr.Add(uint64(rng.Intn(1 << 16)))
+		if b := tr.Stats().MergeBatches; b != last {
+			batches = append(batches, tr.N())
+			last = b
+		}
+	}
+	if len(batches) < 3 {
+		t.Fatalf("expected several merge batches, got %d", len(batches))
+	}
+	// Intervals between batches must grow (geometrically with q=2).
+	for i := 2; i < len(batches); i++ {
+		prev := batches[i-1] - batches[i-2]
+		cur := batches[i] - batches[i-1]
+		if cur < prev {
+			t.Fatalf("merge interval shrank: %d then %d (batch points %v)", prev, cur, batches)
+		}
+	}
+}
+
+func TestFixedMergeSchedule(t *testing.T) {
+	cfg := testConfig(16, 4, 0.1)
+	cfg.MergeEvery = 1000
+	tr := MustNew(cfg)
+	for i := 0; i < 10_000; i++ {
+		tr.Add(uint64(i % 997))
+	}
+	got := tr.Stats().MergeBatches
+	if got < 9 || got > 11 {
+		t.Fatalf("MergeEvery=1000 over 10k events ran %d batches, want ~10", got)
+	}
+}
+
+func TestMergePreservesEstimates(t *testing.T) {
+	cfg := testConfig(20, 4, 0.05)
+	tr := MustNew(cfg)
+	ex := exact{}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 50_000; i++ {
+		p := uint64(rng.Intn(1 << 20))
+		tr.Add(p)
+		ex.add(p)
+	}
+	before := tr.Total()
+	tr.MergeNow()
+	tr.MergeNow() // idempotent on an already-compacted tree
+	if tr.Total() != before {
+		t.Fatalf("merge changed total %d -> %d", before, tr.Total())
+	}
+	for trial := 0; trial < 100; trial++ {
+		a, b := uint64(rng.Intn(1<<20)), uint64(rng.Intn(1<<20))
+		if a > b {
+			a, b = b, a
+		}
+		if est, truth := tr.Estimate(a, b), ex.rangeCount(a, b); est > truth {
+			t.Fatalf("post-merge estimate %d exceeds truth %d on [%x,%x]", est, truth, a, b)
+		}
+	}
+}
+
+func TestHoleUpdatesCreditParent(t *testing.T) {
+	// Build a tree, force merges to punch holes, then check updates into a
+	// hole are credited (Total still equals N) and a later split fills
+	// only the missing children.
+	cfg := testConfig(16, 4, 0.02)
+	cfg.FirstMerge = 50
+	tr := MustNew(cfg)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200_000; i++ {
+		// Heavy skew plus uniform noise: guarantees both splits and holes.
+		if rng.Intn(4) == 0 {
+			tr.Add(rng.Uint64() & 0xFFFF)
+		} else {
+			tr.Add(0x1234)
+		}
+	}
+	if tr.Total() != tr.N() {
+		t.Fatalf("holes lost events: Total=%d N=%d", tr.Total(), tr.N())
+	}
+	partial := false
+	tr.Walk(func(n NodeInfo) bool { return true })
+	// Inspect internals directly for partial cover.
+	var scan func(v *node)
+	scan = func(v *node) {
+		if v.children != nil {
+			nils := 0
+			for _, c := range v.children {
+				if c == nil {
+					nils++
+				} else {
+					scan(c)
+				}
+			}
+			if nils > 0 {
+				partial = true
+			}
+		}
+	}
+	scan(tr.root)
+	if !partial {
+		t.Log("no partial-cover nodes observed on this stream (merge folded whole subtrees)")
+	}
+}
+
+func TestAddNMatchesRepeatedAddApproximately(t *testing.T) {
+	// AddN credits the whole weight to one range; totals and hot ranges
+	// must agree with per-event insertion.
+	cfgA := testConfig(16, 4, 0.05)
+	trA := MustNew(cfgA)
+	trB := MustNew(cfgA)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 5_000; i++ {
+		p := uint64(rng.Intn(1 << 12))
+		trA.AddN(p, 4)
+		for k := 0; k < 4; k++ {
+			trB.Add(p)
+		}
+	}
+	if trA.N() != trB.N() || trA.Total() != trB.Total() {
+		t.Fatalf("AddN totals diverge: %d/%d vs %d/%d", trA.N(), trA.Total(), trB.N(), trB.Total())
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	tr := MustNew(testConfig(16, 4, 0.05))
+	for i := 0; i < 100_000; i++ {
+		tr.Add(uint64(i & 0xFFF))
+	}
+	st := tr.Finalize()
+	if st.Nodes != tr.NodeCount() || st.MemoryBytes != st.Nodes*NodeBytes {
+		t.Fatalf("stats inconsistent: %+v", st)
+	}
+	if st.MaxNodes < st.Nodes {
+		t.Fatalf("max nodes %d below live nodes %d", st.MaxNodes, st.Nodes)
+	}
+	if st.Splits == 0 || st.MergeBatches == 0 {
+		t.Fatalf("expected splits and merge batches on this stream: %+v", st)
+	}
+	if st.Height != 8 { // ceil(16/2)
+		t.Fatalf("height = %d, want 8", st.Height)
+	}
+	// Node count must equal a fresh walk.
+	walked := 0
+	tr.Walk(func(NodeInfo) bool { walked++; return true })
+	if walked != st.Nodes {
+		t.Fatalf("walk found %d nodes, stats say %d", walked, st.Nodes)
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tr := MustNew(testConfig(16, 4, 0.05))
+	for i := 0; i < 10_000; i++ {
+		tr.Add(uint64(i & 0xFF))
+	}
+	visited := 0
+	tr.Walk(func(NodeInfo) bool { visited++; return visited < 3 })
+	if visited != 3 {
+		t.Fatalf("walk visited %d nodes after early stop, want 3", visited)
+	}
+}
+
+func TestUnevenUniverse(t *testing.T) {
+	// w=10 with b=8 (stride 3): levels 3,6,9 then a final 1-bit level.
+	cfg := testConfig(10, 8, 0.05)
+	tr := MustNew(cfg)
+	if cfg.Height() != 4 {
+		t.Fatalf("height = %d, want 4", cfg.Height())
+	}
+	rng := rand.New(rand.NewSource(17))
+	ex := exact{}
+	for i := 0; i < 100_000; i++ {
+		p := uint64(rng.Intn(1 << 10))
+		if rng.Intn(2) == 0 {
+			p = 1023 // hot singleton at the uneven bottom
+		}
+		tr.Add(p)
+		ex.add(p)
+	}
+	if tr.Total() != tr.N() {
+		t.Fatalf("uneven universe lost events: %d vs %d", tr.Total(), tr.N())
+	}
+	found := false
+	tr.Walk(func(n NodeInfo) bool {
+		if n.Hi > 1023 {
+			t.Errorf("node [%x,%x] escapes 10-bit universe", n.Lo, n.Hi)
+		}
+		if n.Lo == 1023 && n.Hi == 1023 {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("hot singleton at uneven bottom level not isolated")
+	}
+}
+
+func TestFullUniverseWidth(t *testing.T) {
+	// w=64: the root range [0, 2^64-1] must not overflow.
+	tr := MustNew(testConfig(64, 4, 0.1))
+	tr.Add(0)
+	tr.Add(^uint64(0))
+	var rootInfo NodeInfo
+	tr.Walk(func(n NodeInfo) bool { rootInfo = n; return false })
+	if rootInfo.Lo != 0 || rootInfo.Hi != ^uint64(0) {
+		t.Fatalf("root covers [%x,%x], want full 64-bit universe", rootInfo.Lo, rootInfo.Hi)
+	}
+	if tr.Estimate(0, ^uint64(0)) != 2 {
+		t.Fatalf("full-universe estimate = %d, want 2", tr.Estimate(0, ^uint64(0)))
+	}
+}
+
+func TestDumpASCII(t *testing.T) {
+	tr := MustNew(testConfig(16, 4, 0.05))
+	for i := 0; i < 50_000; i++ {
+		tr.Add(0xBEEF)
+	}
+	var sb strings.Builder
+	if err := tr.WriteASCII(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "[0, ffff]") {
+		t.Errorf("dump missing root range:\n%s", out)
+	}
+	if !strings.Contains(out, "beef") {
+		t.Errorf("dump missing hot singleton:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != tr.NodeCount() {
+		t.Errorf("dump has %d lines, tree has %d nodes", got, tr.NodeCount())
+	}
+}
+
+func TestDumpDOT(t *testing.T) {
+	tr := MustNew(testConfig(16, 4, 0.05))
+	for i := 0; i < 50_000; i++ {
+		tr.Add(0xBEEF)
+	}
+	var sb strings.Builder
+	if err := tr.WriteDOT(&sb, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph rap {") || !strings.Contains(out, "peripheries=2") {
+		t.Errorf("DOT output malformed or no hot node marked:\n%s", out)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	tr := MustNew(DefaultConfig())
+	if s := tr.String(); !strings.Contains(s, "rap.Tree") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,113 @@
+// Package exact implements the "perfect profiler" the paper evaluates RAP
+// against (Section 4.3): an offline profiler that "can gather event counts
+// with 100% accuracy". The paper realizes it by making multiple passes
+// over the program, tracking one hot range at a time; at reproduction
+// scale a hash map plus a sorted index gives identical answers in one
+// pass.
+package exact
+
+import "sort"
+
+// Profiler counts every event exactly.
+type Profiler struct {
+	counts map[uint64]uint64
+	n      uint64
+
+	// sorted index built lazily for range queries
+	keys    []uint64
+	prefix  []uint64 // prefix[i] = sum of counts of keys[0..i-1]
+	indexed bool
+}
+
+// New returns an empty exact profiler.
+func New() *Profiler {
+	return &Profiler{counts: make(map[uint64]uint64)}
+}
+
+// Add records one occurrence of p.
+func (e *Profiler) Add(p uint64) { e.AddN(p, 1) }
+
+// AddN records weight occurrences of p.
+func (e *Profiler) AddN(p uint64, weight uint64) {
+	if weight == 0 {
+		return
+	}
+	e.counts[p] += weight
+	e.n += weight
+	e.indexed = false
+}
+
+// N returns the total event weight recorded.
+func (e *Profiler) N() uint64 { return e.n }
+
+// Distinct returns the number of distinct event values seen.
+func (e *Profiler) Distinct() int { return len(e.counts) }
+
+// Count returns the exact count of a single value.
+func (e *Profiler) Count(p uint64) uint64 { return e.counts[p] }
+
+func (e *Profiler) buildIndex() {
+	if e.indexed {
+		return
+	}
+	e.keys = e.keys[:0]
+	for k := range e.counts {
+		e.keys = append(e.keys, k)
+	}
+	sort.Slice(e.keys, func(i, j int) bool { return e.keys[i] < e.keys[j] })
+	e.prefix = make([]uint64, len(e.keys)+1)
+	for i, k := range e.keys {
+		e.prefix[i+1] = e.prefix[i] + e.counts[k]
+	}
+	e.indexed = true
+}
+
+// RangeCount returns the exact number of events in [lo, hi] inclusive.
+func (e *Profiler) RangeCount(lo, hi uint64) uint64 {
+	if lo > hi {
+		return 0
+	}
+	e.buildIndex()
+	i := sort.Search(len(e.keys), func(i int) bool { return e.keys[i] >= lo })
+	j := sort.Search(len(e.keys), func(i int) bool { return e.keys[i] > hi })
+	return e.prefix[j] - e.prefix[i]
+}
+
+// ValueCount pairs a value with its exact count.
+type ValueCount struct {
+	Value uint64
+	Count uint64
+}
+
+// TopK returns the k most frequent values, most frequent first, ties
+// broken by smaller value.
+func (e *Profiler) TopK(k int) []ValueCount {
+	all := make([]ValueCount, 0, len(e.counts))
+	for v, c := range e.counts {
+		all = append(all, ValueCount{v, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Value < all[j].Value
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// HotPoints returns every value whose exact count is at least theta·n,
+// sorted by value.
+func (e *Profiler) HotPoints(theta float64) []ValueCount {
+	cut := theta * float64(e.n)
+	var out []ValueCount
+	for v, c := range e.counts {
+		if float64(c) >= cut {
+			out = append(out, ValueCount{v, c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}

@@ -1,0 +1,108 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicCounts(t *testing.T) {
+	e := New()
+	e.Add(5)
+	e.Add(5)
+	e.AddN(9, 10)
+	e.AddN(7, 0) // no-op
+	if e.N() != 12 {
+		t.Fatalf("N = %d", e.N())
+	}
+	if e.Distinct() != 2 {
+		t.Fatalf("Distinct = %d", e.Distinct())
+	}
+	if e.Count(5) != 2 || e.Count(9) != 10 || e.Count(7) != 0 {
+		t.Fatal("Count wrong")
+	}
+}
+
+func TestRangeCount(t *testing.T) {
+	e := New()
+	for _, p := range []uint64{1, 3, 3, 7, 100, ^uint64(0)} {
+		e.Add(p)
+	}
+	cases := []struct {
+		lo, hi, want uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{1, 3, 3},
+		{3, 3, 2},
+		{0, ^uint64(0), 6},
+		{8, 99, 0},
+		{7, 100, 2},
+		{10, 5, 0}, // inverted
+	}
+	for _, tc := range cases {
+		if got := e.RangeCount(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("RangeCount(%d,%d) = %d, want %d", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestRangeCountAfterMoreAdds(t *testing.T) {
+	// The sorted index must rebuild when counts change.
+	e := New()
+	e.Add(10)
+	if e.RangeCount(0, 20) != 1 {
+		t.Fatal("first query wrong")
+	}
+	e.Add(15)
+	if e.RangeCount(0, 20) != 2 {
+		t.Fatal("index not invalidated after Add")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	e := New()
+	e.AddN(1, 5)
+	e.AddN(2, 10)
+	e.AddN(3, 10)
+	e.AddN(4, 1)
+	top := e.TopK(2)
+	if len(top) != 2 || top[0] != (ValueCount{2, 10}) || top[1] != (ValueCount{3, 10}) {
+		t.Fatalf("TopK = %v", top)
+	}
+	if got := e.TopK(100); len(got) != 4 {
+		t.Fatalf("TopK(100) returned %d", len(got))
+	}
+}
+
+func TestHotPoints(t *testing.T) {
+	e := New()
+	e.AddN(10, 60)
+	e.AddN(20, 30)
+	e.AddN(30, 10)
+	hot := e.HotPoints(0.25)
+	if len(hot) != 2 || hot[0].Value != 10 || hot[1].Value != 20 {
+		t.Fatalf("HotPoints = %v", hot)
+	}
+}
+
+func TestPropRangeCountMatchesScan(t *testing.T) {
+	f := func(points []uint16, a, b uint16) bool {
+		e := New()
+		for _, p := range points {
+			e.Add(uint64(p))
+		}
+		if a > b {
+			a, b = b, a
+		}
+		var want uint64
+		for _, p := range points {
+			if p >= a && p <= b {
+				want++
+			}
+		}
+		return e.RangeCount(uint64(a), uint64(b)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

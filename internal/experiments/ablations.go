@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rap/internal/analysis"
+	"rap/internal/baseline"
+	"rap/internal/core"
+	"rap/internal/exact"
+	"rap/internal/trace"
+	"rap/internal/workload"
+)
+
+// AblationResult collects the design-choice ablations DESIGN.md calls out,
+// measured (not worst-case) on the gcc streams.
+type AblationResult struct {
+	Events uint64
+
+	// Branch sweep: measured peak nodes and average error by b.
+	BranchRows []BranchRow
+	// Merge scheduling: batched (q=2) vs continuous (fixed short period).
+	Batched, Continuous ScheduleRow
+	// Merge threshold scale 1x vs 2x.
+	Scale1, Scale2 ScheduleRow
+	// Equal-memory comparison on the gcc value stream.
+	Comparison []ComparatorRow
+}
+
+// BranchRow is one branching-factor measurement.
+type BranchRow struct {
+	Branch   int
+	MaxNodes int
+	AvgError float64
+}
+
+// ScheduleRow is one merge-policy measurement.
+type ScheduleRow struct {
+	Name         string
+	MaxNodes     int
+	MergeBatches uint64
+	NodesFolded  uint64
+	AvgError     float64
+}
+
+// ComparatorRow is one profiler's showing at a fixed memory budget.
+type ComparatorRow struct {
+	Name string
+	// HotCoverage is the stream share the profiler can attribute to hot
+	// ranges/points it reports at the 10% threshold.
+	HotCoverage float64
+	// RangeQuery is the relative error answering the nested range query
+	// [0, 0x3ffe] that RAP's hierarchy is built for.
+	RangeQueryErrPct float64
+	MemoryBytes      int
+}
+
+func gccCodeErr(o Options, cfg core.Config) (maxNodes int, batches, folded uint64, avgErr float64, err error) {
+	bench, err := workload.ByName("gcc")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	t, ex, err := runTreeAndExact(bench.Code(o.Seed, o.Events), cfg, o.Events)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	st := t.Finalize()
+	_, avgErr = analysis.ErrorSummary(analysis.PercentErrors(t, ex, HotTheta))
+	return st.MaxNodes, st.MergeBatches, st.Merges, avgErr, nil
+}
+
+// Ablations runs the design-choice sweeps.
+func Ablations(o Options) (AblationResult, error) {
+	r := AblationResult{Events: o.Events}
+
+	for _, b := range []int{2, 4, 16} {
+		cfg := codeConfig(0.01)
+		cfg.Branch = b
+		maxN, _, _, avgErr, err := gccCodeErr(o, cfg)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		r.BranchRows = append(r.BranchRows, BranchRow{Branch: b, MaxNodes: maxN, AvgError: avgErr})
+	}
+
+	// Batched (geometric q=2) vs continuous (merge every 1000 events).
+	{
+		cfg := codeConfig(0.01)
+		maxN, batches, folded, avgErr, err := gccCodeErr(o, cfg)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		r.Batched = ScheduleRow{Name: "batched q=2", MaxNodes: maxN, MergeBatches: batches, NodesFolded: folded, AvgError: avgErr}
+		cfg.MergeEvery = 1000
+		maxN, batches, folded, avgErr, err = gccCodeErr(o, cfg)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		r.Continuous = ScheduleRow{Name: "continuous (1k period)", MaxNodes: maxN, MergeBatches: batches, NodesFolded: folded, AvgError: avgErr}
+	}
+
+	// Merge threshold scale.
+	{
+		cfg := codeConfig(0.01)
+		cfg.MergeThresholdScale = 1
+		maxN, batches, folded, avgErr, err := gccCodeErr(o, cfg)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		r.Scale1 = ScheduleRow{Name: "merge thr = split thr", MaxNodes: maxN, MergeBatches: batches, NodesFolded: folded, AvgError: avgErr}
+		cfg.MergeThresholdScale = 2
+		maxN, batches, folded, avgErr, err = gccCodeErr(o, cfg)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		r.Scale2 = ScheduleRow{Name: "merge thr = 2x split", MaxNodes: maxN, MergeBatches: batches, NodesFolded: folded, AvgError: avgErr}
+	}
+
+	cmp, err := equalMemoryComparison(o)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	r.Comparison = cmp
+	return r, nil
+}
+
+// equalMemoryComparison pits RAP against a fixed grid and Space-Saving on
+// the gcc value stream at a common 8 KB budget.
+func equalMemoryComparison(o Options) ([]ComparatorRow, error) {
+	const budget = 8 << 10
+	bench, err := workload.ByName("gcc")
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := valueConfig(0.10) // peak nodes fit in 8 KB at eps=10%
+	t, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ex := exact.New()
+	grid := baseline.NewFixedGrid(64, baseline.GridBitsForBudget(budget, 64))
+	ss := baseline.NewSpaceSaving(budget / 24)
+
+	src := trace.Limit(bench.Values(o.Seed, o.Events), o.Events)
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		t.AddN(e.Value, e.Weight)
+		ex.AddN(e.Value, e.Weight)
+		grid.AddN(e.Value, e.Weight)
+		for i := uint64(0); i < e.Weight; i++ {
+			ss.Add(e.Value)
+		}
+	}
+	t.Finalize()
+	n := float64(t.N())
+
+	queryErr := func(est uint64) float64 {
+		truth := ex.RangeCount(0, 0x3ffe)
+		if truth == 0 {
+			return 0
+		}
+		d := float64(truth) - float64(est)
+		if d < 0 {
+			d = -d
+		}
+		return 100 * d / float64(truth)
+	}
+
+	var rows []ComparatorRow
+	// RAP: hot ranges cover this share of the stream.
+	var rapCover float64
+	for _, h := range t.HotRanges(HotTheta) {
+		rapCover += h.Frac
+	}
+	rows = append(rows, ComparatorRow{
+		Name:             "RAP (eps=10%)",
+		HotCoverage:      rapCover,
+		RangeQueryErrPct: queryErr(t.Estimate(0, 0x3ffe)),
+		MemoryBytes:      t.MaxNodeCount() * core.NodeBytes,
+	})
+	// Fixed grid: hot cells.
+	var gridCover float64
+	for _, c := range grid.HotCells(HotTheta) {
+		gridCover += float64(c.Count) / n
+	}
+	rows = append(rows, ComparatorRow{
+		Name:             "fixed grid",
+		HotCoverage:      gridCover,
+		RangeQueryErrPct: queryErr(grid.Estimate(0, 0x3ffe)),
+		MemoryBytes:      grid.MemoryBytes(),
+	})
+	// Space-Saving: hot points only — no ranges, so its reportable
+	// coverage is the share in individually hot values, and the range
+	// query sums monitored points inside the range.
+	var ssCover float64
+	var ssRange uint64
+	for _, e := range ss.Entries() {
+		if float64(e.Count-e.Err) >= HotTheta*n {
+			ssCover += float64(e.Count-e.Err) / n
+		}
+		if e.Value <= 0x3ffe {
+			ssRange += e.Count - e.Err
+		}
+	}
+	rows = append(rows, ComparatorRow{
+		Name:             "space-saving",
+		HotCoverage:      ssCover,
+		RangeQueryErrPct: queryErr(ssRange),
+		MemoryBytes:      ss.MemoryBytes(),
+	})
+	return rows, nil
+}
+
+// Print renders the ablation tables.
+func (r AblationResult) Print(w io.Writer) {
+	header(w, "Ablations (gcc streams)")
+	fmt.Fprintf(w, "events per run: %d\n", r.Events)
+
+	fmt.Fprintf(w, "\n-- branching factor (code, eps=1%%) --\n%-8s %-10s %s\n", "b", "max nodes", "avg %err")
+	for _, row := range r.BranchRows {
+		fmt.Fprintf(w, "%-8d %-10d %.2f\n", row.Branch, row.MaxNodes, row.AvgError)
+	}
+
+	fmt.Fprintf(w, "\n-- merge scheduling (code, eps=1%%) --\n%-24s %-10s %-10s %-12s %s\n",
+		"policy", "max nodes", "batches", "folded", "avg %err")
+	for _, row := range []ScheduleRow{r.Batched, r.Continuous, r.Scale1, r.Scale2} {
+		fmt.Fprintf(w, "%-24s %-10d %-10d %-12d %.2f\n",
+			row.Name, row.MaxNodes, row.MergeBatches, row.NodesFolded, row.AvgError)
+	}
+
+	fmt.Fprintf(w, "\n-- equal-memory comparison, gcc values, 8 KB budget --\n%-16s %-14s %-18s %s\n",
+		"profiler", "hot coverage", "range query err", "memory")
+	for _, row := range r.Comparison {
+		fmt.Fprintf(w, "%-16s %-14.3f %-18.2f %d B\n",
+			row.Name, row.HotCoverage, row.RangeQueryErrPct, row.MemoryBytes)
+	}
+}

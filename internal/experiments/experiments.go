@@ -1,0 +1,124 @@
+// Package experiments implements the paper's evaluation: one function per
+// table or figure, each returning a structured result and able to print
+// the same rows/series the paper reports. cmd/rapbench exposes them as
+// subcommands; bench_test.go at the repository root wraps them as Go
+// benchmarks; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rap/internal/core"
+	"rap/internal/exact"
+	"rap/internal/trace"
+)
+
+// Options control experiment scale. The paper runs SPEC to completion
+// (billions of events); the defaults here run millions, which preserves
+// every reported shape because RAP's guarantees are relative to the
+// stream length (see DESIGN.md).
+type Options struct {
+	Events uint64 // events per profiling run
+	Seed   uint64 // workload seed
+}
+
+// DefaultOptions is the scale used for EXPERIMENTS.md.
+func DefaultOptions() Options {
+	return Options{Events: 2_000_000, Seed: 1}
+}
+
+// HotTheta is the hot-range threshold used throughout the paper's
+// figures: "ranges accounting for 10% or more".
+const HotTheta = 0.10
+
+// codeConfig is the tree configuration for code (PC) profiles: PCs live
+// in a 32-bit text segment, so the tree height is 16 rather than 32.
+func codeConfig(eps float64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.UniverseBits = 32
+	cfg.Epsilon = eps
+	return cfg
+}
+
+// valueConfig is the tree configuration for 64-bit load-value profiles.
+func valueConfig(eps float64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Epsilon = eps
+	return cfg
+}
+
+// runTree streams n events from src into a fresh tree and returns it.
+func runTree(src trace.Source, cfg core.Config, n uint64) (*core.Tree, error) {
+	t, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var fed uint64
+	for fed < n {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		t.AddN(e.Value, e.Weight)
+		fed += e.Weight
+	}
+	return t, nil
+}
+
+// runTreeAndExact streams n events into both a tree and the perfect
+// profiler.
+func runTreeAndExact(src trace.Source, cfg core.Config, n uint64) (*core.Tree, *exact.Profiler, error) {
+	t, err := core.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := exact.New()
+	var fed uint64
+	for fed < n {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		t.AddN(e.Value, e.Weight)
+		ex.AddN(e.Value, e.Weight)
+		fed += e.Weight
+	}
+	return t, ex, nil
+}
+
+// treeSizeRun streams n events and samples the live node count at 200
+// evenly spaced points, returning max and average (the Figure 7 metrics).
+func treeSizeRun(src trace.Source, cfg core.Config, n uint64) (maxNodes int, avgNodes float64, err error) {
+	t, err := core.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	every := n / 200
+	if every == 0 {
+		every = 1
+	}
+	var fed uint64
+	var samples int
+	var sum float64
+	for fed < n {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		t.AddN(e.Value, e.Weight)
+		fed += e.Weight
+		if fed%every == 0 {
+			sum += float64(t.NodeCount())
+			samples++
+		}
+	}
+	if samples == 0 {
+		sum, samples = float64(t.NodeCount()), 1
+	}
+	return t.MaxNodeCount(), sum / float64(samples), nil
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+}

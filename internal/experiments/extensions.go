@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rap/internal/analysis"
+	"rap/internal/core"
+	"rap/internal/multidim"
+	"rap/internal/workload"
+)
+
+// ExtensionsResult exercises the future-work directions of Section 6:
+// multi-dimensional profiling (edge profiles as 2-D tuples), unification
+// with sampling, and phase identification over the dumped summaries.
+type ExtensionsResult struct {
+	// Edge profiling: (branch PC, target PC) tuples through a 2-D tree.
+	EdgeEvents   uint64
+	EdgeNodes    int
+	EdgeMemory   int
+	HotEdges     []multidim.HotCell
+	HotEdgeShare float64
+
+	// Sampling unification: plain RAP vs 1-in-k sampled RAP on the same
+	// stream.
+	SampleK            uint64
+	PlainNodes         int
+	SampledNodes       int
+	SampledHotAgree    float64 // similarity of the two hot sets
+	SampledRangeErrPct float64 // scaled-estimate error on the hottest range
+
+	// Phase identification on the gcc code stream.
+	PhaseBoundaries []uint64
+	PhaseWindows    int
+}
+
+// Extensions runs the three Section 6 extension demonstrations.
+func Extensions(o Options) (ExtensionsResult, error) {
+	var r ExtensionsResult
+
+	// --- Edge profiling with the 2-D tree ---
+	// Synthesize a branch-edge stream from the gcc code model: an edge is
+	// (current PC, next PC); loops make a few edges dominate.
+	gcc, err := workload.ByName("gcc")
+	if err != nil {
+		return r, err
+	}
+	src := gcc.Code(o.Seed, o.Events)
+	t2, err := multidim.New2D(multidim.Config2D{BitsPerDim: 32, Epsilon: 0.01})
+	if err != nil {
+		return r, err
+	}
+	prev, _ := src.Next()
+	for i := uint64(1); i < o.Events; i++ {
+		cur, ok := src.Next()
+		if !ok {
+			break
+		}
+		t2.Add(prev.Value, cur.Value)
+		prev = cur
+	}
+	st := t2.Finalize()
+	r.EdgeEvents = t2.N()
+	r.EdgeNodes = st.Nodes
+	r.EdgeMemory = st.MemoryBytes
+	r.HotEdges = t2.HotCells(0.05)
+	for _, c := range r.HotEdges {
+		r.HotEdgeShare += c.Frac
+	}
+
+	// --- Sampling unification ---
+	r.SampleK = 16
+	plain := core.MustNew(valueConfig(0.01))
+	sampled, err := core.NewSampled(valueConfig(0.01), r.SampleK)
+	if err != nil {
+		return r, err
+	}
+	vsrc := gcc.Values(o.Seed, o.Events)
+	for i := uint64(0); i < o.Events; i++ {
+		e, ok := vsrc.Next()
+		if !ok {
+			break
+		}
+		plain.Add(e.Value)
+		sampled.Add(e.Value)
+	}
+	plain.Finalize()
+	sampled.Finalize()
+	r.PlainNodes = plain.NodeCount()
+	r.SampledNodes = sampled.NodeCount()
+	plainHot := plain.HotRanges(HotTheta)
+	r.SampledHotAgree = analysis.HotSetSimilarity(plainHot, sampled.HotRanges(HotTheta))
+	if len(plainHot) > 0 {
+		top := plainHot[0]
+		for _, h := range plainHot {
+			if h.Weight > top.Weight {
+				top = h
+			}
+		}
+		exactish := float64(plain.Estimate(top.Lo, top.Hi))
+		est := float64(sampled.Estimate(top.Lo, top.Hi))
+		if exactish > 0 {
+			diff := est - exactish
+			if diff < 0 {
+				diff = -diff
+			}
+			r.SampledRangeErrPct = 100 * diff / exactish
+		}
+	}
+
+	// --- Phase identification ---
+	cfg := codeConfig(0.05)
+	window := o.Events / 16
+	if window == 0 {
+		window = 1
+	}
+	det, err := analysis.NewPhaseDetector(cfg, window, 0.08, 0.35)
+	if err != nil {
+		return r, err
+	}
+	psrc := gcc.Code(o.Seed+1, o.Events)
+	for i := uint64(0); i < o.Events; i++ {
+		e, ok := psrc.Next()
+		if !ok {
+			break
+		}
+		det.Add(e.Value)
+	}
+	r.PhaseBoundaries = det.Boundaries()
+	r.PhaseWindows = len(det.Similarities()) + 1
+	return r, nil
+}
+
+// Print renders the extensions report.
+func (r ExtensionsResult) Print(w io.Writer) {
+	header(w, "Section 6 extensions: multi-dimensional, sampled, and phase-aware RAP")
+
+	fmt.Fprintf(w, "-- edge profiling (2-D tuples, gcc branch edges, eps=1%%) --\n")
+	fmt.Fprintf(w, "edges=%d nodes=%d memory=%dB; hot edges cover %.1f%%\n",
+		r.EdgeEvents, r.EdgeNodes, r.EdgeMemory, 100*r.HotEdgeShare)
+	for i, c := range r.HotEdges {
+		if i >= 8 {
+			fmt.Fprintf(w, "  ... %d more\n", len(r.HotEdges)-8)
+			break
+		}
+		fmt.Fprintf(w, "  (%x-%x) -> (%x-%x)  %5.1f%%\n", c.XLo, c.XHi, c.YLo, c.YHi, 100*c.Frac)
+	}
+
+	fmt.Fprintf(w, "\n-- sampling unification (gcc values, 1-in-%d) --\n", r.SampleK)
+	fmt.Fprintf(w, "plain nodes=%d sampled nodes=%d; hot-set agreement=%.2f; scaled range error=%.2f%%\n",
+		r.PlainNodes, r.SampledNodes, r.SampledHotAgree, r.SampledRangeErrPct)
+
+	fmt.Fprintf(w, "\n-- phase identification (gcc code, %d windows) --\n", r.PhaseWindows)
+	fmt.Fprintf(w, "boundaries at: %v (model switches region activations at the run midpoint)\n",
+		r.PhaseBoundaries)
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rap/internal/theory"
+)
+
+// Fig2Result is the design-space sweep of Figure 2: worst-case memory vs
+// branching factor (lower curve) and vs merge-interval ratio (upper
+// curve), at ε = 1%.
+type Fig2Result struct {
+	Epsilon      float64
+	UniverseBits int
+	BranchSweep  []Fig2Branch
+	RatioSweep   []Fig2Ratio
+	ChosenBranch int
+	ChosenRatio  float64
+}
+
+// Fig2Branch is one point of the branching-factor curve.
+type Fig2Branch struct {
+	Branch     int
+	Height     int
+	WorstNodes float64
+}
+
+// Fig2Ratio is one point of the merge-ratio curve.
+type Fig2Ratio struct {
+	Ratio      float64
+	WorstNodes float64
+}
+
+// Fig2 computes both Figure 2 sweeps from the closed-form model.
+func Fig2() Fig2Result {
+	const (
+		eps = 0.01
+		w   = 64
+	)
+	r := Fig2Result{Epsilon: eps, UniverseBits: w}
+	for _, b := range []int{2, 4, 8, 16, 32} {
+		r.BranchSweep = append(r.BranchSweep, Fig2Branch{
+			Branch:     b,
+			Height:     theory.Height(w, b),
+			WorstNodes: theory.MemoryModel(w, b, eps, 2),
+		})
+	}
+	for _, q := range []float64{1.25, 1.5, 1.75, 2, 2.5, 3, 4, 6, 8} {
+		r.RatioSweep = append(r.RatioSweep, Fig2Ratio{
+			Ratio:      q,
+			WorstNodes: theory.MemoryModel(w, 4, eps, q),
+		})
+	}
+	r.ChosenBranch, r.ChosenRatio = theory.Recommendation(w, eps)
+	return r
+}
+
+// Print renders the Figure 2 tables.
+func (r Fig2Result) Print(w io.Writer) {
+	header(w, "Figure 2: worst-case memory vs branching factor and merge ratio")
+	fmt.Fprintf(w, "epsilon=%.0f%%, universe=2^%d\n\n", 100*r.Epsilon, r.UniverseBits)
+	fmt.Fprintf(w, "%-8s %-8s %s\n", "branch", "height", "worst-case nodes")
+	for _, p := range r.BranchSweep {
+		fmt.Fprintf(w, "%-8d %-8d %.0f\n", p.Branch, p.Height, p.WorstNodes)
+	}
+	fmt.Fprintf(w, "\n%-8s %s\n", "q", "worst-case nodes (b=4)")
+	for _, p := range r.RatioSweep {
+		fmt.Fprintf(w, "%-8.2f %.0f\n", p.Ratio, p.WorstNodes)
+	}
+	fmt.Fprintf(w, "\nchosen operating point: b=%d, q=%v (paper: b=4, q=2)\n",
+		r.ChosenBranch, r.ChosenRatio)
+}
+
+// Fig3Result traces Figure 3: the worst-case node bound over the stream,
+// for continuous merging (flat) and batched merging (sawtooth).
+type Fig3Result struct {
+	Continuous float64
+	Batched    []theory.BoundPoint
+	MergeCount int
+}
+
+// Fig3 computes the Figure 3 schedule for ε=1%, b=4, first merge at 2^10
+// events, out to 2^30 events.
+func Fig3() Fig3Result {
+	const (
+		w   = 64
+		b   = 4
+		eps = 0.01
+	)
+	pts := theory.BatchedSchedule(w, b, eps, 2, 1<<10, 1<<30, 6)
+	merges := 0
+	for _, p := range pts {
+		if p.Merge {
+			merges++
+		}
+	}
+	return Fig3Result{
+		Continuous: theory.ContinuousBound(w, b, eps),
+		Batched:    pts,
+		MergeCount: merges,
+	}
+}
+
+// Print renders the Figure 3 series.
+func (r Fig3Result) Print(w io.Writer) {
+	header(w, "Figure 3: worst-case bound over time, batched vs continuous merging")
+	fmt.Fprintf(w, "continuous-merge bound (flat): %.0f nodes\n\n", r.Continuous)
+	fmt.Fprintf(w, "%-16s %-12s %s\n", "events", "bound", "")
+	for _, p := range r.Batched {
+		mark := ""
+		if p.Merge {
+			mark = "<- batch merge"
+		}
+		fmt.Fprintf(w, "%-16d %-12.0f %s\n", p.N, p.Bound, mark)
+	}
+	fmt.Fprintf(w, "\nbatched merges to 2^30 events: %d (paper: 2^32 events need 22 doublings)\n",
+		r.MergeCount)
+}

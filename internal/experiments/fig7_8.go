@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rap/internal/analysis"
+	"rap/internal/core"
+	"rap/internal/trace"
+	"rap/internal/workload"
+)
+
+// ProfileKind selects which stream of a benchmark an experiment profiles.
+type ProfileKind string
+
+// The two stream kinds the paper stress-tests with (Section 4.1): code
+// profiles exercise the memory bounds (high locality), value profiles the
+// range adaptation (heavy tails).
+const (
+	CodeProfile  ProfileKind = "code"
+	ValueProfile ProfileKind = "value"
+)
+
+func benchSource(b workload.Benchmark, kind ProfileKind, seed, runLength uint64) trace.Source {
+	if kind == CodeProfile {
+		return b.Code(seed, runLength)
+	}
+	return b.Values(seed, runLength)
+}
+
+// profileConfig picks the tree configuration for a profile kind.
+func profileConfig(kind ProfileKind, eps float64) core.Config {
+	if kind == CodeProfile {
+		return codeConfig(eps)
+	}
+	return valueConfig(eps)
+}
+
+// Fig7Row is one benchmark's memory measurement in one panel.
+type Fig7Row struct {
+	Benchmark string
+	MaxNodes  int
+	AvgNodes  float64
+}
+
+// Fig7Panel is one of Figure 7's four panels: a profile kind at an ε.
+type Fig7Panel struct {
+	Kind    ProfileKind
+	Epsilon float64
+	Rows    []Fig7Row
+}
+
+// Fig7Result is the full four-panel memory analysis.
+type Fig7Result struct {
+	Events uint64
+	Panels []Fig7Panel
+}
+
+// Fig7 measures max and average RAP tree size for every benchmark, for
+// code and value profiles at ε = 10% and 1%.
+func Fig7(o Options) (Fig7Result, error) {
+	r := Fig7Result{Events: o.Events}
+	for _, kind := range []ProfileKind{CodeProfile, ValueProfile} {
+		for _, eps := range []float64{0.10, 0.01} {
+			panel := Fig7Panel{Kind: kind, Epsilon: eps}
+			for _, b := range workload.All() {
+				maxN, avgN, err := treeSizeRun(benchSource(b, kind, o.Seed, o.Events), profileConfig(kind, eps), o.Events)
+				if err != nil {
+					return Fig7Result{}, err
+				}
+				panel.Rows = append(panel.Rows, Fig7Row{Benchmark: b.Name, MaxNodes: maxN, AvgNodes: avgN})
+			}
+			r.Panels = append(r.Panels, panel)
+		}
+	}
+	return r, nil
+}
+
+// Print renders the four panels.
+func (r Fig7Result) Print(w io.Writer) {
+	header(w, "Figure 7: RAP tree memory (nodes) per benchmark")
+	fmt.Fprintf(w, "events per run: %d; 1 node = %d bytes\n", r.Events, core.NodeBytes)
+	fmt.Fprintf(w, "(paper: code eps=10%% max ~500 nodes, gcc max 453; value eps=10%% parser max 733 avg 203)\n")
+	for _, p := range r.Panels {
+		fmt.Fprintf(w, "\n-- %s profile, eps=%.0f%% --\n", p.Kind, 100*p.Epsilon)
+		fmt.Fprintf(w, "%-10s %-10s %-10s %s\n", "benchmark", "max", "avg", "max KB")
+		for _, row := range p.Rows {
+			fmt.Fprintf(w, "%-10s %-10d %-10.0f %.1f\n",
+				row.Benchmark, row.MaxNodes, row.AvgNodes,
+				float64(row.MaxNodes*core.NodeBytes)/1024)
+		}
+	}
+}
+
+// Fig8Row is one benchmark's percent-error measurement.
+type Fig8Row struct {
+	Benchmark string
+	Max10     float64 // max percent error, eps=10%
+	Max1      float64 // max percent error, eps=1%
+	Avg10     float64
+	Avg1      float64
+	HotRanges int // hot ranges found at eps=1%
+}
+
+// Fig8Result is the percent-error evaluation for one profile kind (the
+// paper's left and right graphs).
+type Fig8Result struct {
+	Kind   ProfileKind
+	Events uint64
+	Rows   []Fig8Row
+	// AvgAccuracy10 is 100 minus the mean of Avg10 across benchmarks —
+	// the "98% accurate" headline for code, "96.6%" for values.
+	AvgAccuracy10 float64
+}
+
+// Fig8 evaluates hot-range percent error against the perfect profiler for
+// every benchmark at ε = 10% and 1%.
+func Fig8(kind ProfileKind, o Options) (Fig8Result, error) {
+	r := Fig8Result{Kind: kind, Events: o.Events}
+	sumAvg10 := 0.0
+	for _, b := range workload.All() {
+		row := Fig8Row{Benchmark: b.Name}
+		for _, eps := range []float64{0.10, 0.01} {
+			t, ex, err := runTreeAndExact(benchSource(b, kind, o.Seed, o.Events), profileConfig(kind, eps), o.Events)
+			if err != nil {
+				return Fig8Result{}, err
+			}
+			t.Finalize()
+			errs := analysis.PercentErrors(t, ex, HotTheta)
+			maxPct, avgPct := analysis.ErrorSummary(errs)
+			if eps == 0.10 {
+				row.Max10, row.Avg10 = maxPct, avgPct
+			} else {
+				row.Max1, row.Avg1 = maxPct, avgPct
+				row.HotRanges = len(errs)
+			}
+		}
+		sumAvg10 += row.Avg10
+		r.Rows = append(r.Rows, row)
+	}
+	r.AvgAccuracy10 = 100 - sumAvg10/float64(len(r.Rows))
+	return r, nil
+}
+
+// Print renders one Figure 8 panel.
+func (r Fig8Result) Print(w io.Writer) {
+	header(w, fmt.Sprintf("Figure 8 (%s profiles): percent error on hot ranges", r.Kind))
+	fmt.Fprintf(w, "events per run: %d, hot threshold 10%%\n", r.Events)
+	if r.Kind == CodeProfile {
+		fmt.Fprintf(w, "(paper: gcc max 13.5%% at eps=10%%; average ~2%% => 98%% accurate)\n")
+	} else {
+		fmt.Fprintf(w, "(paper: vortex max ~20%% from hot value 0; eps=10%% average 3.4%% => 96.6%% accurate)\n")
+	}
+	fmt.Fprintf(w, "\n%-10s %-12s %-12s %-12s %-12s %s\n",
+		"benchmark", "Maximum_10", "Maximum_1", "Average_10", "Average_1", "hot ranges")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %-12.2f %-12.2f %-12.2f %-12.2f %d\n",
+			row.Benchmark, row.Max10, row.Max1, row.Avg10, row.Avg1, row.HotRanges)
+	}
+	fmt.Fprintf(w, "\naverage accuracy at eps=10%%: %.2f%%\n", r.AvgAccuracy10)
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rap/internal/analysis"
+	"rap/internal/cachesim"
+	"rap/internal/core"
+	"rap/internal/workload"
+)
+
+// Fig9Result holds the three averaged coverage-vs-log(range-width) curves
+// of Figure 9: all loads, DL1 misses, DL2 misses.
+type Fig9Result struct {
+	Events    uint64
+	AllLoads  []analysis.CoveragePoint
+	DL1Misses []analysis.CoveragePoint
+	DL2Misses []analysis.CoveragePoint
+	// DL1At16 is the Figure 9 call-out: coverage of DL1-miss values by
+	// hot ranges of width <= 2^16 (the paper reads ~56% off the curve).
+	DL1At16 float64
+	// MissRatioDL1/DL2 record the cache behaviour behind the curves.
+	MissRatioDL1, MissRatioDL2 float64
+}
+
+// Fig9 plays every benchmark's load stream through the DL1/DL2 hierarchy,
+// builds RAP trees (ε=1%) over the all-loads, DL1-miss, and DL2-miss
+// value streams, and averages the hot-range coverage curves.
+func Fig9(o Options) (Fig9Result, error) {
+	var all, dl1, dl2 [][]analysis.CoveragePoint
+	var accTot, missTot1, missTot2 uint64
+	for _, b := range workload.All() {
+		loads := b.Loads(o.Seed, o.Events)
+		h := cachesim.NewHierarchy()
+		tAll, err := core.New(valueConfig(0.01))
+		if err != nil {
+			return Fig9Result{}, err
+		}
+		tDL1 := core.MustNew(valueConfig(0.01))
+		tDL2 := core.MustNew(valueConfig(0.01))
+		for i := uint64(0); i < o.Events; i++ {
+			ld := loads.Next()
+			tAll.Add(ld.Value)
+			l1Miss, l2Miss := h.Access(ld.Addr)
+			if l1Miss {
+				tDL1.Add(ld.Value)
+				missTot1++
+			}
+			if l2Miss {
+				tDL2.Add(ld.Value)
+				missTot2++
+			}
+			accTot++
+		}
+		tAll.Finalize()
+		tDL1.Finalize()
+		tDL2.Finalize()
+		all = append(all, analysis.CoverageCurve(tAll, HotTheta))
+		dl1 = append(dl1, analysis.CoverageCurve(tDL1, HotTheta))
+		dl2 = append(dl2, analysis.CoverageCurve(tDL2, HotTheta))
+	}
+	r := Fig9Result{
+		Events:    accTot,
+		AllLoads:  analysis.AverageCurves(all),
+		DL1Misses: analysis.AverageCurves(dl1),
+		DL2Misses: analysis.AverageCurves(dl2),
+	}
+	r.DL1At16 = analysis.CoverageAt(r.DL1Misses, 16)
+	r.MissRatioDL1 = float64(missTot1) / float64(accTot)
+	r.MissRatioDL2 = float64(missTot2) / float64(accTot)
+	return r, nil
+}
+
+// Print renders the Figure 9 curves at the paper's x-axis resolution.
+func (r Fig9Result) Print(w io.Writer) {
+	header(w, "Figure 9: value-locality coverage vs log(range-width)")
+	fmt.Fprintf(w, "loads=%d, DL1 miss ratio=%.3f, DL2 miss ratio=%.3f\n", r.Events, r.MissRatioDL1, r.MissRatioDL2)
+	fmt.Fprintf(w, "(paper: DL1-miss hot ranges of width <= 2^16 cover ~56%%; miss curves above all-loads)\n\n")
+	fmt.Fprintf(w, "%-14s %-12s %-12s %-12s\n", "log2(width)", "all_loads", "dl1_misses", "dl2_misses")
+	for k := 0; k <= 64; k += 4 {
+		fmt.Fprintf(w, "%-14d %-12.1f %-12.1f %-12.1f\n", k,
+			100*analysis.CoverageAt(r.AllLoads, k),
+			100*analysis.CoverageAt(r.DL1Misses, k),
+			100*analysis.CoverageAt(r.DL2Misses, k))
+	}
+	fmt.Fprintf(w, "\nDL1-miss coverage at width 2^16: %.1f%%\n", 100*r.DL1At16)
+}
+
+// Fig10Result is the gcc zero-load memory-range tree of Figure 10.
+type Fig10Result struct {
+	ZeroLoads uint64
+	HotRanges []core.HotRange
+	Rendered  string
+	// HotBandCoverage is the share of zero-loads inside the paper's
+	// dominant band 0x11fd00000-0x11ff7ffff (54.6% + 13.7% ≈ 68%).
+	HotBandCoverage float64
+}
+
+// Fig10 profiles the memory addresses of gcc's zero-valued loads (ε=1%).
+func Fig10(o Options) (Fig10Result, error) {
+	bench, err := workload.ByName("gcc")
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	t, ex, err := runTreeAndExact(bench.Loads(o.Seed, o.Events).ZeroLoadAddresses(), valueConfig(0.01), o.Events)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	t.Finalize()
+	var sb strings.Builder
+	if err := analysis.RenderHotTree(&sb, t, HotTheta); err != nil {
+		return Fig10Result{}, err
+	}
+	return Fig10Result{
+		ZeroLoads:       t.N(),
+		HotRanges:       t.HotRanges(HotTheta),
+		Rendered:        sb.String(),
+		HotBandCoverage: float64(ex.RangeCount(0x11fd00000, 0x11ff7ffff)) / float64(t.N()),
+	}, nil
+}
+
+// Print renders the Figure 10 tree.
+func (r Fig10Result) Print(w io.Writer) {
+	header(w, "Figure 10: gcc zero-load memory ranges (eps=1%, hot=10%)")
+	fmt.Fprintf(w, "zero-loads profiled=%d, hot ranges=%d\n", r.ZeroLoads, len(r.HotRanges))
+	fmt.Fprintf(w, "(paper: bands of 0x11f000000-0x11fffffff dominate: 16.9%% + 54.6%% + 13.7%%)\n")
+	fmt.Fprintf(w, "measured coverage of band [11fd00000,11ff7ffff]: %.1f%% (paper: 68.3%%)\n\n",
+		100*r.HotBandCoverage)
+	io.WriteString(w, r.Rendered)
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rap/internal/analysis"
+	"rap/internal/core"
+	"rap/internal/workload"
+)
+
+// HeadlineRow is one benchmark at one memory budget.
+type HeadlineRow struct {
+	Benchmark string
+	MaxNodes  int
+	MaxBytes  int
+	Accuracy  float64 // 100 - average percent error on hot ranges
+}
+
+// HeadlineResult reproduces the paper's summary claim (Sections 4.3, 6):
+// "we can provide 98% accurate information about hot code regions with
+// only 8k bytes of memory and 99.73% accurate information with 64k bytes".
+// The 8 KB budget corresponds to ε=10% (max ~500 nodes x 16 B) and the
+// 64 KB budget to ε=1%.
+type HeadlineResult struct {
+	Events       uint64
+	At8KB        []HeadlineRow
+	At64KB       []HeadlineRow
+	AvgAcc8KB    float64
+	AvgAcc64KB   float64
+	Fits8KB      bool // every benchmark's peak tree within 8 KB at eps=10%
+	Fits64KB     bool
+	NodeBudget8  int
+	NodeBudget64 int
+}
+
+// Headline measures code-profile accuracy under the two memory budgets.
+func Headline(o Options) (HeadlineResult, error) {
+	r := HeadlineResult{
+		Events:       o.Events,
+		NodeBudget8:  8 * 1024 / core.NodeBytes,
+		NodeBudget64: 64 * 1024 / core.NodeBytes,
+		Fits8KB:      true,
+		Fits64KB:     true,
+	}
+	run := func(eps float64) ([]HeadlineRow, float64, error) {
+		var rows []HeadlineRow
+		sum := 0.0
+		for _, b := range workload.All() {
+			t, ex, err := runTreeAndExact(b.Code(o.Seed, o.Events), codeConfig(eps), o.Events)
+			if err != nil {
+				return nil, 0, err
+			}
+			t.Finalize()
+			_, avgPct := analysis.ErrorSummary(analysis.PercentErrors(t, ex, HotTheta))
+			rows = append(rows, HeadlineRow{
+				Benchmark: b.Name,
+				MaxNodes:  t.MaxNodeCount(),
+				MaxBytes:  t.MaxNodeCount() * core.NodeBytes,
+				Accuracy:  100 - avgPct,
+			})
+			sum += 100 - avgPct
+		}
+		return rows, sum / float64(len(rows)), nil
+	}
+	var err error
+	if r.At8KB, r.AvgAcc8KB, err = run(0.10); err != nil {
+		return HeadlineResult{}, err
+	}
+	if r.At64KB, r.AvgAcc64KB, err = run(0.01); err != nil {
+		return HeadlineResult{}, err
+	}
+	for _, row := range r.At8KB {
+		if row.MaxNodes > r.NodeBudget8 {
+			r.Fits8KB = false
+		}
+	}
+	for _, row := range r.At64KB {
+		if row.MaxNodes > r.NodeBudget64 {
+			r.Fits64KB = false
+		}
+	}
+	return r, nil
+}
+
+// Print renders the headline table.
+func (r HeadlineResult) Print(w io.Writer) {
+	header(w, "Headline: accuracy per memory budget (code profiles)")
+	fmt.Fprintf(w, "events per run: %d; node budget: %d nodes in 8KB, %d in 64KB\n",
+		r.Events, r.NodeBudget8, r.NodeBudget64)
+	panel := func(title string, rows []HeadlineRow, avg float64, fits bool, budget int) {
+		fmt.Fprintf(w, "\n-- %s --\n%-10s %-10s %-10s %s\n", title, "benchmark", "max nodes", "max bytes", "accuracy")
+		for _, row := range rows {
+			fmt.Fprintf(w, "%-10s %-10d %-10d %.2f%%\n", row.Benchmark, row.MaxNodes, row.MaxBytes, row.Accuracy)
+		}
+		fmt.Fprintf(w, "average accuracy: %.2f%%, all runs within budget (%d nodes): %v\n", avg, budget, fits)
+	}
+	panel("8 KB budget (eps=10%), paper: 98%", r.At8KB, r.AvgAcc8KB, r.Fits8KB, r.NodeBudget8)
+	panel("64 KB budget (eps=1%), paper: 99.73%", r.At64KB, r.AvgAcc64KB, r.Fits64KB, r.NodeBudget64)
+}
+
+// NarrowResult reproduces the Section 4.4 narrow-operand profile: PCs of
+// instructions with operands under 16 bits, which must concentrate in
+// specific code regions (the paper's flow.c / propagate_block story).
+type NarrowResult struct {
+	Events     uint64
+	TopRegions []RegionShare
+	HotRanges  int
+}
+
+// RegionShare is a modeled region's share of the narrow-operand stream.
+type RegionShare struct {
+	LoPC, HiPC uint64
+	Share      float64
+}
+
+// Narrow profiles gcc's narrow-operand PCs with RAP and reports the share
+// of each modeled hot region.
+func Narrow(o Options) (NarrowResult, error) {
+	bench, err := workload.ByName("gcc")
+	if err != nil {
+		return NarrowResult{}, err
+	}
+	t, err := runTree(bench.NarrowOperandPCs(o.Seed, 16, o.Events), codeConfig(0.01), o.Events)
+	if err != nil {
+		return NarrowResult{}, err
+	}
+	t.Finalize()
+	r := NarrowResult{Events: t.N(), HotRanges: len(t.HotRanges(HotTheta))}
+	for _, reg := range bench.Regions() {
+		r.TopRegions = append(r.TopRegions, RegionShare{
+			LoPC:  reg.LoPC,
+			HiPC:  reg.HiPC,
+			Share: float64(t.Estimate(reg.LoPC, reg.HiPC)) / float64(t.N()),
+		})
+	}
+	return r, nil
+}
+
+// Print renders the narrow-operand region table.
+func (r NarrowResult) Print(w io.Writer) {
+	header(w, "Section 4.4: gcc narrow-operand (<16 bit) PC profile")
+	fmt.Fprintf(w, "narrow operations profiled: %d, hot ranges: %d\n", r.Events, r.HotRanges)
+	fmt.Fprintf(w, "(paper: flow.c 38.7%% of narrow ops, propagate_block 31%% within it)\n\n")
+	fmt.Fprintf(w, "%-20s %s\n", "region", "share of narrow ops")
+	for _, reg := range r.TopRegions {
+		fmt.Fprintf(w, "[%x,%x] %6.1f%%\n", reg.LoPC, reg.HiPC, 100*reg.Share)
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rap/internal/hw"
+	"rap/internal/trace"
+	"rap/internal/workload"
+)
+
+// HWResult reproduces the Section 3.4 hardware characterization: the
+// area/delay/energy table for the 4096-row and 400-row configurations,
+// plus a pipeline simulation over the gcc code stream and the Stage-0
+// buffer compression measurement.
+type HWResult struct {
+	Big, Small     hw.Estimate
+	AreaRatio      float64
+	EnergyRatio    float64
+	PipelineReport hw.Report
+	// BufferCompression is the raw-events-in per coalesced-event-out of a
+	// 1k Stage-0 buffer on a code profile (the paper's "factor of 10").
+	BufferCompression float64
+}
+
+// HW runs the hardware characterization.
+func HW(o Options) (HWResult, error) {
+	big, err := hw.DefaultConfig().Estimate()
+	if err != nil {
+		return HWResult{}, err
+	}
+	small, err := hw.SmallConfig().Estimate()
+	if err != nil {
+		return HWResult{}, err
+	}
+
+	bench, err := workload.ByName("gcc")
+	if err != nil {
+		return HWResult{}, err
+	}
+
+	// Pipeline simulation: gcc basic blocks through a 1k coalescing
+	// buffer into the engine, as in Figure 4's Stage 0.
+	buf := trace.NewCoalescingBuffer(trace.Limit(bench.Code(o.Seed, o.Events), o.Events), 1024)
+	eng, err := hw.NewEngine(hw.DefaultConfig(), codeConfig(0.10))
+	if err != nil {
+		return HWResult{}, err
+	}
+	for {
+		e, ok := buf.Next()
+		if !ok {
+			break
+		}
+		eng.Process(e)
+	}
+	return HWResult{
+		Big:               big,
+		Small:             small,
+		AreaRatio:         big.TotalAreaMM2 / small.TotalAreaMM2,
+		EnergyRatio:       big.TotalEnergyNJ / small.TotalEnergyNJ,
+		PipelineReport:    eng.Report(),
+		BufferCompression: buf.CompressionFactor(),
+	}, nil
+}
+
+// Print renders the Section 3.4 table.
+func (r HWResult) Print(w io.Writer) {
+	header(w, "Section 3.4: Pipelined RAP Engine hardware characterization (0.18um)")
+	fmt.Fprintf(w, "%-26s %-14s %-14s\n", "", "4096x36+16KB", "400x36+1.6KB")
+	row := func(name string, a, b float64, unit string) {
+		fmt.Fprintf(w, "%-26s %-14.3f %-14.3f %s\n", name, a, b, unit)
+	}
+	row("TCAM area", r.Big.TCAMAreaMM2, r.Small.TCAMAreaMM2, "mm^2")
+	row("SRAM area", r.Big.SRAMAreaMM2, r.Small.SRAMAreaMM2, "mm^2")
+	row("arbiter area", r.Big.ArbiterAreaMM2, r.Small.ArbiterAreaMM2, "mm^2")
+	row("comparator+regs area", r.Big.LogicAreaMM2, r.Small.LogicAreaMM2, "mm^2")
+	row("TOTAL area", r.Big.TotalAreaMM2, r.Small.TotalAreaMM2, "mm^2  (paper: 24.73)")
+	fmt.Fprintln(w)
+	row("TCAM lookup delay", r.Big.TCAMDelayNS, r.Small.TCAMDelayNS, "ns    (paper: 7)")
+	row("SRAM stage delay", r.Big.SRAMDelayNS, r.Small.SRAMDelayNS, "ns    (paper: 1.26)")
+	row("pipelined critical path", r.Big.CriticalPathNS, r.Small.CriticalPathNS, "ns")
+	fmt.Fprintln(w)
+	row("energy per event", r.Big.TotalEnergyNJ, r.Small.TotalEnergyNJ, "nJ    (paper: 1.272)")
+	fmt.Fprintf(w, "\narea ratio big/small:   %.1fx (paper: more than 10x)\n", r.AreaRatio)
+	fmt.Fprintf(w, "energy ratio big/small: %.1fx (paper: more than 10x)\n", r.EnergyRatio)
+	fmt.Fprintf(w, "\npipeline simulation over gcc code profile:\n  %s\n", r.PipelineReport)
+	fmt.Fprintf(w, "  (paper: 4 cycles per event average, 2 TCAM + 2 SRAM)\n")
+	fmt.Fprintf(w, "stage-0 buffer compression (1k window, code profile): %.1fx (paper: ~10x)\n",
+		r.BufferCompression)
+}

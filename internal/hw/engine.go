@@ -1,0 +1,163 @@
+package hw
+
+import (
+	"fmt"
+
+	"rap/internal/core"
+	"rap/internal/trace"
+)
+
+// Cycle cost model for the five-stage engine (Section 3.3-3.4).
+const (
+	// "RAP requires 4 cycles to process an event, and requires 2 cycles
+	// each for TCAM and SRAM accesses per event."
+	cyclesPerUpdate = 4
+
+	pipelineDepth    = 5 // flush cost when a split invalidates in-flight events
+	cyclesPerInsert  = 2 // TCAM row write + SRAM init per new child
+	cyclesPerScanRow = 2 // batched merge: bottom-up TCAM/SRAM scan per row
+	cyclesPerDelete  = 2 // row invalidate + SRAM free
+)
+
+// Engine is the pipelined RAP engine: a core.Tree for the profile
+// semantics plus cycle, energy, and capacity accounting for the
+// TCAM/SRAM implementation.
+type Engine struct {
+	hw   Config
+	est  Estimate
+	tree *core.Tree
+
+	events       uint64 // raw event weight (pre-coalescing)
+	ops          uint64 // engine operations (one per Process call)
+	cycles       uint64
+	stallCycles  uint64
+	energyNJ     float64
+	peakRows     int
+	forcedMerges uint64
+
+	lastSplits  uint64
+	lastBatches uint64
+	lastMerges  uint64
+	lastNodes   int
+}
+
+// NewEngine builds an engine with the given hardware provisioning and
+// tree configuration. The tree's node count must be able to fit the TCAM:
+// when a split would overflow it, the engine forces an early merge batch
+// (and records it), the way a real engine would shed cold rows.
+func NewEngine(hwCfg Config, treeCfg core.Config) (*Engine, error) {
+	est, err := hwCfg.Estimate()
+	if err != nil {
+		return nil, err
+	}
+	tree, err := core.New(treeCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{hw: hwCfg, est: est, tree: tree, lastNodes: tree.NodeCount(), peakRows: tree.NodeCount()}, nil
+}
+
+// Tree exposes the underlying profile for queries and dumps.
+func (e *Engine) Tree() *core.Tree { return e.tree }
+
+// Process runs one (possibly coalesced) event through the pipeline.
+func (e *Engine) Process(ev trace.Event) {
+	before := e.tree.Stats()
+	e.tree.AddN(ev.Value, ev.Weight)
+	after := e.tree.Stats()
+
+	e.events += ev.Weight
+	e.ops++
+	e.cycles += cyclesPerUpdate
+	e.energyNJ += e.est.TotalEnergyNJ
+
+	// Splits: pipeline flush plus TCAM/SRAM inserts for the new children.
+	if ds := after.Splits - before.Splits; ds > 0 {
+		newRows := after.Nodes - before.Nodes + int(after.Merges-before.Merges)
+		stall := ds*pipelineDepth + uint64(newRows)*cyclesPerInsert
+		e.cycles += stall
+		e.stallCycles += stall
+		e.energyNJ += float64(newRows) * (e.est.TCAMEnergyNJ + e.est.SRAMEnergyNJ)
+	}
+
+	// Batched merges: the pipeline stalls while every row is scanned
+	// bottom-up and cold rows are deleted.
+	if db := after.MergeBatches - before.MergeBatches; db > 0 {
+		scanned := db * uint64(before.Nodes)
+		deleted := after.Merges - before.Merges
+		stall := scanned*cyclesPerScanRow + deleted*cyclesPerDelete
+		e.cycles += stall
+		e.stallCycles += stall
+		e.energyNJ += float64(scanned)*e.est.SRAMEnergyNJ + float64(deleted)*e.est.TCAMEnergyNJ
+	}
+
+	if n := e.tree.NodeCount(); n > e.peakRows {
+		e.peakRows = n
+	}
+	// Capacity: shed rows with a forced early merge batch if the tree
+	// outgrew the TCAM.
+	if e.tree.NodeCount() > e.hw.TCAMEntries {
+		before := e.tree.NodeCount()
+		e.tree.MergeNow()
+		e.forcedMerges++
+		stall := uint64(before) * cyclesPerScanRow
+		e.cycles += stall
+		e.stallCycles += stall
+	}
+}
+
+// Report is the engine's performance/energy characterization.
+type Report struct {
+	Events      uint64 // raw event weight seen (pre-coalescing)
+	Ops         uint64 // engine operations (coalesced events processed)
+	Cycles      uint64
+	StallCycles uint64
+
+	// CyclesPerOp is cycles per engine operation — the paper's "4 cycles
+	// to process an event" metric.
+	CyclesPerOp float64
+	// ThroughputMEPS is millions of RAW events absorbed per second at the
+	// pipelined clock: the Stage-0 buffer's coalescing multiplies the
+	// engine's op rate.
+	ThroughputMEPS float64
+	EnergyNJ       float64
+	EnergyPerOp    float64 // nJ
+
+	PeakRows     int
+	TCAMCapacity int
+	ForcedMerges uint64
+	Estimate     Estimate
+}
+
+// Report summarizes the run so far.
+func (e *Engine) Report() Report {
+	r := Report{
+		Events:       e.events,
+		Ops:          e.ops,
+		Cycles:       e.cycles,
+		StallCycles:  e.stallCycles,
+		EnergyNJ:     e.energyNJ,
+		PeakRows:     e.peakRows,
+		TCAMCapacity: e.hw.TCAMEntries,
+		ForcedMerges: e.forcedMerges,
+		Estimate:     e.est,
+	}
+	if e.ops > 0 {
+		r.CyclesPerOp = float64(e.cycles) / float64(e.ops)
+		r.EnergyPerOp = e.energyNJ / float64(e.ops)
+	}
+	if r.CyclesPerOp > 0 && e.ops > 0 {
+		coalesce := float64(e.events) / float64(e.ops)
+		r.ThroughputMEPS = e.est.ClockGHz * 1e3 / r.CyclesPerOp * coalesce
+	}
+	return r
+}
+
+// String renders the report as the raphw tool prints it.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"events=%d ops=%d cycles=%d (%.3f/op, %.1f%% stall) throughput=%.1f Mevents/s energy=%.3f nJ/op peakRows=%d/%d forcedMerges=%d",
+		r.Events, r.Ops, r.Cycles, r.CyclesPerOp,
+		100*float64(r.StallCycles)/float64(max(r.Cycles, 1)),
+		r.ThroughputMEPS, r.EnergyPerOp, r.PeakRows, r.TCAMCapacity, r.ForcedMerges)
+}

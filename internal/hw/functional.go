@@ -1,0 +1,271 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"rap/internal/core"
+)
+
+// FunctionalEngine maintains a RAP profile entirely in hardware terms: a
+// Matcher (TCAM or multibit trie) holds one row per range, an SRAM
+// counter array holds one counter per row, and update/split/merge are
+// performed as the Section 3.3 pipeline would — search, increment,
+// row inserts on a split, a bottom-up row scan on a batch merge. Unlike
+// Engine (which wraps core.Tree and accounts cycles), FunctionalEngine
+// has no tree at all; TestFunctionalMatchesTree proves the row-based
+// implementation is bit-identical to the software tree, which is the
+// paper's implicit claim that the TCAM pipeline implements the same
+// algorithm.
+type FunctionalEngine struct {
+	matcher Matcher
+	cfg     core.Config
+	shift   int // log2(branch)
+	height  int
+
+	rows     map[int]Row    // row id -> range row (the TCAM image)
+	byRange  map[Row]int    // range -> row id
+	counters map[int]uint64 // row id -> SRAM counter
+	n        uint64
+
+	nextMerge     uint64
+	mergeInterval uint64
+}
+
+// NewFunctionalEngine builds a row-based RAP engine on the given matcher.
+// The matcher must be empty and must have capacity for the profile (the
+// engine returns an error from Update when a split cannot fit).
+func NewFunctionalEngine(m Matcher, cfg core.Config) (*FunctionalEngine, error) {
+	// Reuse core's validation by constructing (and discarding) a tree.
+	probe, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = probe.Config() // normalized (defaults filled in)
+	if m.Len() != 0 {
+		return nil, fmt.Errorf("hw: matcher must start empty")
+	}
+	e := &FunctionalEngine{
+		matcher:  m,
+		cfg:      cfg,
+		shift:    bits.TrailingZeros(uint(cfg.Branch)),
+		height:   cfg.Height(),
+		rows:     make(map[int]Row),
+		byRange:  make(map[Row]int),
+		counters: make(map[int]uint64),
+	}
+	if cfg.MergeEvery != 0 {
+		e.mergeInterval = cfg.MergeEvery
+	} else {
+		e.mergeInterval = cfg.FirstMerge
+	}
+	e.nextMerge = e.mergeInterval
+	// The root row covers the whole universe.
+	if _, err := e.insert(Row{Prefix: 0, Plen: 0}); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *FunctionalEngine) insert(r Row) (int, error) {
+	id, err := e.matcher.Insert(r)
+	if err != nil {
+		return 0, err
+	}
+	e.rows[id] = r
+	e.byRange[r] = id
+	e.counters[id] = 0
+	return id, nil
+}
+
+func (e *FunctionalEngine) delete(id int) error {
+	r := e.rows[id]
+	if err := e.matcher.Delete(id); err != nil {
+		return err
+	}
+	delete(e.rows, id)
+	delete(e.byRange, r)
+	delete(e.counters, id)
+	return nil
+}
+
+// splitThreshold mirrors core.Tree.SplitThreshold exactly.
+func (e *FunctionalEngine) splitThreshold() float64 {
+	thr := e.cfg.Epsilon * float64(e.n) / float64(e.height)
+	if guard := float64(e.cfg.MinSplitCount); thr < guard {
+		return guard
+	}
+	return thr
+}
+
+// Update processes one event of the given weight through the pipeline:
+// Stage 1/2 search, Stage 3 counter increment, Stage 4 threshold compare
+// and split, plus the batched merge schedule.
+func (e *FunctionalEngine) Update(p uint64, weight uint64) error {
+	if weight == 0 {
+		return nil
+	}
+	if e.cfg.UniverseBits < 64 {
+		p &= (1 << uint(e.cfg.UniverseBits)) - 1
+	}
+	e.n += weight
+	id, ok := e.matcher.Search(p)
+	if !ok {
+		return fmt.Errorf("hw: no covering row for %x (root missing?)", p)
+	}
+	e.counters[id] += weight
+
+	if float64(e.counters[id]) > e.splitThreshold() && int(e.rows[id].Plen) < e.cfg.UniverseBits {
+		if err := e.split(e.rows[id]); err != nil {
+			return err
+		}
+	}
+	if e.n >= e.nextMerge {
+		if err := e.mergeBatch(); err != nil {
+			return err
+		}
+		e.advanceSchedule()
+	}
+	return nil
+}
+
+// childStride mirrors the tree's uneven-bottom handling.
+func (e *FunctionalEngine) childStride(plen int) int {
+	if rem := e.cfg.UniverseBits - plen; rem < e.shift {
+		return rem
+	}
+	return e.shift
+}
+
+// split inserts the missing child rows of r, zero-initialized; r keeps
+// its counter ("the original node keeps its counter").
+func (e *FunctionalEngine) split(r Row) error {
+	s := e.childStride(r.Plen)
+	for i := 0; i < 1<<s; i++ {
+		child := Row{
+			Prefix: r.Prefix | uint64(i)<<uint(e.cfg.UniverseBits-r.Plen-s),
+			Plen:   r.Plen + s,
+		}
+		if _, exists := e.byRange[child]; exists {
+			continue // hole-filling split after an earlier partial merge
+		}
+		if _, err := e.insert(child); err != nil {
+			return fmt.Errorf("hw: split overflow: %w", err)
+		}
+	}
+	return nil
+}
+
+// hasChildren reports whether any direct child row of r is live.
+// Singleton rows have no children by definition.
+func (e *FunctionalEngine) hasChildren(r Row) bool {
+	if r.Plen >= e.cfg.UniverseBits {
+		return false
+	}
+	s := e.childStride(r.Plen)
+	for i := 0; i < 1<<s; i++ {
+		child := Row{
+			Prefix: r.Prefix | uint64(i)<<uint(e.cfg.UniverseBits-r.Plen-s),
+			Plen:   r.Plen + s,
+		}
+		if _, exists := e.byRange[child]; exists {
+			return true
+		}
+	}
+	return false
+}
+
+// parentOf returns the nearest live ancestor row of r (the root always
+// exists).
+func (e *FunctionalEngine) parentOf(r Row) (int, error) {
+	plen := r.Plen
+	for plen > 0 {
+		// One tree level up; the top level may be shorter when the
+		// universe does not divide evenly.
+		step := e.shift
+		if rem := plen % e.shift; rem != 0 {
+			step = rem
+		}
+		plen -= step
+		shiftBits := uint(e.cfg.UniverseBits - plen)
+		prefix := uint64(0)
+		if plen > 0 {
+			prefix = r.Prefix >> shiftBits << shiftBits
+		}
+		if id, ok := e.byRange[Row{Prefix: prefix, Plen: plen}]; ok {
+			return id, nil
+		}
+	}
+	if id, ok := e.byRange[Row{Prefix: 0, Plen: 0}]; ok {
+		return id, nil
+	}
+	return 0, fmt.Errorf("hw: no ancestor row for %x/%d", r.Prefix, r.Plen)
+}
+
+// mergeBatch is the Section 3.3 batch merge: rows are "scanned bottom-up
+// to find candidate nodes to be merged" — deepest prefix first, so every
+// row's subtree is resolved before the row itself is considered.
+func (e *FunctionalEngine) mergeBatch() error {
+	thr := e.splitThreshold() * e.cfg.MergeThresholdScale
+	// Bucket live rows by prefix length (bounded by the universe width).
+	byPlen := make([][]int, e.cfg.UniverseBits+1)
+	for id, r := range e.rows {
+		byPlen[r.Plen] = append(byPlen[r.Plen], id)
+	}
+	for plen := e.cfg.UniverseBits; plen > 0; plen-- {
+		for _, id := range byPlen[plen] {
+			r := e.rows[id]
+			if e.hasChildren(r) || float64(e.counters[id]) > thr {
+				continue
+			}
+			parent, err := e.parentOf(r)
+			if err != nil {
+				return err
+			}
+			e.counters[parent] += e.counters[id]
+			if err := e.delete(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *FunctionalEngine) advanceSchedule() {
+	if e.cfg.MergeEvery != 0 {
+		e.nextMerge = e.n + e.cfg.MergeEvery
+		return
+	}
+	next := uint64(math.Ceil(float64(e.mergeInterval) * e.cfg.MergeRatio))
+	if next <= e.mergeInterval {
+		next = e.mergeInterval + 1
+	}
+	e.mergeInterval = next
+	e.nextMerge = e.n + e.mergeInterval
+}
+
+// N returns the total event weight processed.
+func (e *FunctionalEngine) N() uint64 { return e.n }
+
+// Rows returns the number of live rows (= tree nodes).
+func (e *FunctionalEngine) Rows() int { return len(e.rows) }
+
+// Count returns the SRAM counter for an exact range row, if present.
+func (e *FunctionalEngine) Count(prefix uint64, plen int) (uint64, bool) {
+	id, ok := e.byRange[Row{Prefix: prefix, Plen: plen}]
+	if !ok {
+		return 0, false
+	}
+	return e.counters[id], true
+}
+
+// MergeNow forces a batch merge outside the schedule (mirrors
+// core.Tree.MergeNow followed by the schedule advance in Finalize).
+func (e *FunctionalEngine) MergeNow() error {
+	if err := e.mergeBatch(); err != nil {
+		return err
+	}
+	e.advanceSchedule()
+	return nil
+}

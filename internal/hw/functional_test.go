@@ -1,0 +1,176 @@
+package hw
+
+import (
+	"testing"
+
+	"rap/internal/core"
+	"rap/internal/stats"
+)
+
+func functionalConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.UniverseBits = 32
+	cfg.Epsilon = 0.05
+	return cfg
+}
+
+func TestFunctionalValidation(t *testing.T) {
+	m, _ := NewTCAM(32, 64)
+	if _, err := NewFunctionalEngine(m, core.Config{}); err == nil {
+		t.Fatal("bad tree config accepted")
+	}
+	m2, _ := NewTCAM(32, 64)
+	m2.Insert(Row{Prefix: 0, Plen: 4})
+	if _, err := NewFunctionalEngine(m2, functionalConfig()); err == nil {
+		t.Fatal("non-empty matcher accepted")
+	}
+}
+
+// matchTree asserts the row-based profile is bit-identical to a software
+// tree: same n, same live counter count, and the same count on every
+// range.
+func matchTree(t *testing.T, e *FunctionalEngine, tree *core.Tree) {
+	t.Helper()
+	if e.N() != tree.N() {
+		t.Fatalf("n: rows %d vs tree %d", e.N(), tree.N())
+	}
+	if e.Rows() != tree.NodeCount() {
+		t.Fatalf("live counters: rows %d vs tree %d", e.Rows(), tree.NodeCount())
+	}
+	w := tree.Config().UniverseBits
+	tree.Walk(func(n core.NodeInfo) bool {
+		plen := w
+		for width := n.Hi - n.Lo; width > 0; width >>= 1 {
+			plen--
+		}
+		got, ok := e.Count(n.Lo, plen)
+		if !ok {
+			t.Fatalf("row missing for tree node [%x,%x]", n.Lo, n.Hi)
+		}
+		if got != n.Count {
+			t.Fatalf("counter mismatch on [%x,%x]: row %d vs tree %d", n.Lo, n.Hi, got, n.Count)
+		}
+		return true
+	})
+}
+
+func TestFunctionalMatchesTreeTCAM(t *testing.T) {
+	m, err := NewTCAM(32, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testFunctionalEquivalence(t, m)
+}
+
+func TestFunctionalMatchesTreeTrie(t *testing.T) {
+	m, err := NewMultibitTrie(32, 2, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testFunctionalEquivalence(t, m)
+}
+
+func testFunctionalEquivalence(t *testing.T, m Matcher) {
+	t.Helper()
+	cfg := functionalConfig()
+	eng, err := NewFunctionalEngine(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := core.MustNew(cfg)
+
+	rng := stats.NewSplitMix64(21)
+	z := stats.NewZipf(rng, 1<<20, 1.15)
+	for i := 0; i < 150_000; i++ {
+		var p uint64
+		switch i % 4 {
+		case 0:
+			p = rng.Uint64() // uniform noise (forces merges)
+		default:
+			p = uint64(z.Rank())
+		}
+		w := uint64(1)
+		if i%13 == 0 {
+			w = 3 // mixed weights exercise AddN semantics
+		}
+		if err := eng.Update(p, w); err != nil {
+			t.Fatal(err)
+		}
+		tree.AddN(p, w)
+		if i%50_000 == 0 {
+			matchTree(t, eng, tree)
+		}
+	}
+	matchTree(t, eng, tree)
+
+	// Forced merge (Finalize) must also agree.
+	if err := eng.MergeNow(); err != nil {
+		t.Fatal(err)
+	}
+	tree.MergeNow()
+	matchTree(t, eng, tree)
+}
+
+func TestFunctionalUnevenUniverse(t *testing.T) {
+	// 10-bit universe with b=4: the bottom level is a 1-bit split; the
+	// row engine must mirror the tree's uneven stride handling.
+	cfg := core.DefaultConfig()
+	cfg.UniverseBits = 10
+	cfg.Branch = 4
+	cfg.Epsilon = 0.05
+	m, _ := NewTCAM(10, 1<<12)
+	eng, err := NewFunctionalEngine(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := core.MustNew(cfg)
+	rng := stats.NewSplitMix64(5)
+	for i := 0; i < 60_000; i++ {
+		p := rng.Uint64n(1 << 10)
+		if i%2 == 0 {
+			p = 1023
+		}
+		if err := eng.Update(p, 1); err != nil {
+			t.Fatal(err)
+		}
+		tree.Add(p)
+	}
+	matchTree(t, eng, tree)
+	if _, ok := eng.Count(1023, 10); !ok {
+		t.Fatal("hot singleton at the uneven bottom not isolated in rows")
+	}
+}
+
+func TestFunctionalZeroWeightNoop(t *testing.T) {
+	m, _ := NewTCAM(32, 16)
+	eng, err := NewFunctionalEngine(m, functionalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Update(42, 0); err != nil {
+		t.Fatal(err)
+	}
+	if eng.N() != 0 || eng.Rows() != 1 {
+		t.Fatalf("zero-weight update changed state: n=%d rows=%d", eng.N(), eng.Rows())
+	}
+}
+
+func TestFunctionalCapacityError(t *testing.T) {
+	// A tiny matcher must surface split overflow as an error.
+	m, _ := NewTCAM(32, 3)
+	eng, err := NewFunctionalEngine(m, functionalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr bool
+	rng := stats.NewSplitMix64(9)
+	for i := 0; i < 10_000; i++ {
+		if err := eng.Update(rng.Uint64()&0xFFFFFFFF, 1); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("3-row matcher never overflowed")
+	}
+}

@@ -1,0 +1,300 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rap/internal/core"
+	"rap/internal/stats"
+	"rap/internal/trace"
+)
+
+func TestEstimateReproducesPaperNumbers(t *testing.T) {
+	e, err := DefaultConfig().Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 3.4's published operating point.
+	if math.Abs(e.TotalAreaMM2-24.73) > 0.01 {
+		t.Errorf("area = %.3f mm², paper says 24.73", e.TotalAreaMM2)
+	}
+	if math.Abs(e.TCAMDelayNS-7.0) > 0.01 {
+		t.Errorf("TCAM delay = %.3f ns, paper says 7", e.TCAMDelayNS)
+	}
+	if math.Abs(e.SRAMDelayNS-1.26) > 0.01 {
+		t.Errorf("SRAM delay = %.3f ns, paper says 1.26", e.SRAMDelayNS)
+	}
+	if math.Abs(e.TotalEnergyNJ-1.272) > 0.001 {
+		t.Errorf("energy = %.4f nJ, paper says 1.272", e.TotalEnergyNJ)
+	}
+	if e.CriticalPathNS != e.SRAMDelayNS {
+		t.Error("pipelined critical path must be the SRAM stage")
+	}
+	if e.ClockGHz < 0.7 || e.ClockGHz > 0.9 {
+		t.Errorf("clock = %.3f GHz, want ~1/1.26ns", e.ClockGHz)
+	}
+}
+
+func TestSmallConfigMoreThanTenTimesSmaller(t *testing.T) {
+	// "for a 400-node version the area and power would be more than a
+	// factor of 10 times less."
+	big, _ := DefaultConfig().Estimate()
+	small, err := SmallConfig().Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := big.TotalAreaMM2 / small.TotalAreaMM2; ratio <= 10 {
+		t.Errorf("area ratio %.2f, want > 10", ratio)
+	}
+	if ratio := big.TotalEnergyNJ / small.TotalEnergyNJ; ratio <= 10 {
+		t.Errorf("energy ratio %.2f, want > 10", ratio)
+	}
+}
+
+func TestTechnologyScaling(t *testing.T) {
+	c90 := DefaultConfig()
+	c90.TechNM = 90
+	e90, err := c90.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e180, _ := DefaultConfig().Estimate()
+	if e90.TotalAreaMM2 >= e180.TotalAreaMM2 || e90.TotalEnergyNJ >= e180.TotalEnergyNJ ||
+		e90.CriticalPathNS >= e180.CriticalPathNS {
+		t.Error("smaller node must shrink area, energy, and delay")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{TCAMEntries: 0, TCAMWidth: 36, SRAMBytes: 1, TechNM: 180},
+		{TCAMEntries: 1, TCAMWidth: 0, SRAMBytes: 1, TechNM: 180},
+		{TCAMEntries: 1, TCAMWidth: 36, SRAMBytes: 0, TechNM: 180},
+		{TCAMEntries: 1, TCAMWidth: 36, SRAMBytes: 1, TechNM: 5},
+	}
+	for _, c := range bad {
+		if _, err := c.Estimate(); err == nil {
+			t.Errorf("Estimate accepted %+v", c)
+		}
+	}
+}
+
+func TestTCAMLongestPrefixMatch(t *testing.T) {
+	tc, err := NewTCAM(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := tc.Insert(Row{Prefix: 0, Plen: 0})
+	mid, _ := tc.Insert(Row{Prefix: 0x1200, Plen: 8})
+	leaf, _ := tc.Insert(Row{Prefix: 0x1234, Plen: 16})
+
+	cases := []struct {
+		key  uint64
+		want int
+	}{
+		{0x1234, leaf},
+		{0x1235, mid},
+		{0x12FF, mid},
+		{0x9999, root},
+	}
+	for _, tcase := range cases {
+		got, ok := tc.Search(tcase.key)
+		if !ok || got != tcase.want {
+			t.Errorf("Search(%x) = %d,%v, want %d", tcase.key, got, ok, tcase.want)
+		}
+	}
+	// Match set is ordered longest-first and the arbiter grants the head.
+	ms := tc.MatchSet(0x1234)
+	if len(ms) != 3 || ms[0] != leaf || ms[2] != root {
+		t.Fatalf("MatchSet = %v", ms)
+	}
+	if granted, ok := Arbitrate(ms); !ok || granted != leaf {
+		t.Fatalf("Arbitrate = %v", granted)
+	}
+	if _, ok := Arbitrate(nil); ok {
+		t.Fatal("empty arbitration granted")
+	}
+}
+
+func TestTCAMCapacityAndDuplicates(t *testing.T) {
+	tc, _ := NewTCAM(8, 2)
+	if _, err := tc.Insert(Row{Prefix: 0, Plen: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.Insert(Row{Prefix: 0, Plen: 0}); err == nil {
+		t.Fatal("duplicate row accepted")
+	}
+	if _, err := tc.Insert(Row{Prefix: 0x40, Plen: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.Insert(Row{Prefix: 0x80, Plen: 1}); err == nil {
+		t.Fatal("overflow insert accepted")
+	}
+	if tc.Len() != 2 || tc.Capacity() != 2 {
+		t.Fatalf("len/cap = %d/%d", tc.Len(), tc.Capacity())
+	}
+}
+
+func TestTCAMDelete(t *testing.T) {
+	tc, _ := NewTCAM(8, 4)
+	id, _ := tc.Insert(Row{Prefix: 0xA0, Plen: 4})
+	if _, ok := tc.Search(0xA5); !ok {
+		t.Fatal("row not found")
+	}
+	if err := tc.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tc.Search(0xA5); ok {
+		t.Fatal("deleted row still matches")
+	}
+	if err := tc.Delete(id); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	s, i, d := tc.Stats()
+	if s != 2 || i != 1 || d != 1 {
+		t.Fatalf("stats = %d/%d/%d", s, i, d)
+	}
+}
+
+func TestTCAMMaskHighBits(t *testing.T) {
+	// Keys wider than the TCAM width are truncated like a hardware bus.
+	tc, _ := NewTCAM(8, 4)
+	tc.Insert(Row{Prefix: 0xFF, Plen: 8})
+	if _, ok := tc.Search(0x1FF); !ok {
+		t.Fatal("high bits not masked on search")
+	}
+}
+
+func TestTCAMValidation(t *testing.T) {
+	if _, err := NewTCAM(0, 4); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := NewTCAM(65, 4); err == nil {
+		t.Fatal("width 65 accepted")
+	}
+	if _, err := NewTCAM(8, 0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	tc, _ := NewTCAM(8, 4)
+	if _, err := tc.Insert(Row{Prefix: 0, Plen: 9}); err == nil {
+		t.Fatal("plen > width accepted")
+	}
+}
+
+func TestPropTCAMMatchesPrefixArithmetic(t *testing.T) {
+	f := func(prefix uint16, plenSeed uint8, key uint16) bool {
+		plen := int(plenSeed) % 17
+		tc, _ := NewTCAM(16, 4)
+		tc.Insert(Row{Prefix: uint64(prefix), Plen: plen})
+		_, ok := tc.Search(uint64(key))
+		shift := uint(16 - plen)
+		var want bool
+		if plen == 0 {
+			want = true
+		} else {
+			want = uint64(key)>>shift == uint64(prefix)>>shift
+		}
+		return ok == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func engineTreeConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.UniverseBits = 32
+	cfg.Epsilon = 0.05
+	return cfg
+}
+
+func TestEngineMatchesSoftwareTree(t *testing.T) {
+	// The hardware engine must produce bit-identical profiles to the
+	// software implementation.
+	eng, err := NewEngine(DefaultConfig(), engineTreeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft := core.MustNew(engineTreeConfig())
+	rng := stats.NewSplitMix64(3)
+	z := stats.NewZipf(rng, 1<<20, 1.2)
+	for i := 0; i < 100_000; i++ {
+		v := uint64(z.Rank())
+		eng.Process(trace.Event{Value: v, Weight: 1})
+		soft.Add(v)
+	}
+	if eng.Tree().Total() != soft.Total() || eng.Tree().NodeCount() != soft.NodeCount() {
+		t.Fatalf("engine diverged: total %d vs %d, nodes %d vs %d",
+			eng.Tree().Total(), soft.Total(), eng.Tree().NodeCount(), soft.NodeCount())
+	}
+}
+
+func TestEngineCycleAccounting(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig(), engineTreeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewSplitMix64(5)
+	z := stats.NewZipf(rng, 1<<16, 1.3)
+	for i := 0; i < 200_000; i++ {
+		eng.Process(trace.Event{Value: uint64(z.Rank()), Weight: 1})
+	}
+	r := eng.Report()
+	if r.Events != 200_000 {
+		t.Fatalf("events = %d", r.Events)
+	}
+	// "compared to updates, splits and merges are very small in number,
+	// hence they have little impact": the average must sit just above the
+	// 4-cycle update cost.
+	if r.CyclesPerOp < 4 || r.CyclesPerOp > 5 {
+		t.Fatalf("cycles/op = %.3f, want in [4, 5]", r.CyclesPerOp)
+	}
+	if frac := float64(r.StallCycles) / float64(r.Cycles); frac > 0.2 {
+		t.Fatalf("stall fraction %.3f too high", frac)
+	}
+	if r.ThroughputMEPS < 100 {
+		t.Fatalf("throughput %.1f Mevents/s implausibly low", r.ThroughputMEPS)
+	}
+	if r.EnergyPerOp < r.Estimate.TotalEnergyNJ || r.EnergyPerOp > 1.5*r.Estimate.TotalEnergyNJ {
+		t.Fatalf("energy/op %.3f nJ outside [base, 1.5x base]", r.EnergyPerOp)
+	}
+	if r.PeakRows <= 1 || r.PeakRows > r.TCAMCapacity {
+		t.Fatalf("peak rows %d out of range", r.PeakRows)
+	}
+	if r.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestEngineForcedMergeOnOverflow(t *testing.T) {
+	// A tiny TCAM must trigger forced merges rather than failing.
+	hwCfg := SmallConfig()
+	hwCfg.TCAMEntries = 64
+	tcfg := engineTreeConfig()
+	tcfg.Epsilon = 0.01
+	eng, err := NewEngine(hwCfg, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewSplitMix64(7)
+	for i := 0; i < 50_000; i++ {
+		eng.Process(trace.Event{Value: rng.Uint64() & 0xFFFFFFFF, Weight: 1})
+	}
+	r := eng.Report()
+	if r.ForcedMerges == 0 {
+		t.Fatal("expected forced merges on a 64-row TCAM")
+	}
+	if eng.Tree().Total() != 50_000 {
+		t.Fatal("forced merges lost events")
+	}
+}
+
+func TestEngineBadConfigs(t *testing.T) {
+	if _, err := NewEngine(Config{}, engineTreeConfig()); err == nil {
+		t.Fatal("bad hw config accepted")
+	}
+	if _, err := NewEngine(DefaultConfig(), core.Config{}); err == nil {
+		t.Fatal("bad tree config accepted")
+	}
+}

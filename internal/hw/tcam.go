@@ -1,0 +1,142 @@
+package hw
+
+import "fmt"
+
+// TCAM is a functional model of the Stage-1 ternary CAM: rows hold
+// bit-prefix ranges (exact high bits, wildcarded low bits), a search
+// raises a match line for every covering row, and the Stage-2 fixed
+// priority arbiter picks the longest prefix. Rows are indexed so a search
+// costs O(height) like the multibit-trie alternative the paper points to
+// (Section 3.3, [36]), while remaining observationally identical to the
+// match-line + arbiter hardware.
+type TCAM struct {
+	width    int // key width in bits
+	capacity int
+
+	// byPlen[plen][prefix] = row id; at most one row can match per prefix
+	// length ("There can never be matches from two different entries of
+	// the same range width").
+	byPlen []map[uint64]int
+	rows   map[int]Row
+	nextID int
+
+	searches uint64
+	inserts  uint64
+	deletes  uint64
+}
+
+// Row is one TCAM entry: the prefix value (left-aligned into the key
+// width) and the prefix length.
+type Row struct {
+	Prefix uint64
+	Plen   int
+}
+
+// NewTCAM builds a TCAM for keys of the given width with a row capacity.
+func NewTCAM(widthBits, capacity int) (*TCAM, error) {
+	if widthBits < 1 || widthBits > 64 {
+		return nil, fmt.Errorf("hw: TCAM width %d out of range", widthBits)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("hw: TCAM capacity %d out of range", capacity)
+	}
+	byPlen := make([]map[uint64]int, widthBits+1)
+	for i := range byPlen {
+		byPlen[i] = make(map[uint64]int)
+	}
+	return &TCAM{width: widthBits, capacity: capacity, byPlen: byPlen, rows: make(map[int]Row)}, nil
+}
+
+// Len returns the number of live rows.
+func (t *TCAM) Len() int { return len(t.rows) }
+
+// Capacity returns the row capacity.
+func (t *TCAM) Capacity() int { return t.capacity }
+
+// Insert adds a range row and returns its id. It fails when the TCAM is
+// full or the row duplicates a live (prefix, plen).
+func (t *TCAM) Insert(r Row) (int, error) {
+	if r.Plen < 0 || r.Plen > t.width {
+		return 0, fmt.Errorf("hw: prefix length %d out of range", r.Plen)
+	}
+	if len(t.rows) >= t.capacity {
+		return 0, fmt.Errorf("hw: TCAM full (%d rows)", t.capacity)
+	}
+	key := t.canon(r)
+	if _, dup := t.byPlen[r.Plen][key]; dup {
+		return 0, fmt.Errorf("hw: duplicate row %x/%d", r.Prefix, r.Plen)
+	}
+	t.inserts++
+	id := t.nextID
+	t.nextID++
+	t.byPlen[r.Plen][key] = id
+	t.rows[id] = Row{Prefix: key, Plen: r.Plen}
+	return id, nil
+}
+
+// Delete removes the row with the given id.
+func (t *TCAM) Delete(id int) error {
+	r, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("hw: no row %d", id)
+	}
+	t.deletes++
+	delete(t.rows, id)
+	delete(t.byPlen[r.Plen], r.Prefix)
+	return nil
+}
+
+// Search returns the row id of the longest-prefix match for key, or
+// ok=false when no row matches (an empty TCAM; a root row normally
+// guarantees a match).
+func (t *TCAM) Search(key uint64) (id int, ok bool) {
+	t.searches++
+	for plen := t.width; plen >= 0; plen-- {
+		if len(t.byPlen[plen]) == 0 {
+			continue
+		}
+		if rid, hit := t.byPlen[plen][t.mask(key, plen)]; hit {
+			return rid, true
+		}
+	}
+	return 0, false
+}
+
+// MatchSet returns the ids of every row covering key, longest prefix
+// first — the raw match lines before the priority arbiter.
+func (t *TCAM) MatchSet(key uint64) []int {
+	var out []int
+	for plen := t.width; plen >= 0; plen-- {
+		if rid, hit := t.byPlen[plen][t.mask(key, plen)]; hit {
+			out = append(out, rid)
+		}
+	}
+	return out
+}
+
+// Stats returns search/insert/delete counters.
+func (t *TCAM) Stats() (searches, inserts, deletes uint64) {
+	return t.searches, t.inserts, t.deletes
+}
+
+func (t *TCAM) canon(r Row) uint64 { return t.mask(r.Prefix, r.Plen) }
+
+func (t *TCAM) mask(key uint64, plen int) uint64 {
+	if plen <= 0 {
+		return 0
+	}
+	shift := uint(t.width - plen)
+	if t.width < 64 {
+		key &= (1 << uint(t.width)) - 1
+	}
+	return key >> shift << shift
+}
+
+// Arbitrate models the Stage-2 fixed-priority N x 1 arbiter: given match
+// lines ordered by priority (longest prefix first), it grants the first.
+func Arbitrate(matchLines []int) (int, bool) {
+	if len(matchLines) == 0 {
+		return 0, false
+	}
+	return matchLines[0], true
+}

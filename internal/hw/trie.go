@@ -1,0 +1,196 @@
+package hw
+
+import "fmt"
+
+// MultibitTrie is the SRAM-based alternative to the TCAM that Section 3.3
+// points to: "with a branching factor of b, the tree is really a multibit
+// trie and there are a variety of techniques that can be used to build
+// high speed implementations from network algorithms" (Srinivasan &
+// Varghese, Controlled Prefix Expansion). The trie walks `stride` key
+// bits per level; rows whose prefix length is not stride-aligned attach
+// to their last aligned ancestor and are disambiguated locally, so a
+// lookup touches at most width/stride nodes — the fixed pipeline depth a
+// hardware implementation would provision.
+//
+// MultibitTrie is drop-in observationally equivalent to TCAM: same Insert
+// / Delete / Search contract, same longest-prefix-match results.
+type MultibitTrie struct {
+	width    int
+	stride   int
+	capacity int
+
+	root   *trieNode
+	rows   map[int]Row
+	nextID int
+
+	searches uint64
+	inserts  uint64
+	deletes  uint64
+}
+
+type trieNode struct {
+	children []*trieNode
+	// attached rows whose aligned ancestor is this node: row id -> Row.
+	// At most stride distinct prefix lengths land here, so the slice
+	// stays tiny (it models a node-local comparator bank in hardware).
+	attached []attachedRow
+}
+
+type attachedRow struct {
+	id  int
+	row Row
+}
+
+// NewMultibitTrie builds a trie over widthBits-bit keys walking stride
+// bits per level, holding at most capacity rows.
+func NewMultibitTrie(widthBits, stride, capacity int) (*MultibitTrie, error) {
+	if widthBits < 1 || widthBits > 64 {
+		return nil, fmt.Errorf("hw: trie width %d out of range", widthBits)
+	}
+	if stride < 1 || stride > 8 {
+		return nil, fmt.Errorf("hw: trie stride %d out of range [1,8]", stride)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("hw: trie capacity %d out of range", capacity)
+	}
+	return &MultibitTrie{
+		width:    widthBits,
+		stride:   stride,
+		capacity: capacity,
+		root:     &trieNode{},
+		rows:     make(map[int]Row),
+	}, nil
+}
+
+// Len returns the number of live rows.
+func (t *MultibitTrie) Len() int { return len(t.rows) }
+
+// Capacity returns the row capacity.
+func (t *MultibitTrie) Capacity() int { return t.capacity }
+
+// mask clears everything below the prefix, like TCAM.mask.
+func (t *MultibitTrie) mask(key uint64, plen int) uint64 {
+	if plen <= 0 {
+		return 0
+	}
+	shift := uint(t.width - plen)
+	if t.width < 64 {
+		key &= (1 << uint(t.width)) - 1
+	}
+	return key >> shift << shift
+}
+
+// walk returns the aligned ancestor node for a prefix length, creating
+// the path when create is set. The node for plen p is reached by
+// consuming floor(p/stride) full strides of the prefix.
+func (t *MultibitTrie) walk(prefix uint64, plen int, create bool) *trieNode {
+	levels := plen / t.stride
+	node := t.root
+	for l := 0; l < levels; l++ {
+		shift := t.width - (l+1)*t.stride
+		idx := int(prefix >> uint(shift) & ((1 << t.stride) - 1))
+		if node.children == nil {
+			if !create {
+				return nil
+			}
+			node.children = make([]*trieNode, 1<<t.stride)
+		}
+		if node.children[idx] == nil {
+			if !create {
+				return nil
+			}
+			node.children[idx] = &trieNode{}
+		}
+		node = node.children[idx]
+	}
+	return node
+}
+
+// Insert adds a range row and returns its id.
+func (t *MultibitTrie) Insert(r Row) (int, error) {
+	if r.Plen < 0 || r.Plen > t.width {
+		return 0, fmt.Errorf("hw: prefix length %d out of range", r.Plen)
+	}
+	if len(t.rows) >= t.capacity {
+		return 0, fmt.Errorf("hw: trie full (%d rows)", t.capacity)
+	}
+	canon := Row{Prefix: t.mask(r.Prefix, r.Plen), Plen: r.Plen}
+	node := t.walk(canon.Prefix, canon.Plen, true)
+	for _, a := range node.attached {
+		if a.row == canon {
+			return 0, fmt.Errorf("hw: duplicate row %x/%d", canon.Prefix, canon.Plen)
+		}
+	}
+	t.inserts++
+	id := t.nextID
+	t.nextID++
+	node.attached = append(node.attached, attachedRow{id: id, row: canon})
+	t.rows[id] = canon
+	return id, nil
+}
+
+// Delete removes the row with the given id. Empty trie nodes are left in
+// place (hardware would reuse the slots); correctness is unaffected.
+func (t *MultibitTrie) Delete(id int) error {
+	r, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("hw: no row %d", id)
+	}
+	t.deletes++
+	delete(t.rows, id)
+	node := t.walk(r.Prefix, r.Plen, false)
+	for i, a := range node.attached {
+		if a.id == id {
+			node.attached = append(node.attached[:i], node.attached[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("hw: trie corrupt: row %d not attached", id)
+}
+
+// Search returns the row id of the longest-prefix match for key.
+func (t *MultibitTrie) Search(key uint64) (id int, ok bool) {
+	t.searches++
+	if t.width < 64 {
+		key &= (1 << uint(t.width)) - 1
+	}
+	bestPlen := -1
+	node := t.root
+	level := 0
+	for node != nil {
+		for _, a := range node.attached {
+			if a.row.Plen > bestPlen && t.mask(key, a.row.Plen) == a.row.Prefix {
+				bestPlen = a.row.Plen
+				id = a.id
+			}
+		}
+		if node.children == nil || (level+1)*t.stride > t.width {
+			break
+		}
+		shift := t.width - (level+1)*t.stride
+		node = node.children[key>>uint(shift)&((1<<t.stride)-1)]
+		level++
+	}
+	return id, bestPlen >= 0
+}
+
+// Stats returns search/insert/delete counters.
+func (t *MultibitTrie) Stats() (searches, inserts, deletes uint64) {
+	return t.searches, t.inserts, t.deletes
+}
+
+// Matcher is the longest-prefix-match contract shared by the TCAM and
+// the multibit trie: the Stage-1/Stage-2 black box of the pipeline.
+type Matcher interface {
+	Insert(Row) (int, error)
+	Delete(int) error
+	Search(uint64) (int, bool)
+	Len() int
+	Capacity() int
+}
+
+// Interface conformance checks.
+var (
+	_ Matcher = (*TCAM)(nil)
+	_ Matcher = (*MultibitTrie)(nil)
+)

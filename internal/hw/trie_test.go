@@ -1,0 +1,183 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rap/internal/core"
+	"rap/internal/stats"
+)
+
+func TestTrieValidation(t *testing.T) {
+	bad := []struct{ w, s, c int }{
+		{0, 2, 4}, {65, 2, 4}, {16, 0, 4}, {16, 9, 4}, {16, 2, 0},
+	}
+	for _, tc := range bad {
+		if _, err := NewMultibitTrie(tc.w, tc.s, tc.c); err == nil {
+			t.Errorf("NewMultibitTrie(%d,%d,%d) accepted", tc.w, tc.s, tc.c)
+		}
+	}
+}
+
+func TestTrieBasicLPM(t *testing.T) {
+	tr, err := NewMultibitTrie(16, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := tr.Insert(Row{Prefix: 0, Plen: 0})
+	mid, _ := tr.Insert(Row{Prefix: 0x1200, Plen: 8})
+	odd, _ := tr.Insert(Row{Prefix: 0x1230, Plen: 14}) // unaligned plen
+	leaf, _ := tr.Insert(Row{Prefix: 0x1234, Plen: 16})
+
+	cases := []struct {
+		key  uint64
+		want int
+	}{
+		{0x1234, leaf},
+		{0x1232, odd},
+		{0x1239, mid}, // outside the /14 but inside the /8
+		{0x12FF, mid},
+		{0x9999, root},
+	}
+	for _, tc := range cases {
+		got, ok := tr.Search(tc.key)
+		if !ok || got != tc.want {
+			t.Errorf("Search(%x) = %d,%v, want %d", tc.key, got, ok, tc.want)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestTrieCapacityDuplicatesDelete(t *testing.T) {
+	tr, _ := NewMultibitTrie(8, 2, 2)
+	id, err := tr.Insert(Row{Prefix: 0xA0, Plen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Insert(Row{Prefix: 0xA0, Plen: 4}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := tr.Insert(Row{Prefix: 0xA3, Plen: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Insert(Row{Prefix: 0, Plen: 0}); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	if _, err := tr.Insert(Row{Prefix: 0, Plen: 9}); err == nil {
+		t.Fatal("plen > width accepted")
+	}
+	if err := tr.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete(id); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if _, ok := tr.Search(0xA0); ok {
+		// only [0xA3/8] remains and does not cover 0xA0
+		t.Fatal("deleted row still matches")
+	}
+	s, i, d := tr.Stats()
+	if s != 1 || i != 2 || d != 1 {
+		t.Fatalf("stats = %d/%d/%d", s, i, d)
+	}
+	if tr.Capacity() != 2 {
+		t.Fatal("capacity wrong")
+	}
+}
+
+// TestTrieTCAMEquivalence drives both matchers with the live row set of a
+// real RAP run and checks every search agrees — the trie is a drop-in
+// Stage-1/2 replacement.
+func TestTrieTCAMEquivalence(t *testing.T) {
+	tcam, _ := NewTCAM(32, 8192)
+	trie, _ := NewMultibitTrie(32, 2, 8192) // stride 2 = branching factor 4
+
+	// Mirror a RAP tree's node set: walk a profiled tree and insert every
+	// node range into both matchers.
+	cfg := core.DefaultConfig()
+	cfg.UniverseBits = 32
+	cfg.Epsilon = 0.02
+	tree := core.MustNew(cfg)
+	rng := stats.NewSplitMix64(11)
+	z := stats.NewZipf(rng, 1<<18, 1.2)
+	for i := 0; i < 150_000; i++ {
+		tree.Add(uint64(z.Rank()))
+	}
+	ids := make(map[int]int) // tcam id -> trie id (for delete mirroring)
+	tree.Walk(func(n core.NodeInfo) bool {
+		plen := 32
+		for w := n.Hi - n.Lo; w > 0; w >>= 1 {
+			plen--
+		}
+		a, err1 := tcam.Insert(Row{Prefix: n.Lo, Plen: plen})
+		b, err2 := trie.Insert(Row{Prefix: n.Lo, Plen: plen})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("insert failed: %v / %v", err1, err2)
+		}
+		ids[a] = b
+		return true
+	})
+	if tcam.Len() != trie.Len() {
+		t.Fatalf("row counts differ: %d vs %d", tcam.Len(), trie.Len())
+	}
+
+	check := func() {
+		for trial := 0; trial < 2000; trial++ {
+			key := rng.Uint64() & 0xFFFFFFFF
+			if trial%2 == 0 {
+				key = uint64(z.Rank()) // mostly-covered region
+			}
+			ta, okA := tcam.Search(key)
+			tb, okB := trie.Search(key)
+			if okA != okB {
+				t.Fatalf("match disagreement on %x: tcam=%v trie=%v", key, okA, okB)
+			}
+			if okA && ids[ta] != tb {
+				t.Fatalf("LPM disagreement on %x: tcam row %d != trie row %d", key, ta, tb)
+			}
+		}
+	}
+	check()
+
+	// Delete a third of the rows from both and re-verify.
+	count := 0
+	for a, b := range ids {
+		if count%3 == 0 {
+			// Never delete the root row (plen 0) so full cover remains.
+			if r, ok := tcam.rows[a]; ok && r.Plen > 0 {
+				if err := tcam.Delete(a); err != nil {
+					t.Fatal(err)
+				}
+				if err := trie.Delete(b); err != nil {
+					t.Fatal(err)
+				}
+				delete(ids, a)
+			}
+		}
+		count++
+	}
+	check()
+}
+
+func TestPropTrieMatchesPrefixArithmetic(t *testing.T) {
+	f := func(prefix uint16, plenSeed, strideSeed uint8, key uint16) bool {
+		plen := int(plenSeed) % 17
+		stride := int(strideSeed)%4 + 1
+		tr, _ := NewMultibitTrie(16, stride, 4)
+		tr.Insert(Row{Prefix: uint64(prefix), Plen: plen})
+		_, ok := tr.Search(uint64(key))
+		var want bool
+		if plen == 0 {
+			want = true
+		} else {
+			shift := uint(16 - plen)
+			want = uint64(key)>>shift == uint64(prefix)>>shift
+		}
+		return ok == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}

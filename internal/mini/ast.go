@@ -1,0 +1,134 @@
+package mini
+
+// AST node types. The parser produces a Program; the compiler walks it.
+
+// Program is a parsed Mini source file.
+type Program struct {
+	Funcs []*FuncDecl
+}
+
+// FuncDecl is one function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Line   int
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmt() }
+
+// Block is a braced statement list with its own lexical scope.
+type Block struct {
+	Stmts []Stmt
+}
+
+// LetStmt declares a new local variable.
+type LetStmt struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// AssignStmt assigns to an existing local.
+type AssignStmt struct {
+	Name  string
+	Value Expr
+	Line  int
+}
+
+// IndexAssignStmt stores into an array element.
+type IndexAssignStmt struct {
+	Target Expr // array expression
+	Index  Expr
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is a conditional with an optional else branch (possibly another
+// IfStmt for else-if chains).
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *IfStmt, or nil
+	Line int
+}
+
+// WhileStmt is a loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Line int
+}
+
+// ReturnStmt returns from the current function (value optional: nil means
+// return 0).
+type ReturnStmt struct {
+	Value Expr
+	Line  int
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*Block) stmt()           {}
+func (*LetStmt) stmt()         {}
+func (*AssignStmt) stmt()      {}
+func (*IndexAssignStmt) stmt() {}
+func (*IfStmt) stmt()          {}
+func (*WhileStmt) stmt()       {}
+func (*ReturnStmt) stmt()      {}
+func (*ExprStmt) stmt()        {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ expr() }
+
+// NumberLit is an integer literal.
+type NumberLit struct {
+	Value int64
+	Line  int
+}
+
+// Ident references a local variable.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Unary is -x or !x.
+type Unary struct {
+	Op   Kind
+	X    Expr
+	Line int
+}
+
+// Binary is a binary operation; && and || short-circuit.
+type Binary struct {
+	Op   Kind
+	L, R Expr
+	Line int
+}
+
+// Call invokes a function or builtin by name.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Index loads an array element.
+type Index struct {
+	Target Expr
+	Idx    Expr
+	Line   int
+}
+
+func (*NumberLit) expr() {}
+func (*Ident) expr()     {}
+func (*Unary) expr()     {}
+func (*Binary) expr()    {}
+func (*Call) expr()      {}
+func (*Index) expr()     {}

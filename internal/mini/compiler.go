@@ -1,0 +1,405 @@
+package mini
+
+import "fmt"
+
+// Builtin function names recognized by the compiler. array(n) allocates,
+// len(a) reads the header, rand() draws from the VM's deterministic PRNG,
+// print(x) appends to the VM's captured output.
+var builtinArity = map[string]int{
+	"array": 1,
+	"len":   1,
+	"rand":  0,
+	"print": 1,
+}
+
+// Compile parses and compiles Mini source to bytecode. The entry point is
+// the function named main, which must take no parameters.
+func Compile(src string) (*Compiled, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileProgram(prog)
+}
+
+// CompileProgram compiles a parsed AST.
+func CompileProgram(prog *Program) (*Compiled, error) {
+	fnIndex := make(map[string]int)
+	for i, fn := range prog.Funcs {
+		if _, dup := fnIndex[fn.Name]; dup {
+			return nil, fmt.Errorf("mini: line %d: duplicate function %q", fn.Line, fn.Name)
+		}
+		if _, isBuiltin := builtinArity[fn.Name]; isBuiltin {
+			return nil, fmt.Errorf("mini: line %d: %q shadows a builtin", fn.Line, fn.Name)
+		}
+		fnIndex[fn.Name] = i
+	}
+	mainIdx, ok := fnIndex["main"]
+	if !ok {
+		return nil, fmt.Errorf("mini: no main function")
+	}
+	if len(prog.Funcs[mainIdx].Params) != 0 {
+		return nil, fmt.Errorf("mini: main must take no parameters")
+	}
+
+	out := &Compiled{Main: mainIdx}
+	pcBase := uint64(CodeBase)
+	for _, fn := range prog.Funcs {
+		fc := &fnCompiler{
+			prog:    prog,
+			fnIndex: fnIndex,
+			chunk:   &Chunk{Name: fn.Name, NumParams: len(fn.Params), PCBase: pcBase},
+		}
+		if err := fc.compile(fn); err != nil {
+			return nil, err
+		}
+		out.Chunks = append(out.Chunks, fc.chunk)
+		pcBase += uint64(len(fc.chunk.Code)) * instrBytes
+	}
+	return out, nil
+}
+
+// fnCompiler compiles one function body.
+type fnCompiler struct {
+	prog    *Program
+	fnIndex map[string]int
+	chunk   *Chunk
+
+	scopes   []map[string]int // lexical scopes: name -> slot
+	nextSlot int
+	maxSlot  int
+
+	blockTargets map[int]bool // instruction indices that begin blocks
+}
+
+func (fc *fnCompiler) compile(fn *FuncDecl) error {
+	fc.blockTargets = map[int]bool{0: true}
+	fc.pushScope()
+	for _, p := range fn.Params {
+		if _, err := fc.declare(p, fn.Line); err != nil {
+			return err
+		}
+	}
+	if err := fc.block(fn.Body); err != nil {
+		return err
+	}
+	fc.popScope()
+	// Implicit return 0 at the end of every function.
+	fc.emit(OpConst, 0)
+	fc.emit(OpReturn, 0)
+	fc.chunk.NumLocals = fc.maxSlot
+	fc.finishBlocks()
+	return nil
+}
+
+// finishBlocks converts the collected jump-target set into the chunk's
+// BlockStart table: a basic block begins at the entry, at every jump
+// target, and after every jump/call/return.
+func (fc *fnCompiler) finishBlocks() {
+	starts := make([]bool, len(fc.chunk.Code))
+	for t := range fc.blockTargets {
+		if t < len(starts) {
+			starts[t] = true
+		}
+	}
+	for i, ins := range fc.chunk.Code {
+		switch ins.Op {
+		case OpJump, OpJumpIf, OpCall, OpReturn:
+			if i+1 < len(starts) {
+				starts[i+1] = true
+			}
+		}
+	}
+	fc.chunk.BlockStart = starts
+}
+
+func (fc *fnCompiler) pushScope() { fc.scopes = append(fc.scopes, map[string]int{}) }
+
+func (fc *fnCompiler) popScope() {
+	top := fc.scopes[len(fc.scopes)-1]
+	fc.nextSlot -= len(top)
+	fc.scopes = fc.scopes[:len(fc.scopes)-1]
+}
+
+func (fc *fnCompiler) declare(name string, line int) (int, error) {
+	top := fc.scopes[len(fc.scopes)-1]
+	if _, dup := top[name]; dup {
+		return 0, fmt.Errorf("mini: line %d: %q redeclared in this scope", line, name)
+	}
+	slot := fc.nextSlot
+	top[name] = slot
+	fc.nextSlot++
+	if fc.nextSlot > fc.maxSlot {
+		fc.maxSlot = fc.nextSlot
+	}
+	return slot, nil
+}
+
+func (fc *fnCompiler) resolve(name string, line int) (int, error) {
+	for i := len(fc.scopes) - 1; i >= 0; i-- {
+		if slot, ok := fc.scopes[i][name]; ok {
+			return slot, nil
+		}
+	}
+	return 0, fmt.Errorf("mini: line %d: undefined variable %q", line, name)
+}
+
+func (fc *fnCompiler) emit(op Op, arg int64) int {
+	fc.chunk.Code = append(fc.chunk.Code, Instr{Op: op, Arg: arg})
+	return len(fc.chunk.Code) - 1
+}
+
+// patch sets the operand of a previously emitted jump to the current
+// instruction index and records the target as a block start.
+func (fc *fnCompiler) patch(at int) {
+	fc.chunk.Code[at].Arg = int64(len(fc.chunk.Code))
+	fc.blockTargets[len(fc.chunk.Code)] = true
+}
+
+func (fc *fnCompiler) block(b *Block) error {
+	fc.pushScope()
+	defer fc.popScope()
+	for _, s := range b.Stmts {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fc *fnCompiler) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return fc.block(st)
+
+	case *LetStmt:
+		if err := fc.expr(st.Init); err != nil {
+			return err
+		}
+		slot, err := fc.declare(st.Name, st.Line)
+		if err != nil {
+			return err
+		}
+		fc.emit(OpStoreLocal, int64(slot))
+		return nil
+
+	case *AssignStmt:
+		if err := fc.expr(st.Value); err != nil {
+			return err
+		}
+		slot, err := fc.resolve(st.Name, st.Line)
+		if err != nil {
+			return err
+		}
+		fc.emit(OpStoreLocal, int64(slot))
+		return nil
+
+	case *IndexAssignStmt:
+		if err := fc.expr(st.Target); err != nil {
+			return err
+		}
+		if err := fc.expr(st.Index); err != nil {
+			return err
+		}
+		if err := fc.expr(st.Value); err != nil {
+			return err
+		}
+		fc.emit(OpAStore, 0)
+		return nil
+
+	case *IfStmt:
+		if err := fc.expr(st.Cond); err != nil {
+			return err
+		}
+		jElse := fc.emit(OpJumpIf, 0)
+		if err := fc.block(st.Then); err != nil {
+			return err
+		}
+		if st.Else == nil {
+			fc.patch(jElse)
+			return nil
+		}
+		jEnd := fc.emit(OpJump, 0)
+		fc.patch(jElse)
+		if err := fc.stmt(st.Else); err != nil {
+			return err
+		}
+		fc.patch(jEnd)
+		return nil
+
+	case *WhileStmt:
+		top := len(fc.chunk.Code)
+		fc.blockTargets[top] = true
+		if err := fc.expr(st.Cond); err != nil {
+			return err
+		}
+		jOut := fc.emit(OpJumpIf, 0)
+		if err := fc.block(st.Body); err != nil {
+			return err
+		}
+		fc.emit(OpJump, int64(top))
+		fc.patch(jOut)
+		return nil
+
+	case *ReturnStmt:
+		if st.Value != nil {
+			if err := fc.expr(st.Value); err != nil {
+				return err
+			}
+		} else {
+			fc.emit(OpConst, 0)
+		}
+		fc.emit(OpReturn, 0)
+		return nil
+
+	case *ExprStmt:
+		if err := fc.expr(st.X); err != nil {
+			return err
+		}
+		fc.emit(OpPop, 0)
+		return nil
+	}
+	return fmt.Errorf("mini: unknown statement %T", s)
+}
+
+var binOpcode = map[Kind]Op{
+	PLUS: OpAdd, MINUS: OpSub, STAR: OpMul, SLASH: OpDiv, PERCENT: OpMod,
+	AMP: OpAnd, PIPE: OpOr, CARET: OpXor, SHL: OpShl, SHR: OpShr,
+	EQ: OpEq, NE: OpNe, LT: OpLt, GT: OpGt, LE: OpLe, GE: OpGe,
+}
+
+func (fc *fnCompiler) expr(e Expr) error {
+	switch x := e.(type) {
+	case *NumberLit:
+		fc.emit(OpConst, x.Value)
+		return nil
+
+	case *Ident:
+		slot, err := fc.resolve(x.Name, x.Line)
+		if err != nil {
+			return err
+		}
+		fc.emit(OpLoadLocal, int64(slot))
+		return nil
+
+	case *Unary:
+		if err := fc.expr(x.X); err != nil {
+			return err
+		}
+		if x.Op == MINUS {
+			fc.emit(OpNeg, 0)
+		} else {
+			fc.emit(OpNot, 0)
+		}
+		return nil
+
+	case *Binary:
+		if x.Op == ANDAND || x.Op == OROR {
+			return fc.shortCircuit(x)
+		}
+		if err := fc.expr(x.L); err != nil {
+			return err
+		}
+		if err := fc.expr(x.R); err != nil {
+			return err
+		}
+		op, ok := binOpcode[x.Op]
+		if !ok {
+			return fmt.Errorf("mini: line %d: unsupported operator %v", x.Line, x.Op)
+		}
+		fc.emit(op, 0)
+		return nil
+
+	case *Index:
+		if err := fc.expr(x.Target); err != nil {
+			return err
+		}
+		if err := fc.expr(x.Idx); err != nil {
+			return err
+		}
+		fc.emit(OpALoad, 0)
+		return nil
+
+	case *Call:
+		return fc.call(x)
+	}
+	return fmt.Errorf("mini: unknown expression %T", e)
+}
+
+// shortCircuit compiles && and || with proper early exit, normalizing the
+// result to 0 or 1.
+func (fc *fnCompiler) shortCircuit(x *Binary) error {
+	if err := fc.expr(x.L); err != nil {
+		return err
+	}
+	// Normalize left to a boolean.
+	fc.emit(OpConst, 0)
+	fc.emit(OpNe, 0)
+	if x.Op == ANDAND {
+		// if left is false, result is 0
+		jShort := fc.emit(OpJumpIf, 0)
+		if err := fc.expr(x.R); err != nil {
+			return err
+		}
+		fc.emit(OpConst, 0)
+		fc.emit(OpNe, 0)
+		jEnd := fc.emit(OpJump, 0)
+		fc.patch(jShort)
+		fc.emit(OpConst, 0)
+		fc.patch(jEnd)
+		return nil
+	}
+	// ||: if left is false, evaluate right; else result is 1.
+	jEval := fc.emit(OpJumpIf, 0)
+	fc.emit(OpConst, 1)
+	jEnd := fc.emit(OpJump, 0)
+	fc.patch(jEval)
+	if err := fc.expr(x.R); err != nil {
+		return err
+	}
+	fc.emit(OpConst, 0)
+	fc.emit(OpNe, 0)
+	fc.patch(jEnd)
+	return nil
+}
+
+func (fc *fnCompiler) call(x *Call) error {
+	if arity, isBuiltin := builtinArity[x.Name]; isBuiltin {
+		if len(x.Args) != arity {
+			return fmt.Errorf("mini: line %d: %s takes %d argument(s), got %d",
+				x.Line, x.Name, arity, len(x.Args))
+		}
+		for _, a := range x.Args {
+			if err := fc.expr(a); err != nil {
+				return err
+			}
+		}
+		switch x.Name {
+		case "array":
+			fc.emit(OpNewArray, 0)
+		case "len":
+			fc.emit(OpLen, 0)
+		case "rand":
+			fc.emit(OpRand, 0)
+		case "print":
+			fc.emit(OpPrint, 0)
+			fc.emit(OpConst, 0) // print yields 0
+		}
+		return nil
+	}
+	idx, ok := fc.fnIndex[x.Name]
+	if !ok {
+		return fmt.Errorf("mini: line %d: undefined function %q", x.Line, x.Name)
+	}
+	if want := len(fc.prog.Funcs[idx].Params); len(x.Args) != want {
+		return fmt.Errorf("mini: line %d: %s takes %d argument(s), got %d",
+			x.Line, x.Name, want, len(x.Args))
+	}
+	for _, a := range x.Args {
+		if err := fc.expr(a); err != nil {
+			return err
+		}
+	}
+	fc.emit(OpCall, int64(idx))
+	return nil
+}

@@ -1,0 +1,185 @@
+package mini
+
+// Bytecode optimizer: classic local passes over compiled chunks —
+// constant folding, algebraic simplification, multiply-by-power-of-two
+// strength reduction, and jump threading — applied to a fixpoint. The
+// optimizer preserves program results and observable output; it shortens
+// the instruction (and therefore profile-event) stream, which is exactly
+// the kind of transformation a profile-guided toolchain built on RAP
+// would drive.
+
+// Optimize returns an optimized copy of the program. The input is not
+// modified.
+func Optimize(p *Compiled) *Compiled {
+	out := &Compiled{Main: p.Main}
+	// First optimize each chunk's code, then reassign PC bases so block
+	// PCs remain contiguous.
+	pcBase := uint64(CodeBase)
+	for _, c := range p.Chunks {
+		oc := optimizeChunk(c)
+		oc.PCBase = pcBase
+		pcBase += uint64(len(oc.Code)) * instrBytes
+		out.Chunks = append(out.Chunks, oc)
+	}
+	return out
+}
+
+func optimizeChunk(c *Chunk) *Chunk {
+	code := append([]Instr(nil), c.Code...)
+	starts := append([]bool(nil), c.BlockStart...)
+	for pass := 0; pass < 10; pass++ {
+		changed := false
+		code, starts, changed = foldConstants(code, starts)
+		if threadJumps(code) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return &Chunk{
+		Name:       c.Name,
+		NumParams:  c.NumParams,
+		NumLocals:  c.NumLocals,
+		Code:       code,
+		BlockStart: starts,
+	}
+}
+
+// binaryOp reports whether op pops two operands and pushes one pure
+// result.
+func binaryOp(op Op) bool {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpEq, OpNe, OpLt, OpGt, OpLe, OpGe:
+		return true
+	case OpDiv, OpMod:
+		// Foldable only when the divisor constant is nonzero; checked at
+		// the fold site.
+		return true
+	}
+	return false
+}
+
+// foldConstants rewrites `const a; const b; binop` windows into a single
+// constant, `const a; neg/not` into its result, and `const 2^k; mul`
+// into `const k; shl`. Windows spanning a jump target are left alone.
+// Removed instructions shift later code, so jump operands are remapped.
+func foldConstants(code []Instr, starts []bool) ([]Instr, []bool, bool) {
+	type rewrite struct {
+		at   int // window start in the old code
+		n    int // old window length
+		with []Instr
+	}
+	var rewrites []rewrite
+	for i := 0; i < len(code); i++ {
+		// const a; const b; binop -> const (a op b)
+		if i+2 < len(code) &&
+			code[i].Op == OpConst && code[i+1].Op == OpConst && binaryOp(code[i+2].Op) &&
+			!starts[i+1] && !starts[i+2] {
+			a, b, op := code[i].Arg, code[i+1].Arg, code[i+2].Op
+			if (op == OpDiv || op == OpMod) && b == 0 {
+				continue // preserve the runtime error
+			}
+			v, err := applyBinary(op, a, b, "")
+			if err != nil {
+				continue
+			}
+			rewrites = append(rewrites, rewrite{at: i, n: 3, with: []Instr{{Op: OpConst, Arg: v}}})
+			i += 2
+			continue
+		}
+		// const a; neg|not -> const
+		if i+1 < len(code) && code[i].Op == OpConst && !starts[i+1] {
+			switch code[i+1].Op {
+			case OpNeg:
+				rewrites = append(rewrites, rewrite{at: i, n: 2, with: []Instr{{Op: OpConst, Arg: -code[i].Arg}}})
+				i++
+				continue
+			case OpNot:
+				v := int64(0)
+				if code[i].Arg == 0 {
+					v = 1
+				}
+				rewrites = append(rewrites, rewrite{at: i, n: 2, with: []Instr{{Op: OpConst, Arg: v}}})
+				i++
+				continue
+			}
+		}
+		// const 2^k; mul -> const k; shl  (strength reduction; same
+		// wrapping semantics for any operand sign)
+		if i+1 < len(code) && code[i].Op == OpConst && code[i+1].Op == OpMul && !starts[i+1] {
+			if c := code[i].Arg; c > 1 && c&(c-1) == 0 {
+				k := int64(0)
+				for v := c; v > 1; v >>= 1 {
+					k++
+				}
+				rewrites = append(rewrites, rewrite{at: i, n: 2,
+					with: []Instr{{Op: OpConst, Arg: k}, {Op: OpShl}}})
+				i++
+				continue
+			}
+		}
+	}
+	if len(rewrites) == 0 {
+		return code, starts, false
+	}
+
+	// Apply the rewrites, building old->new index map for jump fixup.
+	newIdx := make([]int, len(code)+1)
+	var out []Instr
+	var outStarts []bool
+	r := 0
+	for i := 0; i < len(code); {
+		newIdx[i] = len(out)
+		if r < len(rewrites) && rewrites[r].at == i {
+			for k, ins := range rewrites[r].with {
+				out = append(out, ins)
+				outStarts = append(outStarts, k == 0 && starts[i])
+			}
+			// Interior old indices map to the rewrite start (no jump
+			// targets land there by construction).
+			for j := i; j < i+rewrites[r].n; j++ {
+				newIdx[j] = newIdx[i]
+			}
+			i += rewrites[r].n
+			r++
+			continue
+		}
+		out = append(out, code[i])
+		outStarts = append(outStarts, starts[i])
+		i++
+	}
+	newIdx[len(code)] = len(out)
+	for i := range out {
+		switch out[i].Op {
+		case OpJump, OpJumpIf:
+			out[i].Arg = int64(newIdx[out[i].Arg])
+		}
+	}
+	return out, outStarts, true
+}
+
+// threadJumps replaces jumps whose target is an unconditional jump with a
+// jump to the final destination. Cycles are cut off by a hop budget.
+func threadJumps(code []Instr) bool {
+	changed := false
+	for i := range code {
+		if code[i].Op != OpJump && code[i].Op != OpJumpIf {
+			continue
+		}
+		target := code[i].Arg
+		for hops := 0; hops < 8; hops++ {
+			ti := int(target)
+			if ti < 0 || ti >= len(code) || code[ti].Op != OpJump || code[ti].Arg == target {
+				break
+			}
+			target = code[ti].Arg
+		}
+		if target != code[i].Arg {
+			code[i].Arg = target
+			changed = true
+		}
+	}
+	return changed
+}

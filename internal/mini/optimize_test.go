@@ -1,0 +1,174 @@
+package mini
+
+import (
+	"strings"
+	"testing"
+)
+
+func compileT(t *testing.T, src string) *Compiled {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runProg(t *testing.T, p *Compiled, seed uint64) (int64, []int64, uint64) {
+	t.Helper()
+	vm := NewVM(p, Config{Seed: seed})
+	ret, err := vm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ret, vm.Output(), vm.Steps()
+}
+
+func TestOptimizeFoldsConstants(t *testing.T) {
+	p := compileT(t, "fn main() { return 2 + 3 * 4; }")
+	o := Optimize(p)
+	ret, _, steps := runProg(t, o, 0)
+	if ret != 14 {
+		t.Fatalf("optimized result = %d", ret)
+	}
+	// 2+3*4 folds to a single const: const, ret-value path only.
+	_, _, rawSteps := runProg(t, p, 0)
+	if steps >= rawSteps {
+		t.Fatalf("optimization did not shorten execution: %d vs %d", steps, rawSteps)
+	}
+	dis := o.Disassemble()
+	if !strings.Contains(dis, "const     14") {
+		t.Errorf("folded constant missing from disassembly:\n%s", dis)
+	}
+}
+
+func TestOptimizeUnaryFolding(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"fn main() { return -(3); }", -3},
+		{"fn main() { return !0; }", 1},
+		{"fn main() { return !(1 + 2); }", 0},
+		{"fn main() { return -(-(5)); }", 5},
+	}
+	for _, tc := range cases {
+		o := Optimize(compileT(t, tc.src))
+		if ret, _, _ := runProg(t, o, 0); ret != tc.want {
+			t.Errorf("%s = %d, want %d", tc.src, ret, tc.want)
+		}
+	}
+}
+
+func TestOptimizeStrengthReduction(t *testing.T) {
+	p := compileT(t, "fn main() { let x = 5; return x * 8; }")
+	o := Optimize(p)
+	dis := o.Disassemble()
+	if !strings.Contains(dis, "shl") {
+		t.Errorf("mul by 8 not reduced to shl:\n%s", dis)
+	}
+	if ret, _, _ := runProg(t, o, 0); ret != 40 {
+		t.Fatalf("result = %d", ret)
+	}
+	// Negative operands keep the same wrapping semantics.
+	p2 := Optimize(compileT(t, "fn main() { let x = 0 - 7; return x * 4; }"))
+	if ret, _, _ := runProg(t, p2, 0); ret != -28 {
+		t.Fatalf("negative strength reduction = %d", ret)
+	}
+}
+
+func TestOptimizePreservesDivByZeroError(t *testing.T) {
+	p := Optimize(compileT(t, "fn main() { return 1 / 0; }"))
+	vm := NewVM(p, Config{})
+	if _, err := vm.Run(); err == nil {
+		t.Fatal("folded away a division by zero")
+	}
+}
+
+func TestOptimizePreservesJumpTargets(t *testing.T) {
+	// Constants adjacent to loop heads must not fold across the block
+	// boundary; the loop must still terminate with the right result.
+	src := `
+fn main() {
+  let sum = 0;
+  let i = 0;
+  while (i < 3 * 4) {
+    sum = sum + 2 * 3;
+    i = i + 1;
+  }
+  return sum;
+}`
+	p := compileT(t, src)
+	o := Optimize(p)
+	ret, _, steps := runProg(t, o, 0)
+	want, _, rawSteps := runProg(t, p, 0)
+	if ret != want || ret != 72 {
+		t.Fatalf("optimized loop = %d, want %d", ret, want)
+	}
+	if steps >= rawSteps {
+		t.Fatalf("loop not shortened: %d vs %d", steps, rawSteps)
+	}
+}
+
+func TestOptimizeAllProgramsEquivalent(t *testing.T) {
+	// The real benchmark programs must behave identically (results and
+	// printed output) and run in fewer or equal steps.
+	for _, name := range ProgramNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := LoadProgram(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := Optimize(p)
+			for _, seed := range []uint64{1, 42} {
+				r1, out1, s1 := runProg(t, p, seed)
+				r2, out2, s2 := runProg(t, o, seed)
+				if r1 != r2 {
+					t.Fatalf("seed %d: results differ %d vs %d", seed, r1, r2)
+				}
+				if len(out1) != len(out2) {
+					t.Fatalf("seed %d: output lengths differ", seed)
+				}
+				for i := range out1 {
+					if out1[i] != out2[i] {
+						t.Fatalf("seed %d: output %d differs", seed, i)
+					}
+				}
+				if s2 > s1 {
+					t.Fatalf("seed %d: optimized runs longer (%d vs %d)", seed, s2, s1)
+				}
+			}
+		})
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	p := compileT(t, "fn main() { return 1 + 1; }")
+	before := p.Disassemble()
+	Optimize(p)
+	if p.Disassemble() != before {
+		t.Fatal("Optimize mutated its input")
+	}
+}
+
+func TestOptimizedProgramStillProfilable(t *testing.T) {
+	// Block hooks must keep firing at valid, aligned PCs after rewriting.
+	o := Optimize(compileT(t, `
+fn f(n) { if (n < 2) { return n; } return f(n - 1) + f(n - 2); }
+fn main() { return f(12); }`))
+	var blocks int
+	vm := NewVM(o, Config{Hooks: Hooks{OnBlock: func(pc uint64) {
+		blocks++
+		if pc < CodeBase || (pc-CodeBase)%4 != 0 {
+			panic("bad block PC")
+		}
+	}}})
+	ret, err := vm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 144 || blocks == 0 {
+		t.Fatalf("ret=%d blocks=%d", ret, blocks)
+	}
+}

@@ -1,0 +1,397 @@
+package mini
+
+import "fmt"
+
+// Parser builds an AST from Mini source with one token of lookahead.
+type Parser struct {
+	lex  *Lexer
+	tok  Token
+	prev Token
+}
+
+// Parse parses a complete Mini source file.
+func Parse(src string) (*Program, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.Kind != EOF {
+		fn, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+	}
+	if len(prog.Funcs) == 0 {
+		return nil, fmt.Errorf("mini: empty program")
+	}
+	return prog, nil
+}
+
+func (p *Parser) advance() error {
+	p.prev = p.tok
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, fmt.Errorf("mini: line %d: expected %v, found %v %q",
+			p.tok.Line, k, p.tok.Kind, p.tok.Text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *Parser) accept(k Kind) (bool, error) {
+	if p.tok.Kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+func (p *Parser) funcDecl() (*FuncDecl, error) {
+	if _, err := p.expect(FN); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var params []string
+	if p.tok.Kind != RPAREN {
+		for {
+			param, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, param.Text)
+			ok, err := p.accept(COMMA)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name.Text, Params: params, Body: body, Line: name.Line}, nil
+}
+
+func (p *Parser) block() (*Block, error) {
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for p.tok.Kind != RBRACE && p.tok.Kind != EOF {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	_, err := p.expect(RBRACE)
+	return b, err
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	switch p.tok.Kind {
+	case LET:
+		line := p.tok.Line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(ASSIGN); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &LetStmt{Name: name.Text, Init: init, Line: line}, nil
+
+	case RETURN:
+		line := p.tok.Line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var value Expr
+		if p.tok.Kind != SEMI {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			value = v
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: value, Line: line}, nil
+
+	case IF:
+		return p.ifStmt()
+
+	case WHILE:
+		line := p.tok.Line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+
+	case LBRACE:
+		return p.block()
+	}
+
+	// Assignment or expression statement.
+	line := p.tok.Line
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if ok, err := p.accept(ASSIGN); err != nil {
+		return nil, err
+	} else if ok {
+		value, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		switch lhs := x.(type) {
+		case *Ident:
+			return &AssignStmt{Name: lhs.Name, Value: value, Line: line}, nil
+		case *Index:
+			return &IndexAssignStmt{Target: lhs.Target, Index: lhs.Idx, Value: value, Line: line}, nil
+		default:
+			return nil, fmt.Errorf("mini: line %d: invalid assignment target", line)
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x, Line: line}, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	line := p.tok.Line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node := &IfStmt{Cond: cond, Then: then, Line: line}
+	if ok, err := p.accept(ELSE); err != nil {
+		return nil, err
+	} else if ok {
+		if p.tok.Kind == IF {
+			els, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+	}
+	return node, nil
+}
+
+// Precedence climbing: each level parses the next-tighter level.
+
+func (p *Parser) expr() (Expr, error) { return p.binary(0) }
+
+// binOps lists binary operator tiers from loosest to tightest.
+var binOps = [][]Kind{
+	{OROR},
+	{ANDAND},
+	{EQ, NE},
+	{LT, GT, LE, GE},
+	{PIPE},
+	{CARET},
+	{AMP},
+	{SHL, SHR},
+	{PLUS, MINUS},
+	{STAR, SLASH, PERCENT},
+}
+
+func (p *Parser) binary(level int) (Expr, error) {
+	if level >= len(binOps) {
+		return p.unary()
+	}
+	left, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range binOps[level] {
+			if p.tok.Kind == op {
+				line := p.tok.Line
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				right, err := p.binary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = &Binary{Op: op, L: left, R: right, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	if p.tok.Kind == MINUS || p.tok.Kind == BANG {
+		op, line := p.tok.Kind, p.tok.Line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x, Line: line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *Parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.Kind {
+		case LBRACKET:
+			line := p.tok.Line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return nil, err
+			}
+			x = &Index{Target: x, Idx: idx, Line: line}
+		case LPAREN:
+			id, ok := x.(*Ident)
+			if !ok {
+				return nil, fmt.Errorf("mini: line %d: only named functions can be called", p.tok.Line)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var args []Expr
+			if p.tok.Kind != RPAREN {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					ok, err := p.accept(COMMA)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			x = &Call{Name: id.Name, Args: args, Line: id.Line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) primary() (Expr, error) {
+	switch p.tok.Kind {
+	case NUMBER:
+		t := p.tok
+		return &NumberLit{Value: t.Num, Line: t.Line}, p.advance()
+	case TRUE:
+		t := p.tok
+		return &NumberLit{Value: 1, Line: t.Line}, p.advance()
+	case FALSE:
+		t := p.tok
+		return &NumberLit{Value: 0, Line: t.Line}, p.advance()
+	case IDENT:
+		t := p.tok
+		return &Ident{Name: t.Text, Line: t.Line}, p.advance()
+	case LPAREN:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(RPAREN)
+		return x, err
+	}
+	return nil, fmt.Errorf("mini: line %d: unexpected %v %q", p.tok.Line, p.tok.Kind, p.tok.Text)
+}

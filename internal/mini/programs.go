@@ -1,0 +1,442 @@
+package mini
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Benchmark programs written in Mini. Each mirrors the flavour of one of
+// the paper's SPEC workloads: a compressor (gzip/bzip2), a tokenizer with
+// symbol tables (parser/gcc), a pointer-chasing graph optimizer (mcf), a
+// placement annealer (vpr), and an object store (vortex). The `scale`
+// local controls run length so callers can trade trace length for time.
+
+// Programs returns the named benchmark programs' source code.
+func Programs() map[string]string {
+	return map[string]string{
+		"compress": progCompress,
+		"tokens":   progTokens,
+		"graph":    progGraph,
+		"anneal":   progAnneal,
+		"store":    progStore,
+		"sort":     progSort,
+		"matrix":   progMatrix,
+	}
+}
+
+// ProgramNames returns the program names sorted.
+func ProgramNames() []string {
+	ps := Programs()
+	names := make([]string, 0, len(ps))
+	for n := range ps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadProgram compiles a named benchmark program.
+func LoadProgram(name string) (*Compiled, error) {
+	src, ok := Programs()[name]
+	if !ok {
+		return nil, fmt.Errorf("mini: unknown program %q (have %v)", name, ProgramNames())
+	}
+	return Compile(src)
+}
+
+// progCompress: run-length + match compression over a pseudo-random but
+// skewed byte buffer — the gzip/bzip2 stand-in. Inner loops scan a window
+// for the longest match, the classic hot region.
+const progCompress = `
+fn gen(buf, n) {
+  let i = 0;
+  let prev = 0;
+  while (i < n) {
+    let r = rand() % 100;
+    if (r < 55) {
+      buf[i] = prev;           // runs dominate
+    } else {
+      if (r < 85) {
+        buf[i] = rand() % 16;  // small alphabet
+      } else {
+        buf[i] = rand() % 250;
+      }
+      prev = buf[i];
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn bestmatch(buf, pos, window) {
+  let best = 0;
+  let start = 0;
+  if (pos > window) { start = pos - window; }
+  let j = start;
+  while (j < pos) {
+    let k = 0;
+    while (pos + k < len(buf) && buf[j + k] == buf[pos + k] && k < 32) {
+      k = k + 1;
+    }
+    if (k > best) { best = k; }
+    j = j + 1;
+  }
+  return best;
+}
+
+fn main() {
+  let scale = 10000;
+  let buf = array(scale);
+  gen(buf, scale);
+  let out = array(scale);
+  let outn = 0;
+  let pos = 0;
+  while (pos < scale) {
+    let m = bestmatch(buf, pos, 48);
+    if (m > 2) {
+      out[outn] = m * 256 + buf[pos];
+      pos = pos + m;
+    } else {
+      out[outn] = buf[pos];
+      pos = pos + 1;
+    }
+    outn = outn + 1;
+  }
+  print(outn);
+  return outn;
+}
+`
+
+// progTokens: tokenize a synthetic character stream and count symbol
+// frequencies through an open-addressing hash table — the parser/gcc
+// stand-in with data-dependent table probing.
+const progTokens = `
+fn hash(x) {
+  let h = x * 2654435761;
+  h = h ^ (h >> 13);
+  if (h < 0) { h = -h; }
+  return h;
+}
+
+fn insert(keys, counts, cap, sym) {
+  let slot = hash(sym) % cap;
+  let probes = 0;
+  while (probes < cap) {
+    if (counts[slot] == 0) {
+      keys[slot] = sym;
+      counts[slot] = 1;
+      return slot;
+    }
+    if (keys[slot] == sym) {
+      counts[slot] = counts[slot] + 1;
+      return slot;
+    }
+    slot = (slot + 1) % cap;
+    probes = probes + 1;
+  }
+  return -1;
+}
+
+fn main() {
+  let scale = 12000;
+  let cap = 4096;
+  let keys = array(cap);
+  let counts = array(cap);
+  let i = 0;
+  let word = 0;
+  let inserted = 0;
+  while (i < scale) {
+    let c = rand() % 64;
+    if (c < 8) {
+      // separator: flush the word
+      if (word != 0) {
+        if (insert(keys, counts, cap, word) >= 0) {
+          inserted = inserted + 1;
+        }
+        word = 0;
+      }
+    } else {
+      word = (word * 61 + c) % 100003;
+    }
+    i = i + 1;
+  }
+  // histogram of counts, parser-style statistics
+  let total = 0;
+  let j = 0;
+  while (j < cap) {
+    total = total + counts[j];
+    j = j + 1;
+  }
+  print(inserted);
+  print(total);
+  return total;
+}
+`
+
+// progGraph: Bellman-Ford-ish relaxation over a random sparse graph in
+// adjacency arrays — the mcf stand-in: irregular, pointer-like index
+// chasing with large arrays.
+const progGraph = `
+fn main() {
+  let nodes = 1200;
+  let degree = 4;
+  let edges = nodes * degree;
+  let to = array(edges);
+  let weight = array(edges);
+  let dist = array(nodes);
+
+  let e = 0;
+  while (e < edges) {
+    to[e] = rand() % nodes;
+    weight[e] = rand() % 64 + 1;
+    e = e + 1;
+  }
+  let i = 0;
+  while (i < nodes) {
+    dist[i] = 1 << 30;
+    i = i + 1;
+  }
+  dist[0] = 0;
+
+  let rounds = 0;
+  let changed = 1;
+  while (changed == 1 && rounds < 40) {
+    changed = 0;
+    let u = 0;
+    while (u < nodes) {
+      let du = dist[u];
+      if (du < (1 << 30)) {
+        let k = 0;
+        while (k < degree) {
+          let idx = u * degree + k;
+          let v = to[idx];
+          let nd = du + weight[idx];
+          if (nd < dist[v]) {
+            dist[v] = nd;
+            changed = 1;
+          }
+          k = k + 1;
+        }
+      }
+      u = u + 1;
+    }
+    rounds = rounds + 1;
+  }
+  let sum = 0;
+  let j = 0;
+  while (j < nodes) {
+    if (dist[j] < (1 << 30)) { sum = sum + dist[j]; }
+    j = j + 1;
+  }
+  print(rounds);
+  print(sum);
+  return sum;
+}
+`
+
+// progAnneal: a toy placement annealer — the vpr stand-in: random swaps,
+// cost deltas over a grid, acceptance thresholds.
+const progAnneal = `
+fn cost(pos, net, i) {
+  let a = pos[net[i * 2]];
+  let b = pos[net[i * 2 + 1]];
+  let d = a - b;
+  if (d < 0) { d = -d; }
+  return d;
+}
+
+fn main() {
+  let cells = 400;
+  let nets = 800;
+  let pos = array(cells);
+  let net = array(nets * 2);
+  let i = 0;
+  while (i < cells) { pos[i] = i; i = i + 1; }
+  i = 0;
+  while (i < nets * 2) { net[i] = rand() % cells; i = i + 1; }
+
+  let total = 0;
+  i = 0;
+  while (i < nets) { total = total + cost(pos, net, i); i = i + 1; }
+
+  let moves = 15000;
+  let accepted = 0;
+  let m = 0;
+  while (m < moves) {
+    let a = rand() % cells;
+    let b = rand() % cells;
+    let tmp = pos[a];
+    pos[a] = pos[b];
+    pos[b] = tmp;
+    // Sample a few nets to estimate the delta (toy incremental cost).
+    let delta = 0;
+    let s = 0;
+    while (s < 8) {
+      delta = delta + cost(pos, net, (a * 8 + s) % nets) - cost(pos, net, (b * 8 + s) % nets);
+      s = s + 1;
+    }
+    let threshold = 16 - ((m * 16) / moves);
+    if (delta < threshold) {
+      accepted = accepted + 1;
+    } else {
+      tmp = pos[a];
+      pos[a] = pos[b];
+      pos[b] = tmp;
+    }
+    m = m + 1;
+  }
+  print(accepted);
+  return accepted;
+}
+`
+
+// progSort: block-sorting with an explicit-stack quicksort plus insertion
+// sort for small partitions — the bzip2 sorting phase stand-in: heavy
+// comparisons, data-dependent branches, index-value loads.
+const progSort = `
+fn insertion(a, lo, hi) {
+  let i = lo + 1;
+  while (i <= hi) {
+    let v = a[i];
+    let j = i - 1;
+    while (j >= lo && a[j] > v) {
+      a[j + 1] = a[j];
+      j = j - 1;
+    }
+    a[j + 1] = v;
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn main() {
+  let n = 6000;
+  let a = array(n);
+  let i = 0;
+  while (i < n) {
+    a[i] = rand() % 65536;
+    i = i + 1;
+  }
+  // Quicksort with an explicit stack of [lo, hi] partitions.
+  let stack = array(128);
+  let top = 0;
+  stack[0] = 0;
+  stack[1] = n - 1;
+  top = 2;
+  while (top > 0) {
+    top = top - 2;
+    let lo = stack[top];
+    let hi = stack[top + 1];
+    if (hi - lo < 24) {
+      insertion(a, lo, hi);
+    } else {
+      let pivot = a[(lo + hi) / 2];
+      let l = lo;
+      let r = hi;
+      while (l <= r) {
+        while (a[l] < pivot) { l = l + 1; }
+        while (a[r] > pivot) { r = r - 1; }
+        if (l <= r) {
+          let tmp = a[l];
+          a[l] = a[r];
+          a[r] = tmp;
+          l = l + 1;
+          r = r - 1;
+        }
+      }
+      if (top < 124) {
+        stack[top] = lo;     stack[top + 1] = r;     top = top + 2;
+        stack[top] = l;      stack[top + 1] = hi;    top = top + 2;
+      }
+    }
+  }
+  // Verify sortedness.
+  let bad = 0;
+  i = 1;
+  while (i < n) {
+    if (a[i - 1] > a[i]) { bad = bad + 1; }
+    i = i + 1;
+  }
+  print(bad);
+  print(a[0]);
+  print(a[n - 1]);
+  return bad;
+}
+`
+
+// progMatrix: blocked integer matrix multiply — the scientific-loop
+// stand-in: perfectly regular strided access, deep loop nests, a single
+// overwhelming hot region.
+const progMatrix = `
+fn main() {
+  let n = 40;
+  let a = array(n * n);
+  let b = array(n * n);
+  let c = array(n * n);
+  let i = 0;
+  while (i < n * n) {
+    a[i] = rand() % 100;
+    b[i] = rand() % 100;
+    i = i + 1;
+  }
+  let r = 0;
+  while (r < n) {
+    let k = 0;
+    while (k < n) {
+      let ar = a[r * n + k];
+      let j = 0;
+      while (j < n) {
+        c[r * n + j] = c[r * n + j] + ar * b[k * n + j];
+        j = j + 1;
+      }
+      k = k + 1;
+    }
+    r = r + 1;
+  }
+  let checksum = 0;
+  i = 0;
+  while (i < n * n) {
+    checksum = (checksum + c[i]) % 1000000007;
+    i = i + 1;
+  }
+  print(checksum);
+  return checksum;
+}
+`
+
+// progStore: an object store exercising allocation, lookup, and nulls —
+// the vortex stand-in: many zero-valued slots (sparse records), index
+// indirection.
+const progStore = `
+fn main() {
+  let objects = 3000;
+  let fields = 8;
+  let heap = array(objects * fields);
+  let index = array(objects);
+  let i = 0;
+  while (i < objects) {
+    index[i] = i * fields;
+    // Sparse records: most fields stay zero.
+    heap[i * fields] = i + 65536;
+    if (rand() % 4 == 0) {
+      heap[i * fields + 1 + rand() % (fields - 1)] = rand() % 100000;
+    }
+    i = i + 1;
+  }
+  // Query phase: random lookups touch every field (loads many zeros).
+  let queries = 40000;
+  let hits = 0;
+  let q = 0;
+  while (q < queries) {
+    let obj = index[rand() % objects];
+    let f = 0;
+    while (f < fields) {
+      if (heap[obj + f] != 0) { hits = hits + 1; }
+      f = f + 1;
+    }
+    q = q + 1;
+  }
+  print(hits);
+  return hits;
+}
+`

@@ -1,0 +1,96 @@
+package mini
+
+import "testing"
+
+// Program-specific semantic checks beyond "it runs".
+
+func TestSortProgramSorts(t *testing.T) {
+	prog, err := LoadProgram("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 7, 99} {
+		vm := NewVM(prog, Config{Seed: seed})
+		bad, err := vm.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad != 0 {
+			t.Fatalf("seed %d: %d out-of-order pairs after sorting", seed, bad)
+		}
+		out := vm.Output()
+		if len(out) != 3 || out[1] > out[2] {
+			t.Fatalf("seed %d: output %v (want sorted first <= last)", seed, out)
+		}
+	}
+}
+
+func TestMatrixProgramDeterministicChecksum(t *testing.T) {
+	prog, err := LoadProgram("matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm1 := NewVM(prog, Config{Seed: 5})
+	c1, err := vm1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm2 := NewVM(prog, Config{Seed: 5})
+	c2, err := vm2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 || c1 <= 0 {
+		t.Fatalf("checksums %d vs %d", c1, c2)
+	}
+}
+
+func TestGraphProgramConverges(t *testing.T) {
+	prog, err := LoadProgram("graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(prog, Config{Seed: 2})
+	sum, err := vm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := vm.Output() // rounds, sum
+	if len(out) != 2 {
+		t.Fatalf("output = %v", out)
+	}
+	if rounds := out[0]; rounds < 2 || rounds > 40 {
+		t.Fatalf("relaxation rounds = %d", rounds)
+	}
+	if sum <= 0 {
+		t.Fatalf("distance sum = %d", sum)
+	}
+}
+
+func TestMatrixIsLoopDominated(t *testing.T) {
+	// The matrix kernel must concentrate execution: one block accounts
+	// for a large share of the dynamic stream — the single-hot-region
+	// profile shape scientific codes have.
+	prog, err := LoadProgram("matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]uint64{}
+	var total uint64
+	vm := NewVM(prog, Config{Seed: 1, Hooks: Hooks{OnBlock: func(pc uint64) {
+		counts[pc]++
+		total++
+	}}})
+	if _, err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var best uint64
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	if frac := float64(best) / float64(total); frac < 0.15 {
+		t.Errorf("hottest block carries only %.3f of execution", frac)
+	}
+}

@@ -1,0 +1,264 @@
+// Package mini implements a small imperative language — lexer, parser,
+// bytecode compiler, and an instrumented virtual machine — used as the
+// repository's "real program" substrate. The paper instruments native SPEC
+// binaries (via ATOM/Pin-style tools or ProfileMe hardware) to produce the
+// PC, load-value, and memory-address streams RAP summarizes; here, Mini
+// programs play that role: the VM exposes basic-block and load hooks that
+// emit exactly those streams, with a realistic text/heap/stack address
+// layout. Unlike the statistical models in internal/workload, these traces
+// come from actual program execution: loops, data-dependent branches, and
+// pointer-valued data.
+package mini
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+
+	// keywords
+	FN
+	LET
+	IF
+	ELSE
+	WHILE
+	RETURN
+	TRUE
+	FALSE
+
+	// punctuation
+	LPAREN
+	RPAREN
+	LBRACE
+	RBRACE
+	LBRACKET
+	RBRACKET
+	COMMA
+	SEMI
+
+	// operators
+	ASSIGN
+	PLUS
+	MINUS
+	STAR
+	SLASH
+	PERCENT
+	AMP
+	PIPE
+	CARET
+	SHL
+	SHR
+	ANDAND
+	OROR
+	BANG
+	EQ
+	NE
+	LT
+	GT
+	LE
+	GE
+)
+
+var kindNames = map[Kind]string{
+	EOF: "eof", IDENT: "identifier", NUMBER: "number",
+	FN: "fn", LET: "let", IF: "if", ELSE: "else", WHILE: "while",
+	RETURN: "return", TRUE: "true", FALSE: "false",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", COMMA: ",", SEMI: ";",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	AMP: "&", PIPE: "|", CARET: "^", SHL: "<<", SHR: ">>",
+	ANDAND: "&&", OROR: "||", BANG: "!",
+	EQ: "==", NE: "!=", LT: "<", GT: ">", LE: "<=", GE: ">=",
+}
+
+// String returns the kind's source spelling or name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Token is one lexeme with its position.
+type Token struct {
+	Kind Kind
+	Text string
+	Num  int64 // value for NUMBER
+	Line int
+}
+
+var keywords = map[string]Kind{
+	"fn": FN, "let": LET, "if": IF, "else": ELSE, "while": WHILE,
+	"return": RETURN, "true": TRUE, "false": FALSE,
+}
+
+// Lexer tokenizes Mini source.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1}
+}
+
+// Next returns the next token, or an error for an illegal character or
+// malformed number.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Line: l.line}, nil
+	}
+	start, line := l.pos, l.line
+	c := l.src[l.pos]
+
+	switch {
+	case isAlpha(c):
+		for l.pos < len(l.src) && isAlnum(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Line: line}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Line: line}, nil
+
+	case isDigit(c):
+		base := int64(10)
+		if c == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+			base = 16
+			l.pos += 2
+			start = l.pos
+		}
+		var v int64
+		digits := 0
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || (base == 16 && isHex(l.src[l.pos]))) {
+			v = v*base + int64(hexVal(l.src[l.pos]))
+			digits++
+			l.pos++
+		}
+		if digits == 0 {
+			return Token{}, fmt.Errorf("mini: line %d: malformed number", line)
+		}
+		return Token{Kind: NUMBER, Text: l.src[start:l.pos], Num: v, Line: line}, nil
+	}
+
+	two := func(next byte, with, without Kind) (Token, error) {
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == next {
+			l.pos++
+			return Token{Kind: with, Text: l.src[start:l.pos], Line: line}, nil
+		}
+		return Token{Kind: without, Text: l.src[start:l.pos], Line: line}, nil
+	}
+
+	switch c {
+	case '(':
+		l.pos++
+		return Token{Kind: LPAREN, Text: "(", Line: line}, nil
+	case ')':
+		l.pos++
+		return Token{Kind: RPAREN, Text: ")", Line: line}, nil
+	case '{':
+		l.pos++
+		return Token{Kind: LBRACE, Text: "{", Line: line}, nil
+	case '}':
+		l.pos++
+		return Token{Kind: RBRACE, Text: "}", Line: line}, nil
+	case '[':
+		l.pos++
+		return Token{Kind: LBRACKET, Text: "[", Line: line}, nil
+	case ']':
+		l.pos++
+		return Token{Kind: RBRACKET, Text: "]", Line: line}, nil
+	case ',':
+		l.pos++
+		return Token{Kind: COMMA, Text: ",", Line: line}, nil
+	case ';':
+		l.pos++
+		return Token{Kind: SEMI, Text: ";", Line: line}, nil
+	case '+':
+		l.pos++
+		return Token{Kind: PLUS, Text: "+", Line: line}, nil
+	case '-':
+		l.pos++
+		return Token{Kind: MINUS, Text: "-", Line: line}, nil
+	case '*':
+		l.pos++
+		return Token{Kind: STAR, Text: "*", Line: line}, nil
+	case '/':
+		l.pos++
+		return Token{Kind: SLASH, Text: "/", Line: line}, nil
+	case '%':
+		l.pos++
+		return Token{Kind: PERCENT, Text: "%", Line: line}, nil
+	case '^':
+		l.pos++
+		return Token{Kind: CARET, Text: "^", Line: line}, nil
+	case '&':
+		return two('&', ANDAND, AMP)
+	case '|':
+		return two('|', OROR, PIPE)
+	case '=':
+		return two('=', EQ, ASSIGN)
+	case '!':
+		return two('=', NE, BANG)
+	case '<':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '<' {
+			l.pos += 2
+			return Token{Kind: SHL, Text: "<<", Line: line}, nil
+		}
+		return two('=', LE, LT)
+	case '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+			l.pos += 2
+			return Token{Kind: SHR, Text: ">>", Line: line}, nil
+		}
+		return two('=', GE, GT)
+	}
+	return Token{}, fmt.Errorf("mini: line %d: illegal character %q", line, c)
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch c := l.src[l.pos]; {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+func isHex(c byte) bool {
+	return isDigit(c) || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+}
+func hexVal(c byte) int {
+	switch {
+	case isDigit(c):
+		return int(c - '0')
+	case 'a' <= c && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}

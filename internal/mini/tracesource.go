@@ -1,0 +1,69 @@
+package mini
+
+// Trace collection: run a program once with hooks attached and keep the
+// profile streams, the way an ATOM/Pin-instrumented binary would write a
+// trace file.
+
+// LoadEvent is one executed load.
+type LoadEvent struct {
+	Addr  uint64
+	Value uint64
+}
+
+// Trace holds the profile streams of one program run.
+type Trace struct {
+	Program  string
+	BlockPCs []uint64
+	Loads    []LoadEvent
+	Steps    uint64
+	Result   int64
+}
+
+// CollectTrace compiles and runs the named benchmark program, recording
+// basic-block and load events.
+func CollectTrace(name string, seed uint64) (*Trace, error) {
+	prog, err := LoadProgram(name)
+	if err != nil {
+		return nil, err
+	}
+	return CollectProgramTrace(prog, name, seed)
+}
+
+// CollectProgramTrace runs an already-compiled program with tracing.
+func CollectProgramTrace(prog *Compiled, name string, seed uint64) (*Trace, error) {
+	tr := &Trace{Program: name}
+	vm := NewVM(prog, Config{
+		Seed: seed,
+		Hooks: Hooks{
+			OnBlock: func(pc uint64) { tr.BlockPCs = append(tr.BlockPCs, pc) },
+			OnLoad:  func(addr, value uint64) { tr.Loads = append(tr.Loads, LoadEvent{addr, value}) },
+		},
+	})
+	ret, err := vm.Run()
+	if err != nil {
+		return nil, err
+	}
+	tr.Steps = vm.Steps()
+	tr.Result = ret
+	return tr, nil
+}
+
+// LoadValues returns the values of all loads in the trace.
+func (t *Trace) LoadValues() []uint64 {
+	out := make([]uint64, len(t.Loads))
+	for i, ld := range t.Loads {
+		out[i] = ld.Value
+	}
+	return out
+}
+
+// ZeroLoadAddresses returns the addresses of zero-valued loads.
+func (t *Trace) ZeroLoadAddresses() []uint64 {
+	var out []uint64
+	for _, ld := range t.Loads {
+		if ld.Value == 0 {
+			out = append(out, ld.Addr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package mini
+
+import (
+	"fmt"
+
+	"rap/internal/stats"
+)
+
+// Memory layout of a running Mini program. The regions mirror a native
+// process image so that profiled PCs and addresses look like the paper's:
+// a low text segment, a heap in the 0x140000000 band, and a stack region
+// at 0x11ff00000 (the band Figure 10's zero-loads cluster around).
+const (
+	CodeBase  = 0x00400000
+	HeapBase  = 0x140000000
+	StackBase = 0x11ff00000
+)
+
+// Hooks are the VM's instrumentation points, the moral equivalent of the
+// paper's ProfileMe-style event capture. Nil hooks cost nothing.
+type Hooks struct {
+	// OnBlock fires at every basic-block entry with the block's PC.
+	OnBlock func(pc uint64)
+	// OnLoad fires for every memory read (array elements and locals) with
+	// the address and the value read.
+	OnLoad func(addr, value uint64)
+	// OnStore fires for every memory write.
+	OnStore func(addr, value uint64)
+}
+
+// Config parameterizes a VM run.
+type Config struct {
+	Seed     uint64
+	MaxSteps uint64 // instruction budget; 0 means 200M
+	MaxHeap  int    // heap words; 0 means 1<<24
+	Hooks    Hooks
+}
+
+// VM executes a compiled Mini program.
+type VM struct {
+	prog *Compiled
+	cfg  Config
+
+	heap   []int64
+	stack  []int64
+	frames []frame
+	rng    *stats.SplitMix64
+	output []int64
+	steps  uint64
+}
+
+type frame struct {
+	chunk *Chunk
+	ip    int
+	base  int
+}
+
+// NewVM builds a VM for the program.
+func NewVM(prog *Compiled, cfg Config) *VM {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 200_000_000
+	}
+	if cfg.MaxHeap == 0 {
+		cfg.MaxHeap = 1 << 24
+	}
+	return &VM{prog: prog, cfg: cfg, rng: stats.NewSplitMix64(cfg.Seed)}
+}
+
+// Output returns the values printed by the program.
+func (m *VM) Output() []int64 { return m.output }
+
+// Steps returns the number of instructions executed.
+func (m *VM) Steps() uint64 { return m.steps }
+
+// Run executes main to completion and returns its result.
+func (m *VM) Run() (int64, error) {
+	main := m.prog.Chunks[m.prog.Main]
+	m.stack = make([]int64, main.NumLocals, 1024)
+	m.frames = append(m.frames[:0], frame{chunk: main})
+
+	for {
+		f := &m.frames[len(m.frames)-1]
+		c := f.chunk
+		if f.ip >= len(c.Code) {
+			return 0, fmt.Errorf("mini: %s: fell off the end of the code", c.Name)
+		}
+		if m.steps >= m.cfg.MaxSteps {
+			return 0, fmt.Errorf("mini: instruction budget of %d exhausted", m.cfg.MaxSteps)
+		}
+		m.steps++
+
+		if c.BlockStart[f.ip] && m.cfg.Hooks.OnBlock != nil {
+			m.cfg.Hooks.OnBlock(c.PC(f.ip))
+		}
+
+		ins := c.Code[f.ip]
+		f.ip++
+		switch ins.Op {
+		case OpConst:
+			m.push(ins.Arg)
+		case OpLoadLocal:
+			slot := f.base + int(ins.Arg)
+			v := m.stack[slot]
+			if m.cfg.Hooks.OnLoad != nil {
+				m.cfg.Hooks.OnLoad(StackBase+uint64(slot)*8, uint64(v))
+			}
+			m.push(v)
+		case OpStoreLocal:
+			slot := f.base + int(ins.Arg)
+			v := m.pop()
+			if m.cfg.Hooks.OnStore != nil {
+				m.cfg.Hooks.OnStore(StackBase+uint64(slot)*8, uint64(v))
+			}
+			m.stack[slot] = v
+		case OpPop:
+			m.pop()
+
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
+			OpEq, OpNe, OpLt, OpGt, OpLe, OpGe:
+			b := m.pop()
+			a := m.pop()
+			v, err := applyBinary(ins.Op, a, b, c.Name)
+			if err != nil {
+				return 0, err
+			}
+			m.push(v)
+		case OpNeg:
+			m.push(-m.pop())
+		case OpNot:
+			if m.pop() == 0 {
+				m.push(1)
+			} else {
+				m.push(0)
+			}
+
+		case OpJump:
+			f.ip = int(ins.Arg)
+		case OpJumpIf:
+			if m.pop() == 0 {
+				f.ip = int(ins.Arg)
+			}
+
+		case OpCall:
+			callee := m.prog.Chunks[ins.Arg]
+			base := len(m.stack) - callee.NumParams
+			for len(m.stack) < base+callee.NumLocals {
+				m.stack = append(m.stack, 0)
+			}
+			m.frames = append(m.frames, frame{chunk: callee, base: base})
+			if len(m.frames) > 10_000 {
+				return 0, fmt.Errorf("mini: stack overflow calling %s", callee.Name)
+			}
+		case OpReturn:
+			ret := m.pop()
+			base := f.base
+			m.frames = m.frames[:len(m.frames)-1]
+			m.stack = m.stack[:base]
+			if len(m.frames) == 0 {
+				return ret, nil
+			}
+			m.push(ret)
+
+		case OpNewArray:
+			n := m.pop()
+			if n < 0 || int(n) > m.cfg.MaxHeap-len(m.heap)-1 {
+				return 0, fmt.Errorf("mini: %s: array(%d) exceeds heap budget", c.Name, n)
+			}
+			handle := int64(len(m.heap))
+			m.heap = append(m.heap, n)
+			m.heap = append(m.heap, make([]int64, n)...)
+			m.push(handle)
+		case OpALoad:
+			idx := m.pop()
+			h := m.pop()
+			word, err := m.element(h, idx, c.Name)
+			if err != nil {
+				return 0, err
+			}
+			v := m.heap[word]
+			if m.cfg.Hooks.OnLoad != nil {
+				m.cfg.Hooks.OnLoad(HeapBase+uint64(word)*8, uint64(v))
+			}
+			m.push(v)
+		case OpAStore:
+			v := m.pop()
+			idx := m.pop()
+			h := m.pop()
+			word, err := m.element(h, idx, c.Name)
+			if err != nil {
+				return 0, err
+			}
+			if m.cfg.Hooks.OnStore != nil {
+				m.cfg.Hooks.OnStore(HeapBase+uint64(word)*8, uint64(v))
+			}
+			m.heap[word] = v
+		case OpLen:
+			h := m.pop()
+			if h < 0 || h >= int64(len(m.heap)) {
+				return 0, fmt.Errorf("mini: %s: len of invalid array handle %d", c.Name, h)
+			}
+			m.push(m.heap[h])
+		case OpRand:
+			m.push(int64(m.rng.Uint64() >> 1))
+		case OpPrint:
+			m.output = append(m.output, m.pop())
+
+		default:
+			return 0, fmt.Errorf("mini: %s: bad opcode %v", c.Name, ins.Op)
+		}
+	}
+}
+
+// element validates an array access and returns the heap word index.
+func (m *VM) element(h, idx int64, fn string) (int64, error) {
+	if h < 0 || h >= int64(len(m.heap)) {
+		return 0, fmt.Errorf("mini: %s: invalid array handle %d", fn, h)
+	}
+	length := m.heap[h]
+	if idx < 0 || idx >= length {
+		return 0, fmt.Errorf("mini: %s: index %d out of range [0,%d)", fn, idx, length)
+	}
+	return h + 1 + idx, nil
+}
+
+func applyBinary(op Op, a, b int64, fn string) (int64, error) {
+	switch op {
+	case OpAdd:
+		return a + b, nil
+	case OpSub:
+		return a - b, nil
+	case OpMul:
+		return a * b, nil
+	case OpDiv:
+		if b == 0 {
+			return 0, fmt.Errorf("mini: %s: division by zero", fn)
+		}
+		return a / b, nil
+	case OpMod:
+		if b == 0 {
+			return 0, fmt.Errorf("mini: %s: modulo by zero", fn)
+		}
+		return a % b, nil
+	case OpAnd:
+		return a & b, nil
+	case OpOr:
+		return a | b, nil
+	case OpXor:
+		return a ^ b, nil
+	case OpShl:
+		return a << (uint64(b) & 63), nil
+	case OpShr:
+		return int64(uint64(a) >> (uint64(b) & 63)), nil
+	case OpEq:
+		return boolInt(a == b), nil
+	case OpNe:
+		return boolInt(a != b), nil
+	case OpLt:
+		return boolInt(a < b), nil
+	case OpGt:
+		return boolInt(a > b), nil
+	case OpLe:
+		return boolInt(a <= b), nil
+	default: // OpGe
+		return boolInt(a >= b), nil
+	}
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (m *VM) push(v int64) { m.stack = append(m.stack, v) }
+
+func (m *VM) pop() int64 {
+	v := m.stack[len(m.stack)-1]
+	m.stack = m.stack[:len(m.stack)-1]
+	return v
+}

@@ -1,0 +1,201 @@
+// Package multidim implements the multi-dimensional extension the paper's
+// conclusion sketches: "The applicability of RAP can be further extended
+// with multi-dimensional profiling which allows adaptive ranges over two
+// or more variables. With this extension it is possible to handle edge
+// profiles, data-code correlation studies, and general tuple space
+// profiles" (Section 6).
+//
+// A 2-D event (x, y) — a branch edge (source PC, target PC), a data-code
+// pair (PC, address), a (value, latency) tuple — is mapped to a single
+// key by bit interleaving (Morton / Z-order): key bits alternate x and y
+// bits, most significant first. Under this mapping, a RAP tree node with
+// an even prefix length is exactly an axis-aligned square in tuple space
+// (a prefix of x crossed with an equal-length prefix of y), so the 1-D
+// machinery — splits, batched merges, the ε·n error bound, the TCAM row
+// encoding — carries over unchanged. The quadtree of Hershberger et
+// al.'s adaptive spatial partitioning is recovered as the even-depth
+// levels of the binary-interleaved tree.
+package multidim
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"rap/internal/core"
+)
+
+// Tree2D is a two-dimensional RAP tree over [0,2^w) x [0,2^w).
+type Tree2D struct {
+	tree  *core.Tree
+	xBits int
+}
+
+// Config2D parameterizes a 2-D tree.
+type Config2D struct {
+	// BitsPerDim is the width w of each dimension; the underlying key is
+	// 2w bits, so w <= 32.
+	BitsPerDim int
+	// Epsilon is the RAP error bound.
+	Epsilon float64
+}
+
+// DefaultConfig2D profiles 32-bit x 32-bit tuples (e.g. PC x PC edges) at
+// eps = 1%.
+func DefaultConfig2D() Config2D {
+	return Config2D{BitsPerDim: 32, Epsilon: 0.01}
+}
+
+// New2D builds a 2-D RAP tree.
+func New2D(cfg Config2D) (*Tree2D, error) {
+	if cfg.BitsPerDim < 1 || cfg.BitsPerDim > 32 {
+		return nil, fmt.Errorf("multidim: BitsPerDim %d out of range [1,32]", cfg.BitsPerDim)
+	}
+	c := core.DefaultConfig()
+	c.UniverseBits = 2 * cfg.BitsPerDim
+	// Branch 4 = one bit of x and one bit of y per level: every level of
+	// the interleaved tree splits both dimensions once, the quadtree of
+	// adaptive spatial partitioning.
+	c.Branch = 4
+	c.Epsilon = cfg.Epsilon
+	t, err := core.New(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree2D{tree: t, xBits: cfg.BitsPerDim}, nil
+}
+
+// Add records one occurrence of the tuple (x, y).
+func (t *Tree2D) Add(x, y uint64) { t.AddN(x, y, 1) }
+
+// AddN records weight occurrences of (x, y).
+func (t *Tree2D) AddN(x, y, weight uint64) {
+	t.tree.AddN(Interleave(x, y, t.xBits), weight)
+}
+
+// N returns the total tuple weight processed.
+func (t *Tree2D) N() uint64 { return t.tree.N() }
+
+// NodeCount returns the live counter count.
+func (t *Tree2D) NodeCount() int { return t.tree.NodeCount() }
+
+// MemoryBytes returns the memory footprint at the paper's 16 B per node.
+func (t *Tree2D) MemoryBytes() int { return t.tree.MemoryBytes() }
+
+// Finalize compacts the tree (one extra merge batch).
+func (t *Tree2D) Finalize() core.Stats { return t.tree.Finalize() }
+
+// Tree exposes the underlying 1-D tree over interleaved keys (for dumps
+// and snapshots).
+func (t *Tree2D) Tree() *core.Tree { return t.tree }
+
+// Estimate returns a lower bound on the tuples inside the axis-aligned
+// rectangle [xlo,xhi] x [ylo,yhi]: the summed counts of every live node
+// whose decoded cell lies entirely inside the rectangle. This walks the
+// tree once — O(live nodes) for any query shape — and preserves the 1-D
+// lower-bound property (a node's count is attributed only when its whole
+// cell is inside; partially overlapping cells contribute nothing).
+func (t *Tree2D) Estimate(xlo, xhi, ylo, yhi uint64) uint64 {
+	if xlo > xhi || ylo > yhi {
+		return 0
+	}
+	var total uint64
+	t.tree.Walk(func(n core.NodeInfo) bool {
+		cxlo, cxhi, cylo, cyhi := t.cell(n)
+		if cxlo >= xlo && cxhi <= xhi && cylo >= ylo && cyhi <= yhi {
+			total += n.Count
+		}
+		return true
+	})
+	return total
+}
+
+// cell decodes a node's key range into its tuple-space rectangle.
+func (t *Tree2D) cell(n core.NodeInfo) (xlo, xhi, ylo, yhi uint64) {
+	suffix := bits.Len64(n.Hi - n.Lo)
+	x, y := Deinterleave(n.Lo, t.xBits)
+	xFree := suffix / 2
+	yFree := suffix - xFree
+	return x, x | lowMask(xFree), y, y | lowMask(yFree)
+}
+
+// HotCell is one hot region of tuple space.
+type HotCell struct {
+	XLo, XHi uint64
+	YLo, YHi uint64
+	Weight   uint64
+	Frac     float64
+}
+
+// HotCells returns the hot regions at threshold theta, decoded back to
+// tuple-space rectangles. Nodes at odd interleave depth (split in x but
+// not yet in y) decode to 2:1 rectangles; even-depth nodes are squares.
+// Sorted hottest first.
+func (t *Tree2D) HotCells(theta float64) []HotCell {
+	hot := t.tree.HotRanges(theta)
+	out := make([]HotCell, 0, len(hot))
+	for _, h := range hot {
+		suffix := bits.Len64(h.Hi - h.Lo) // free key bits of the node
+		x, y := Deinterleave(h.Lo, t.xBits)
+		// A key prefix fixes x and y bits alternately, x first (x-major
+		// interleave), so the suffix leaves floor(suffix/2) x bits and
+		// ceil(suffix/2) y bits free.
+		xFree := suffix / 2
+		yFree := suffix - xFree
+		out = append(out, HotCell{
+			XLo: x, XHi: x | lowMask(xFree),
+			YLo: y, YHi: y | lowMask(yFree),
+			Weight: h.Weight,
+			Frac:   h.Frac,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Frac > out[j].Frac })
+	return out
+}
+
+func lowMask(k int) uint64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << k) - 1
+}
+
+// Interleave builds the Z-order key of (x, y) with w bits per dimension:
+// bit i of x lands at key bit 2i+1, bit i of y at key bit 2i (x-major).
+func Interleave(x, y uint64, w int) uint64 {
+	x &= lowMask(w)
+	y &= lowMask(w)
+	return spread(x)<<1 | spread(y)
+}
+
+// Deinterleave inverts Interleave.
+func Deinterleave(key uint64, w int) (x, y uint64) {
+	x = compact(key >> 1)
+	y = compact(key)
+	return x & lowMask(w), y & lowMask(w)
+}
+
+// spread inserts a zero bit above every bit of v (32 -> 64 bits).
+func spread(v uint64) uint64 {
+	v &= 0xFFFFFFFF
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// compact drops every other bit of v (inverse of spread on even bits).
+func compact(v uint64) uint64 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v>>4) & 0x00FF00FF00FF00FF
+	v = (v | v>>8) & 0x0000FFFF0000FFFF
+	v = (v | v>>16) & 0x00000000FFFFFFFF
+	return v
+}

@@ -1,0 +1,177 @@
+package multidim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rap/internal/stats"
+)
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	f := func(x, y uint32) bool {
+		key := Interleave(uint64(x), uint64(y), 32)
+		gx, gy := Deinterleave(key, 32)
+		return gx == uint64(x) && gy == uint64(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleaveKnownValues(t *testing.T) {
+	cases := []struct {
+		x, y, key uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 2}, // x bit 0 -> key bit 1
+		{0, 1, 1}, // y bit 0 -> key bit 0
+		{1, 1, 3},
+		{0b10, 0b01, 0b1001}, // x1 -> bit 3, y0 -> bit 0
+	}
+	for _, tc := range cases {
+		if got := Interleave(tc.x, tc.y, 32); got != tc.key {
+			t.Errorf("Interleave(%b,%b) = %b, want %b", tc.x, tc.y, got, tc.key)
+		}
+	}
+}
+
+func TestInterleaveZOrderLocality(t *testing.T) {
+	// Points in the same aligned square share a key prefix: the property
+	// that makes the 1-D tree's ranges meaningful in 2-D.
+	a := Interleave(0x1000, 0x2000, 32)
+	b := Interleave(0x1001, 0x2001, 32)
+	far := Interleave(0x80001000, 0x2000, 32)
+	if a>>8 != b>>8 {
+		t.Errorf("neighbors do not share a prefix: %x vs %x", a, b)
+	}
+	if a>>62 == far>>62 {
+		t.Errorf("distant points share the top prefix: %x vs %x", a, far)
+	}
+}
+
+func TestNew2DValidation(t *testing.T) {
+	for _, w := range []int{0, 33, -1} {
+		if _, err := New2D(Config2D{BitsPerDim: w, Epsilon: 0.01}); err == nil {
+			t.Errorf("accepted BitsPerDim %d", w)
+		}
+	}
+	if _, err := New2D(DefaultConfig2D()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotEdgeDetection(t *testing.T) {
+	// An edge-profile scenario: one hot branch edge dominates.
+	tr, err := New2D(Config2D{BitsPerDim: 16, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewSplitMix64(1)
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		if i%3 != 0 {
+			tr.Add(0x4000, 0x8000) // hot edge, 2/3 of the stream
+		} else {
+			tr.Add(rng.Uint64n(1<<16), rng.Uint64n(1<<16))
+		}
+	}
+	tr.Finalize()
+	if tr.N() != n {
+		t.Fatalf("N = %d", tr.N())
+	}
+
+	cells := tr.HotCells(0.10)
+	if len(cells) == 0 {
+		t.Fatal("no hot cells")
+	}
+	top := cells[0]
+	if top.XLo != 0x4000 || top.XHi != 0x4000 || top.YLo != 0x8000 || top.YHi != 0x8000 {
+		t.Fatalf("hottest cell = (%x-%x, %x-%x), want the singleton edge",
+			top.XLo, top.XHi, top.YLo, top.YHi)
+	}
+	if top.Frac < 0.60 {
+		t.Fatalf("hot edge fraction %.3f, want ~0.67", top.Frac)
+	}
+}
+
+func TestRectangleEstimateLowerBound(t *testing.T) {
+	tr, err := New2D(Config2D{BitsPerDim: 12, Epsilon: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewSplitMix64(7)
+	type pt struct{ x, y uint64 }
+	var pts []pt
+	for i := 0; i < 100_000; i++ {
+		var p pt
+		if rng.Intn(2) == 0 {
+			p = pt{rng.Uint64n(64) + 512, rng.Uint64n(64) + 1024} // hot cluster
+		} else {
+			p = pt{rng.Uint64n(1 << 12), rng.Uint64n(1 << 12)}
+		}
+		pts = append(pts, p)
+		tr.Add(p.x, p.y)
+	}
+	tr.Finalize()
+
+	for trial := 0; trial < 40; trial++ {
+		xlo, xhi := rng.Uint64n(1<<12), rng.Uint64n(1<<12)
+		if xlo > xhi {
+			xlo, xhi = xhi, xlo
+		}
+		ylo, yhi := rng.Uint64n(1<<12), rng.Uint64n(1<<12)
+		if ylo > yhi {
+			ylo, yhi = yhi, ylo
+		}
+		var truth uint64
+		for _, p := range pts {
+			if p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi {
+				truth++
+			}
+		}
+		est := tr.Estimate(xlo, xhi, ylo, yhi)
+		if est > truth {
+			t.Fatalf("rect (%d-%d, %d-%d): estimate %d exceeds truth %d",
+				xlo, xhi, ylo, yhi, est, truth)
+		}
+	}
+	// The hot cluster must be well estimated.
+	est := tr.Estimate(512, 575, 1024, 1087)
+	if frac := float64(est) / float64(tr.N()); frac < 0.40 {
+		t.Fatalf("hot cluster estimate %.3f of stream, want ~0.5", frac)
+	}
+}
+
+func TestEstimateFullSpace(t *testing.T) {
+	tr, err := New2D(Config2D{BitsPerDim: 8, Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		tr.Add(uint64(i%256), uint64((i*7)%256))
+	}
+	if got := tr.Estimate(0, 255, 0, 255); got != 10_000 {
+		t.Fatalf("full-space estimate %d, want 10000 (no event lost)", got)
+	}
+}
+
+func TestMemoryStaysBounded2D(t *testing.T) {
+	tr, err := New2D(Config2D{BitsPerDim: 32, Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewSplitMix64(3)
+	for i := 0; i < 200_000; i++ {
+		tr.Add(rng.Uint64(), rng.Uint64()) // adversarial uniform tuples
+	}
+	st := tr.Finalize()
+	if st.Nodes > 12_000 {
+		t.Fatalf("2-D tree grew to %d nodes on uniform input", st.Nodes)
+	}
+	if tr.NodeCount() != st.Nodes || tr.MemoryBytes() != st.MemoryBytes {
+		t.Fatal("accessors disagree with stats")
+	}
+	if tr.Tree() == nil {
+		t.Fatal("underlying tree not exposed")
+	}
+}

@@ -1,0 +1,167 @@
+// Package stats provides the deterministic random sources, discrete
+// distributions, and summary helpers the workload models and experiment
+// harness are built on. Everything here is reproducible: the same seed
+// yields the same stream on every platform, which is what lets
+// EXPERIMENTS.md quote concrete measured numbers.
+package stats
+
+import "math"
+
+// SplitMix64 is a tiny, fast, well-distributed PRNG (Steele et al.,
+// "Fast Splittable Pseudorandom Number Generators"). It implements
+// math/rand.Source64 so it can seed the standard library's samplers while
+// staying platform-stable.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 implements math/rand.Source.
+func (s *SplitMix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements math/rand.Source.
+func (s *SplitMix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// Float64 returns a uniform float in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+func (s *SplitMix64) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("stats: Uint64n with zero n")
+	}
+	return s.Uint64() % n
+}
+
+// Split returns a new generator whose stream is independent of the
+// receiver's continued use — handy for giving each workload component its
+// own source.
+func (s *SplitMix64) Split() *SplitMix64 {
+	return NewSplitMix64(s.Uint64())
+}
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^exponent. It uses inverted CDF sampling over a precomputed
+// cumulative table, so it is exact (not an approximation) and fast for the
+// table sizes the workload models use (up to ~1e6 ranks).
+type Zipf struct {
+	cdf []float64
+	rng *SplitMix64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with the given exponent > 0.
+func NewZipf(rng *SplitMix64, n int, exponent float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf with non-positive n")
+	}
+	if exponent <= 0 {
+		panic("stats: Zipf with non-positive exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), exponent)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Rank returns the next sampled rank in [0, n).
+func (z *Zipf) Rank() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Discrete samples indices 0..len(weights)-1 with probability proportional
+// to weights[i].
+type Discrete struct {
+	cdf []float64
+	rng *SplitMix64
+}
+
+// NewDiscrete builds a sampler over the given non-negative weights, at
+// least one of which must be positive.
+func NewDiscrete(rng *SplitMix64, weights []float64) *Discrete {
+	if len(weights) == 0 {
+		panic("stats: Discrete with no weights")
+	}
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("stats: Discrete with negative weight")
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum <= 0 {
+		panic("stats: Discrete with zero total weight")
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Discrete{cdf: cdf, rng: rng}
+}
+
+// Index returns the next sampled index.
+func (d *Discrete) Index() int {
+	u := d.rng.Float64()
+	lo, hi := 0, len(d.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Geometric returns a geometrically distributed integer >= 0 with success
+// probability p in (0, 1]: the number of failures before the first success.
+func Geometric(rng *SplitMix64, p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("stats: Geometric with non-positive p")
+	}
+	u := rng.Float64()
+	return int(math.Floor(math.Log1p(-u) / math.Log1p(-p)))
+}

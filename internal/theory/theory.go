@@ -1,0 +1,156 @@
+// Package theory provides the closed-form worst-case analysis behind the
+// paper's design-space figures: node-count bounds as a function of the
+// branching factor b (Figure 2, lower curve), of the merge-interval ratio
+// q (Figure 2, upper curve), and the bound-over-time schedule under
+// batched merging (Figure 3).
+//
+// The model. A compacted tree (immediately after a full merge pass at
+// threshold ε·n/H) can keep at most 1/ε over-threshold node weights per
+// level across H = log_b R levels, each retaining its b children:
+//
+//	S(b) = b·H_b/ε        (compact bound)
+//
+// Between batched merges the tree grows by one split per threshold of new
+// weight; integrating dn/(ε·n/H) from a merge at n to the next at q·n
+// gives b·H/ε·ln q extra nodes:
+//
+//	Peak(b, q) = S(b)·(1 + ln q)
+//
+// Batching is not free in the other direction either: each batch scans the
+// whole structure while incoming events stack up in the Stage-0 buffer,
+// and the number of batches over a stream grows as 1/ln q. Charging that
+// buffered/merge-work residue at S(b)·ln²2/ln q calibrates the published
+// operating point — total memory is minimized exactly at q = 2, the value
+// Figure 2 selects — giving the Figure 2 upper curve:
+//
+//	Mem(b, q) = S(b)·(1 + ln q + ln²2/ln q)
+//
+// The b sweep at fixed q shows b = 2 and b = 4 tie at the minimum of
+// b/log2(b); the paper (and this package's Recommendation) breaks the tie
+// toward b = 4 because isolating a hot point takes log_b R splits — half
+// as many levels, half the per-update work and convergence delay.
+package theory
+
+import "math"
+
+// mergeResidue is the calibrated coefficient of the 1/ln q merge-overhead
+// term: ln²2, the unique value that puts the memory minimum at q = 2.
+var mergeResidue = math.Ln2 * math.Ln2
+
+// Height returns H = ceil(w / log2 b), the maximum number of split steps
+// from the root of a 2^w universe to a singleton with branching factor b.
+func Height(universeBits, branch int) int {
+	s := int(math.Round(math.Log2(float64(branch))))
+	return (universeBits + s - 1) / s
+}
+
+// CompactBound returns S(b) = b·H/ε, the worst-case node count of a fully
+// compacted tree.
+func CompactBound(universeBits, branch int, eps float64) float64 {
+	return float64(branch) * float64(Height(universeBits, branch)) / eps
+}
+
+// PeakBound returns the worst-case live node count under batched merging
+// with interval ratio q: the compact bound plus the growth accumulated
+// just before the next batch fires.
+func PeakBound(universeBits, branch int, eps, q float64) float64 {
+	return CompactBound(universeBits, branch, eps) * (1 + math.Log(q))
+}
+
+// MemoryModel returns the Figure 2 memory figure of merit for a
+// configuration: peak live nodes plus the batching residue charged for
+// merge work and Stage-0 buffering. Minimized over q at q = 2.
+func MemoryModel(universeBits, branch int, eps, q float64) float64 {
+	s := CompactBound(universeBits, branch, eps)
+	return s * (1 + math.Log(q) + mergeResidue/math.Log(q))
+}
+
+// ConvergenceSplits returns how many splits are needed before a single
+// value accounting for the whole stream is profiled individually:
+// log_b R = H (Section 3.1).
+func ConvergenceSplits(universeBits, branch int) int {
+	return Height(universeBits, branch)
+}
+
+// SplitThreshold returns ε·n/H for a configuration at stream position n.
+func SplitThreshold(universeBits, branch int, eps float64, n uint64) float64 {
+	return eps * float64(n) / float64(Height(universeBits, branch))
+}
+
+// BoundPoint is one sample of the worst-case bound over time.
+type BoundPoint struct {
+	N     uint64  // events processed
+	Bound float64 // worst-case live nodes at this point
+	Merge bool    // a batch merge fires at this point
+}
+
+// BatchedSchedule traces the Figure 3 sawtooth: starting from the first
+// merge at n0, batches fire at n0, q·n0, q²·n0, ... up to limit. Between
+// batches the bound grows logarithmically from the compact bound; at each
+// batch it returns to it. The samples slice has samplesPerInterval points
+// per inter-merge interval plus one Merge point at each batch.
+func BatchedSchedule(universeBits, branch int, eps, q float64, n0, limit uint64, samplesPerInterval int) []BoundPoint {
+	if samplesPerInterval < 1 {
+		samplesPerInterval = 1
+	}
+	s := CompactBound(universeBits, branch, eps)
+	var out []BoundPoint
+	out = append(out, BoundPoint{N: 0, Bound: s})
+	last := float64(n0)
+	out = append(out, BoundPoint{N: n0, Bound: s, Merge: true})
+	for {
+		next := last * q
+		if uint64(next) > limit {
+			// Tail: growth from the last merge to the end of the stream.
+			for i := 1; i <= samplesPerInterval; i++ {
+				n := last + (float64(limit)-last)*float64(i)/float64(samplesPerInterval)
+				if n <= last {
+					break
+				}
+				out = append(out, BoundPoint{N: uint64(n), Bound: s * (1 + math.Log(n/last))})
+			}
+			return out
+		}
+		for i := 1; i < samplesPerInterval; i++ {
+			n := last + (next-last)*float64(i)/float64(samplesPerInterval)
+			out = append(out, BoundPoint{N: uint64(n), Bound: s * (1 + math.Log(n/last))})
+		}
+		out = append(out, BoundPoint{N: uint64(next), Bound: s, Merge: true})
+		last = next
+	}
+}
+
+// ContinuousBound returns the bound when merges run every cycle: the
+// compact bound, held flat (the lower line of Figure 3).
+func ContinuousBound(universeBits, branch int, eps float64) float64 {
+	return CompactBound(universeBits, branch, eps)
+}
+
+// MergeBatches returns how many batch merges a stream of length n incurs
+// with first merge at n0 and ratio q — the Section 3.3 count (32-10 = 22
+// batches for 2^32 events at n0 = 2^10, q = 2).
+func MergeBatches(n, n0 uint64, q float64) int {
+	if n < n0 || n0 == 0 {
+		return 0
+	}
+	return int(math.Floor(math.Log(float64(n)/float64(n0))/math.Log(q))) + 1
+}
+
+// Recommendation returns the paper's selected operating point for a given
+// universe: the branching factor minimizing the memory model with ties
+// broken toward fewer levels, and q = 2.
+func Recommendation(universeBits int, eps float64) (branch int, q float64) {
+	best, bestMem := 2, math.Inf(1)
+	for _, b := range []int{2, 4, 8, 16, 32} {
+		m := MemoryModel(universeBits, b, eps, 2)
+		// Tie-break (within 1%) toward larger b: fewer levels, faster
+		// convergence and fewer TCAM priority classes.
+		if m < bestMem*0.99 || (m < bestMem*1.01 && b > best) {
+			if m < bestMem {
+				bestMem = m
+			}
+			best = b
+		}
+	}
+	return best, 2
+}

@@ -1,0 +1,157 @@
+package theory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHeight(t *testing.T) {
+	cases := []struct {
+		w, b, want int
+	}{
+		{64, 2, 64}, {64, 4, 32}, {64, 8, 22}, {64, 16, 16}, {32, 4, 16},
+	}
+	for _, tc := range cases {
+		if got := Height(tc.w, tc.b); got != tc.want {
+			t.Errorf("Height(%d,%d) = %d, want %d", tc.w, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCompactBound(t *testing.T) {
+	// b=4, w=64, eps=1%: 4*32/0.01 = 12800.
+	if got := CompactBound(64, 4, 0.01); math.Abs(got-12800) > 1e-9 {
+		t.Fatalf("CompactBound = %v, want 12800", got)
+	}
+	// Tighter epsilon means more nodes.
+	if CompactBound(64, 4, 0.001) <= CompactBound(64, 4, 0.01) {
+		t.Fatal("bound not monotone in 1/eps")
+	}
+}
+
+func TestFig2BranchCurveShape(t *testing.T) {
+	// The b sweep at q=2 must have its minimum at b in {2,4} and rise for
+	// larger b — the Figure 2 lower-curve shape that motivates b=4.
+	mem := func(b int) float64 { return MemoryModel(64, b, 0.01, 2) }
+	m2, m4, m8, m16 := mem(2), mem(4), mem(8), mem(16)
+	if math.Abs(m2-m4)/m4 > 0.35 {
+		// H uses a ceiling so b=8 and uneven widths wiggle; b=2 and b=4
+		// should be exactly equal for w=64.
+		t.Fatalf("b=2 (%.0f) and b=4 (%.0f) should be near-tied", m2, m4)
+	}
+	if !(m4 <= m8 && m8 <= m16) {
+		t.Fatalf("memory not increasing past b=4: %v %v %v", m4, m8, m16)
+	}
+}
+
+func TestFig2MergeRatioMinimumAtTwo(t *testing.T) {
+	// The q sweep must be minimized at q=2 (Figure 2 upper curve).
+	best, bestQ := math.Inf(1), 0.0
+	for q := 1.1; q <= 8.0; q += 0.1 {
+		if m := MemoryModel(64, 4, 0.01, q); m < best {
+			best, bestQ = m, q
+		}
+	}
+	if math.Abs(bestQ-2.0) > 0.11 {
+		t.Fatalf("memory model minimized at q=%.2f, want 2.0", bestQ)
+	}
+}
+
+func TestPeakBound(t *testing.T) {
+	s := CompactBound(64, 4, 0.01)
+	if got := PeakBound(64, 4, 0.01, 1); math.Abs(got-s) > 1e-9 {
+		t.Fatalf("PeakBound(q=1) = %v, want compact %v", got, s)
+	}
+	if got := PeakBound(64, 4, 0.01, math.E); math.Abs(got-2*s) > 1e-9 {
+		t.Fatalf("PeakBound(q=e) = %v, want 2x compact", got)
+	}
+}
+
+func TestConvergenceSplits(t *testing.T) {
+	if got := ConvergenceSplits(64, 4); got != 32 {
+		t.Fatalf("ConvergenceSplits = %d, want 32", got)
+	}
+	// Fewer levels with larger b: the tie-break rationale for b=4 over 2.
+	if ConvergenceSplits(64, 4) >= ConvergenceSplits(64, 2) {
+		t.Fatal("larger branch should converge in fewer splits")
+	}
+}
+
+func TestSplitThreshold(t *testing.T) {
+	// eps=1%, n=3200, H=32: threshold = 1.
+	if got := SplitThreshold(64, 4, 0.01, 3200); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("SplitThreshold = %v, want 1", got)
+	}
+}
+
+func TestBatchedScheduleShape(t *testing.T) {
+	pts := BatchedSchedule(64, 4, 0.01, 2, 1<<10, 1<<20, 8)
+	if len(pts) < 20 {
+		t.Fatalf("schedule too sparse: %d points", len(pts))
+	}
+	s := CompactBound(64, 4, 0.01)
+	merges := 0
+	for i, p := range pts {
+		if p.Bound < s-1e-9 {
+			t.Fatalf("bound %v below compact %v at point %d", p.Bound, s, i)
+		}
+		if p.Merge {
+			merges++
+			if math.Abs(p.Bound-s) > 1e-9 {
+				t.Fatalf("bound at merge point %d is %v, want compact %v", i, p.Bound, s)
+			}
+		}
+		if i > 0 && p.N < pts[i-1].N {
+			t.Fatalf("schedule not monotone in N at %d", i)
+		}
+	}
+	// 2^10 .. 2^20 with q=2: 11 merge points (including the first).
+	if merges != 11 {
+		t.Fatalf("schedule fired %d merges, want 11", merges)
+	}
+	// Growth between merges stays below peak bound.
+	peak := PeakBound(64, 4, 0.01, 2)
+	for _, p := range pts {
+		if p.Bound > peak+1e-9 {
+			t.Fatalf("bound %v exceeds peak %v", p.Bound, peak)
+		}
+	}
+}
+
+func TestBatchedScheduleDefaultSamples(t *testing.T) {
+	pts := BatchedSchedule(64, 4, 0.01, 2, 1024, 4096, 0)
+	if len(pts) == 0 {
+		t.Fatal("empty schedule")
+	}
+}
+
+func TestContinuousBoundFlat(t *testing.T) {
+	if ContinuousBound(64, 4, 0.01) != CompactBound(64, 4, 0.01) {
+		t.Fatal("continuous bound must equal the compact bound")
+	}
+}
+
+func TestMergeBatches(t *testing.T) {
+	// The Section 3.3 counts: 2^32 events, first merge at 2^10, q=2 ->
+	// 22 doublings after the first batch, 23 batches total; the paper
+	// quotes the 22 inter-batch doublings. 2^64 -> 54.
+	if got := MergeBatches(1<<32, 1<<10, 2); got != 23 {
+		t.Fatalf("MergeBatches(2^32) = %d, want 23 (22 doublings + first)", got)
+	}
+	if got := MergeBatches(1<<62, 1<<10, 2) + 2; got != 55 {
+		t.Fatalf("MergeBatches(2^64)+2 = %d, want 55 (54 doublings + first)", got)
+	}
+	if MergeBatches(100, 1024, 2) != 0 {
+		t.Fatal("stream shorter than first merge must have 0 batches")
+	}
+	if MergeBatches(100, 0, 2) != 0 {
+		t.Fatal("n0=0 must be 0 batches")
+	}
+}
+
+func TestRecommendation(t *testing.T) {
+	b, q := Recommendation(64, 0.01)
+	if b != 4 || q != 2 {
+		t.Fatalf("Recommendation = b=%d q=%v, want b=4 q=2 (the paper's choice)", b, q)
+	}
+}

@@ -1,0 +1,91 @@
+package trace
+
+// CoalescingBuffer implements the Stage-0 event buffer of the hardware
+// design (Section 3.3): incoming events are staged in a small buffer that
+// merges duplicates, so each distinct value in a buffer window reaches the
+// profiling engine once, carrying its duplicate count as weight. The
+// paper: "a 1k buffer can reduce the throughput requirements on RAP by a
+// factor of 10 for code profiling".
+type CoalescingBuffer struct {
+	src      Source
+	capacity int
+
+	// window state
+	order  []uint64
+	counts map[uint64]uint64
+	emit   int
+
+	in, out uint64 // events in (total weight) and coalesced events out
+	done    bool
+}
+
+// NewCoalescingBuffer wraps src with a coalescing window of the given
+// capacity (number of raw events staged per window). Capacity must be
+// positive.
+func NewCoalescingBuffer(src Source, capacity int) *CoalescingBuffer {
+	if capacity <= 0 {
+		panic("trace: CoalescingBuffer capacity must be positive")
+	}
+	return &CoalescingBuffer{
+		src:      src,
+		capacity: capacity,
+		counts:   make(map[uint64]uint64, capacity),
+	}
+}
+
+// Next implements Source, yielding one coalesced event per distinct value
+// per window, in first-seen order.
+func (b *CoalescingBuffer) Next() (Event, bool) {
+	for {
+		if b.emit < len(b.order) {
+			v := b.order[b.emit]
+			b.emit++
+			e := Event{Value: v, Weight: b.counts[v]}
+			b.out++
+			return e, true
+		}
+		if b.done {
+			return Event{}, false
+		}
+		b.fill()
+		if len(b.order) == 0 && b.done {
+			return Event{}, false
+		}
+	}
+}
+
+// fill stages the next window of raw events.
+func (b *CoalescingBuffer) fill() {
+	b.order = b.order[:0]
+	clear(b.counts)
+	b.emit = 0
+	staged := 0
+	for staged < b.capacity {
+		e, ok := b.src.Next()
+		if !ok {
+			b.done = true
+			return
+		}
+		b.in += e.Weight
+		staged++
+		if _, seen := b.counts[e.Value]; !seen {
+			b.order = append(b.order, e.Value)
+		}
+		b.counts[e.Value] += e.Weight
+	}
+}
+
+// CompressionFactor reports raw-events-in per coalesced-event-out so far —
+// the throughput reduction the buffer buys the engine.
+func (b *CoalescingBuffer) CompressionFactor() float64 {
+	if b.out == 0 {
+		return 1
+	}
+	return float64(b.in) / float64(b.out)
+}
+
+// EventsIn returns the total raw event weight staged so far.
+func (b *CoalescingBuffer) EventsIn() uint64 { return b.in }
+
+// EventsOut returns the number of coalesced events emitted so far.
+func (b *CoalescingBuffer) EventsOut() uint64 { return b.out }

@@ -1,0 +1,112 @@
+// Package trace defines the event-stream plumbing between profile sources
+// (instrumented programs, workload models, trace files) and profile
+// consumers (the RAP tree, baselines, the hardware pipeline model).
+//
+// An event is a single profiled identifier — a PC, a load value, a memory
+// address — with a weight for coalesced duplicates. The package also
+// implements the Stage-0 event buffer of the paper's hardware design
+// (Figure 4): a small buffer that pre-processes points "by combining
+// identical events", which the paper observes cuts the throughput demand
+// on the RAP engine by about 10x for code profiling.
+package trace
+
+// Event is one profiled occurrence. Weight is 1 for raw events and the
+// duplicate count for coalesced ones.
+type Event struct {
+	Value  uint64
+	Weight uint64
+}
+
+// Source yields a stream of events. Next returns ok=false when the stream
+// is exhausted.
+type Source interface {
+	Next() (Event, bool)
+}
+
+// Sink consumes events one at a time.
+type Sink interface {
+	Consume(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Consume implements Sink.
+func (f SinkFunc) Consume(e Event) { f(e) }
+
+// SliceSource yields the given values in order, each with weight 1.
+type SliceSource struct {
+	values []uint64
+	pos    int
+}
+
+// NewSliceSource wraps values as a Source without copying.
+func NewSliceSource(values []uint64) *SliceSource {
+	return &SliceSource{values: values}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Event, bool) {
+	if s.pos >= len(s.values) {
+		return Event{}, false
+	}
+	v := s.values[s.pos]
+	s.pos++
+	return Event{Value: v, Weight: 1}, true
+}
+
+// FuncSource adapts a generator function to the Source interface.
+type FuncSource func() (uint64, bool)
+
+// Next implements Source.
+func (f FuncSource) Next() (Event, bool) {
+	v, ok := f()
+	if !ok {
+		return Event{}, false
+	}
+	return Event{Value: v, Weight: 1}, true
+}
+
+// Limit caps a source at n events.
+func Limit(src Source, n uint64) Source {
+	return &limitSource{src: src, left: n}
+}
+
+type limitSource struct {
+	src  Source
+	left uint64
+}
+
+func (l *limitSource) Next() (Event, bool) {
+	if l.left == 0 {
+		return Event{}, false
+	}
+	l.left--
+	return l.src.Next()
+}
+
+// Pump drains src into sink and returns the number of events (total
+// weight) moved.
+func Pump(src Source, sink Sink) uint64 {
+	var n uint64
+	for {
+		e, ok := src.Next()
+		if !ok {
+			return n
+		}
+		n += e.Weight
+		sink.Consume(e)
+	}
+}
+
+// Collect drains src into a slice of events (for tests and small traces).
+func Collect(src Source) []Event {
+	var out []Event
+	for {
+		e, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSliceSource(t *testing.T) {
+	src := NewSliceSource([]uint64{1, 2, 3})
+	got := Collect(src)
+	if len(got) != 3 || got[0] != (Event{1, 1}) || got[2] != (Event{3, 1}) {
+		t.Fatalf("Collect = %v", got)
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source yielded an event")
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	i := 0
+	src := FuncSource(func() (uint64, bool) {
+		i++
+		return uint64(i), i <= 4
+	})
+	if got := Collect(src); len(got) != 4 {
+		t.Fatalf("FuncSource yielded %d events, want 4", len(got))
+	}
+}
+
+func TestLimit(t *testing.T) {
+	src := FuncSource(func() (uint64, bool) { return 7, true })
+	got := Collect(Limit(src, 10))
+	if len(got) != 10 {
+		t.Fatalf("Limit(10) yielded %d", len(got))
+	}
+	if got := Collect(Limit(NewSliceSource([]uint64{1}), 10)); len(got) != 1 {
+		t.Fatalf("Limit past exhaustion yielded %d", len(got))
+	}
+}
+
+func TestPump(t *testing.T) {
+	var sum uint64
+	n := Pump(NewSliceSource([]uint64{5, 6, 7}), SinkFunc(func(e Event) { sum += e.Value }))
+	if n != 3 || sum != 18 {
+		t.Fatalf("Pump moved %d weight, sum %d", n, sum)
+	}
+}
+
+func TestCoalescingBufferMergesWindow(t *testing.T) {
+	vals := []uint64{1, 1, 1, 2, 2, 3, 4, 4}
+	b := NewCoalescingBuffer(NewSliceSource(vals), 8)
+	got := Collect(b)
+	want := []Event{{1, 3}, {2, 2}, {3, 1}, {4, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if f := b.CompressionFactor(); f != 2 {
+		t.Fatalf("compression factor %v, want 2", f)
+	}
+	if b.EventsIn() != 8 || b.EventsOut() != 4 {
+		t.Fatalf("in/out = %d/%d", b.EventsIn(), b.EventsOut())
+	}
+}
+
+func TestCoalescingBufferWindowBoundary(t *testing.T) {
+	// Same value across two windows is emitted twice: coalescing is
+	// within a buffer window only, matching a real hardware buffer.
+	vals := []uint64{9, 9, 9, 9}
+	b := NewCoalescingBuffer(NewSliceSource(vals), 2)
+	got := Collect(b)
+	if len(got) != 2 || got[0] != (Event{9, 2}) || got[1] != (Event{9, 2}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCoalescingBufferPreservesWeight(t *testing.T) {
+	f := func(vals []byte, capSeed uint8) bool {
+		capacity := int(capSeed)%64 + 1
+		u := make([]uint64, len(vals))
+		var want uint64
+		for i, v := range vals {
+			u[i] = uint64(v % 8) // force duplicates
+			want++
+		}
+		b := NewCoalescingBuffer(NewSliceSource(u), capacity)
+		var got uint64
+		for {
+			e, ok := b.Next()
+			if !ok {
+				break
+			}
+			got += e.Weight
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalescingBufferHighLocality(t *testing.T) {
+	// A code-like stream (tight loop over a few blocks) must compress by
+	// roughly the window size over the distinct count — the paper's
+	// "factor of 10" observation.
+	var vals []uint64
+	for i := 0; i < 10_000; i++ {
+		vals = append(vals, uint64(i%16))
+	}
+	b := NewCoalescingBuffer(NewSliceSource(vals), 1024)
+	Collect(b)
+	if f := b.CompressionFactor(); f < 32 {
+		t.Fatalf("high-locality stream compressed only %.1fx", f)
+	}
+}
+
+func TestCoalescingBufferPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 accepted")
+		}
+	}()
+	NewCoalescingBuffer(NewSliceSource(nil), 0)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	events := []Event{{0, 1}, {1 << 40, 3}, {^uint64(0), 1}, {42, 1 << 30}}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got := Collect(r)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d = %v, want %v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if got := Collect(r); len(got) != 0 || r.Err() != nil {
+		t.Fatalf("empty trace: %v, err %v", got, r.Err())
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	for name, data := range map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE\x01"),
+		"bad version": []byte("RAPS\x09"),
+	} {
+		r := NewReader(bytes.NewReader(data))
+		if _, ok := r.Next(); ok || r.Err() == nil {
+			t.Errorf("%s: reader accepted garbage", name)
+		}
+	}
+}
+
+func TestReaderTruncatedEvent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Event{Value: 300, Weight: 5})
+	w.Flush()
+	data := buf.Bytes()
+	r := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated event decoded")
+	}
+	if r.Err() == nil {
+		t.Fatal("truncation not reported")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	events := []Event{{0xdead, 2}, {0, 1}, {1 << 50, 7}}
+	var sb strings.Builder
+	if err := WriteText(&sb, &staticSource{events: events}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("text round trip %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d = %v, want %v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadTextBadLine(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("zzz not hex\n")); err == nil {
+		t.Fatal("ReadText accepted garbage line")
+	}
+}
+
+type staticSource struct {
+	events []Event
+	pos    int
+}
+
+func (s *staticSource) Next() (Event, bool) {
+	if s.pos >= len(s.events) {
+		return Event{}, false
+	}
+	e := s.events[s.pos]
+	s.pos++
+	return e, true
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"rap/internal/stats"
+	"rap/internal/trace"
+)
+
+// codeGen produces a benchmark's dynamic basic-block stream: regions are
+// chosen by their execution share and a loop head within the region by
+// Zipf popularity; control then iterates a short loop body (sequential
+// blocks re-executed a geometric number of times) before the next pick.
+// The loop structure is what gives code streams the high short-term
+// locality that the Stage-0 coalescing buffer exploits (the paper's
+// "factor of 10" compression for code profiling).
+type codeGen struct {
+	bench Benchmark
+	rng   *stats.SplitMix64
+
+	pickRegion *phasedDiscrete
+	regionZipf []*stats.Zipf
+	background *stats.Zipf // diffuse residue over the whole text segment
+
+	loopStart int // first block of the current loop body
+	loopLen   int
+	pos       int // next block offset within the body
+	itersLeft int
+}
+
+const (
+	meanLoopLen   = 4  // mean blocks per loop body
+	meanLoopIters = 10 // mean iterations per loop visit
+	// meanBurst is the mean events emitted per region pick, used to scale
+	// the phase horizon from events to picks.
+	meanBurst = meanLoopLen * meanLoopIters
+)
+
+func newCodeGen(b Benchmark, seed, runLength uint64) *codeGen {
+	rng := stats.NewSplitMix64(seed ^ hashName(b.Name) ^ 0xC0DE)
+	weights := make([]float64, len(b.code.regions)+1)
+	windows := make([][2]float64, len(b.code.regions)+1)
+	total := 0.0
+	zipfs := make([]*stats.Zipf, len(b.code.regions))
+	for i, r := range b.code.regions {
+		weights[i] = r.weight
+		windows[i] = phaseWindow(i)
+		total += r.weight
+		zipfs[i] = stats.NewZipf(rng.Split(), r.numBlocks, r.zipfExp)
+	}
+	// The diffuse background executes for the whole run.
+	weights[len(b.code.regions)] = 1 - total
+	windows[len(b.code.regions)] = [2]float64{0, 1}
+	return &codeGen{
+		bench:      b,
+		rng:        rng,
+		pickRegion: newPhasedDiscreteWindows(rng.Split(), weights, windows, runLength/meanBurst),
+		regionZipf: zipfs,
+		background: stats.NewZipf(rng.Split(), b.code.numBlocks, 1.01),
+	}
+}
+
+// nextBlock returns the next dynamic basic-block index.
+func (g *codeGen) nextBlock() int {
+	for g.itersLeft == 0 {
+		i := g.pickRegion.Index()
+		if i < len(g.bench.code.regions) {
+			r := g.bench.code.regions[i]
+			g.loopStart = r.startBlock + g.regionZipf[i].Rank()
+		} else {
+			g.loopStart = g.background.Rank()
+		}
+		g.loopLen = 1 + stats.Geometric(g.rng, 1.0/float64(meanLoopLen))
+		if max := g.bench.code.numBlocks - g.loopStart; g.loopLen > max {
+			g.loopLen = max
+		}
+		g.itersLeft = 1 + stats.Geometric(g.rng, 1.0/float64(meanLoopIters))
+		g.pos = 0
+	}
+	blk := g.loopStart + g.pos
+	g.pos++
+	if g.pos >= g.loopLen {
+		g.pos = 0
+		g.itersLeft--
+	}
+	return blk
+}
+
+// pc converts a block index to its program counter.
+func (b Benchmark) pc(block int) uint64 {
+	return b.code.base + uint64(block)*b.code.blockSize
+}
+
+// Code returns an endless basic-block PC stream for the benchmark.
+// runLength sets the program-phase horizon (0 disables phasing).
+func (b Benchmark) Code(seed, runLength uint64) trace.Source {
+	g := newCodeGen(b, seed, runLength)
+	return trace.FuncSource(func() (uint64, bool) {
+		return b.pc(g.nextBlock()), true
+	})
+}
+
+// NarrowOperandPCs returns a PC stream restricted to instructions with
+// narrow operands (< 2^maxBits), the Section 4.4 narrow-operand profile:
+// each block has a fixed narrow-operand propensity, so narrow operations
+// concentrate in specific code regions (the paper's flow.c observation).
+func (b Benchmark) NarrowOperandPCs(seed uint64, maxBits int, runLength uint64) trace.Source {
+	g := newCodeGen(b, seed, runLength)
+	vals := newValueSampler(stats.NewSplitMix64(seed^hashName(b.Name)^0x0B0E), b.value, runLength)
+	propensity := stats.NewSplitMix64(hashName(b.Name) ^ 0x9A77)
+	// Per-block propensity in [0.05, 0.95], fixed per block.
+	blockProp := make([]float64, b.code.numBlocks)
+	for i := range blockProp {
+		blockProp[i] = 0.05 + 0.9*propensity.Float64()*propensity.Float64()
+	}
+	limit := uint64(1) << maxBits
+	rng := stats.NewSplitMix64(seed ^ 0x3A3A)
+	return trace.FuncSource(func() (uint64, bool) {
+		for {
+			blk := g.nextBlock()
+			// The block produces a narrow operand if its sampled value is
+			// narrow or its propensity fires.
+			if vals.sample() < limit || rng.Float64() < blockProp[blk]*0.2 {
+				return b.pc(blk), true
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"rap/internal/stats"
+	"rap/internal/trace"
+)
+
+// Load is one executed load instruction: the PC that issued it, the data
+// address it read, and the value it returned. The load stream feeds the
+// paper's cross-cutting profiles: value profiling (Figure 5), cache-miss
+// value profiling (Figure 9), and zero-load memory profiling (Figure 10).
+type Load struct {
+	PC    uint64
+	Addr  uint64
+	Value uint64
+}
+
+// addrModel describes how one load component generates addresses.
+type addrModel struct {
+	kind   addrKind
+	base   uint64
+	span   uint64 // inclusive extent above base
+	stride uint64 // scan step
+	slots  int    // global-table entries
+}
+
+type addrKind int
+
+const (
+	aStack  addrKind = iota // hot frame region: high reuse, cache hits
+	aScan                   // sequential sweep: miss per line
+	aChase                  // random pointer chase: miss-dominated
+	aGlobal                 // small hot table: hits
+)
+
+func stackAddr(base uint64, span uint64) addrModel {
+	return addrModel{kind: aStack, base: base, span: span}
+}
+
+func scanAddr(base uint64, span uint64, stride uint64) addrModel {
+	return addrModel{kind: aScan, base: base, span: span, stride: stride}
+}
+
+func chaseAddr(base uint64, span uint64) addrModel {
+	return addrModel{kind: aChase, base: base, span: span}
+}
+
+func globalAddr(base uint64, slots int) addrModel {
+	return addrModel{kind: aGlobal, base: base, slots: slots}
+}
+
+// loadComponent is one source of loads in a benchmark: an address model,
+// a zero-value probability, and the mixture for non-zero values.
+type loadComponent struct {
+	weight   float64
+	addr     addrModel
+	zeroProb float64
+	value    []valueComponent
+}
+
+// LoadSource generates a benchmark's endless load stream.
+type LoadSource struct {
+	rng  *stats.SplitMix64
+	pick *phasedDiscrete
+	comp []loadState
+}
+
+type loadState struct {
+	model    addrModel
+	zeroProb float64
+	values   *valueSampler
+	zipf     *stats.Zipf // stack/global popularity
+	pos      uint64      // scan cursor
+	rng      *stats.SplitMix64
+}
+
+// Loads returns the benchmark's load stream, seeded deterministically.
+// runLength sets the program-phase horizon (0 disables phasing).
+func (b Benchmark) Loads(seed, runLength uint64) *LoadSource {
+	rng := stats.NewSplitMix64(seed ^ hashName(b.Name) ^ 0x10AD)
+	weights := make([]float64, len(b.loads))
+	comp := make([]loadState, len(b.loads))
+	for i, c := range b.loads {
+		weights[i] = c.weight
+		st := loadState{
+			model:    c.addr,
+			zeroProb: c.zeroProb,
+			values:   newValueSampler(rng.Split(), c.value, 0),
+			rng:      rng.Split(),
+		}
+		switch c.addr.kind {
+		case aStack:
+			// Frame slots reused with strong skew toward the top of stack.
+			st.zipf = stats.NewZipf(rng.Split(), int(c.addr.span/8)+1, 1.4)
+		case aGlobal:
+			st.zipf = stats.NewZipf(rng.Split(), c.addr.slots, 1.2)
+		}
+		comp[i] = st
+	}
+	return &LoadSource{
+		rng:  rng,
+		pick: newPhasedDiscrete(rng.Split(), weights, runLength),
+		comp: comp,
+	}
+}
+
+// Next returns the next load. The stream is endless; callers bound it.
+func (s *LoadSource) Next() Load {
+	st := &s.comp[s.pick.Index()]
+	var addr uint64
+	switch st.model.kind {
+	case aStack:
+		addr = st.model.base + uint64(st.zipf.Rank())*8
+	case aScan:
+		addr = st.model.base + st.pos
+		st.pos += st.model.stride
+		if st.pos > st.model.span {
+			st.pos = 0
+		}
+	case aChase:
+		addr = st.model.base + st.rng.Uint64n(st.model.span+1)&^7
+	case aGlobal:
+		addr = st.model.base + uint64(st.zipf.Rank())*8
+	}
+	var val uint64
+	if st.rng.Float64() >= st.zeroProb {
+		val = st.values.sample()
+	}
+	return Load{PC: 0, Addr: addr, Value: val}
+}
+
+// LoadValues adapts the load stream to a Source of values (all loads).
+func (s *LoadSource) LoadValues() trace.Source {
+	return trace.FuncSource(func() (uint64, bool) {
+		return s.Next().Value, true
+	})
+}
+
+// ZeroLoadAddresses adapts the load stream to a Source of the addresses
+// from which a zero was loaded — the Figure 10 profile.
+func (s *LoadSource) ZeroLoadAddresses() trace.Source {
+	return trace.FuncSource(func() (uint64, bool) {
+		for {
+			ld := s.Next()
+			if ld.Value == 0 {
+				return ld.Addr, true
+			}
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package workload
+
+import "rap/internal/stats"
+
+// Phase behaviour. SPEC programs run through phases (gcc's parse /
+// flow-analysis / register-allocation passes, gzip's deflate vs inflate):
+// data structures and code regions that dominate one part of the run are
+// silent in another. RAP's interesting errors come exactly from ranges
+// that first turn hot mid-run — the mass they receive while the tree has
+// no structure under them is stranded at coarser ancestors, costing up to
+// ε·n/H per level (Section 4.3's "narrow and deep" 13.5% gcc range).
+//
+// Each mixture component is therefore given an activation window over the
+// intended run length: a third of the components run the whole time, a
+// third only the first half, and a third only the second half, at twice
+// their nominal weight. Full-run averages — the Figure 5 and Figure 10
+// calibrations — are preserved because every component's weight
+// integrates to its nominal share. A zero run length disables phasing
+// (stationary stream).
+type phasedDiscrete struct {
+	rng     *stats.SplitMix64
+	base    []float64
+	windows [][2]float64 // active [start, end) as run fractions
+	scratch []float64
+
+	cur       *stats.Discrete
+	draws     uint64
+	total     uint64 // run length in draws; 0 = stationary
+	slice     uint64 // rebuild granularity in draws
+	nextBuild uint64
+}
+
+// phaseWindow assigns component i its activation window: full-run for
+// i % 3 == 0, first half for i % 3 == 1, second half for i % 3 == 2.
+func phaseWindow(i int) [2]float64 {
+	switch i % 3 {
+	case 1:
+		return [2]float64{0, 0.5}
+	case 2:
+		return [2]float64{0.5, 1}
+	default:
+		return [2]float64{0, 1}
+	}
+}
+
+func newPhasedDiscrete(rng *stats.SplitMix64, weights []float64, totalDraws uint64) *phasedDiscrete {
+	windows := make([][2]float64, len(weights))
+	for i := range weights {
+		windows[i] = phaseWindow(i)
+	}
+	return newPhasedDiscreteWindows(rng, weights, windows, totalDraws)
+}
+
+// newPhasedDiscreteWindows lets the caller pin activation windows (e.g. a
+// benchmark's diffuse background runs the whole time).
+func newPhasedDiscreteWindows(rng *stats.SplitMix64, weights []float64, windows [][2]float64, totalDraws uint64) *phasedDiscrete {
+	p := &phasedDiscrete{
+		rng:     rng,
+		base:    append([]float64(nil), weights...),
+		windows: windows,
+		scratch: make([]float64, len(weights)),
+		total:   totalDraws,
+	}
+	if p.total > 0 {
+		p.slice = p.total / 16
+		if p.slice == 0 {
+			p.slice = 1
+		}
+	}
+	p.rebuild()
+	return p
+}
+
+// Index returns the next sampled component index, advancing the phase
+// schedule.
+func (p *phasedDiscrete) Index() int {
+	if p.total > 0 && p.draws >= p.nextBuild {
+		p.rebuild()
+	}
+	p.draws++
+	return p.cur.Index()
+}
+
+func (p *phasedDiscrete) rebuild() {
+	if p.total == 0 {
+		p.cur = stats.NewDiscrete(p.rng, p.base)
+		return
+	}
+	// Run fraction, cycling past the nominal end so endless sources keep
+	// working (a second "execution" of the program).
+	frac := float64(p.draws%p.total) / float64(p.total)
+	for i, w := range p.base {
+		win := p.windows[i]
+		if frac >= win[0] && frac < win[1] {
+			p.scratch[i] = w / (win[1] - win[0])
+		} else {
+			p.scratch[i] = w * 1e-9 // effectively silent, keeps sampler valid
+		}
+	}
+	p.cur = stats.NewDiscrete(p.rng, p.scratch)
+	p.nextBuild = p.draws + p.slice
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"rap/internal/stats"
+	"rap/internal/trace"
+)
+
+// valueComponent is one term of a load-value mixture.
+type valueComponent struct {
+	weight float64
+	kind   valueKind
+	lo, hi uint64  // uniform / pointer bounds, zipf base
+	n      int     // zipf support size
+	exp    float64 // zipf exponent
+}
+
+type valueKind int
+
+const (
+	vZero valueKind = iota
+	vUniform
+	vZipf
+)
+
+// zeroC is a point mass at zero with the given mixture weight.
+func zeroC(w float64) valueComponent {
+	return valueComponent{weight: w, kind: vZero}
+}
+
+// uniC is uniform over [lo, hi] inclusive.
+func uniC(w float64, lo, hi uint64) valueComponent {
+	if lo > hi {
+		panic("workload: uniC with lo > hi")
+	}
+	return valueComponent{weight: w, kind: vUniform, lo: lo, hi: hi}
+}
+
+// ptrC is uniform over [base, base+span]: pointer-like values into a
+// region.
+func ptrC(w float64, base, span uint64) valueComponent {
+	return uniC(w, base, base+span)
+}
+
+// zipfC draws base+rank with Zipf(n, exp) popularity: heavy concentration
+// at and just above base.
+func zipfC(w float64, base uint64, n int, exp float64) valueComponent {
+	return valueComponent{weight: w, kind: vZipf, lo: base, n: n, exp: exp}
+}
+
+// valueSampler draws from a phase-modulated mixture of components.
+type valueSampler struct {
+	pick  *phasedDiscrete
+	comps []valueComponent
+	zipfs []*stats.Zipf
+	rng   *stats.SplitMix64
+}
+
+func newValueSampler(rng *stats.SplitMix64, comps []valueComponent, runLength uint64) *valueSampler {
+	weights := make([]float64, len(comps))
+	zipfs := make([]*stats.Zipf, len(comps))
+	for i, c := range comps {
+		weights[i] = c.weight
+		if c.kind == vZipf {
+			zipfs[i] = stats.NewZipf(rng.Split(), c.n, c.exp)
+		}
+	}
+	return &valueSampler{
+		pick:  newPhasedDiscrete(rng.Split(), weights, runLength),
+		comps: comps,
+		zipfs: zipfs,
+		rng:   rng,
+	}
+}
+
+func (s *valueSampler) sample() uint64 {
+	i := s.pick.Index()
+	c := s.comps[i]
+	switch c.kind {
+	case vZero:
+		return 0
+	case vUniform:
+		span := c.hi - c.lo
+		if span == ^uint64(0) {
+			return s.rng.Uint64()
+		}
+		return c.lo + s.rng.Uint64n(span+1)
+	default: // vZipf
+		return c.lo + uint64(s.zipfs[i].Rank())
+	}
+}
+
+// Values returns an endless load-value stream for the benchmark, seeded
+// deterministically. runLength sets the program-phase horizon (see
+// phase.go); 0 disables phasing. Wrap with trace.Limit for a finite run.
+func (b Benchmark) Values(seed, runLength uint64) trace.Source {
+	rng := stats.NewSplitMix64(seed ^ hashName(b.Name))
+	s := newValueSampler(rng, b.value, runLength)
+	return trace.FuncSource(func() (uint64, bool) {
+		return s.sample(), true
+	})
+}
+
+// hashName folds a benchmark name into the seed so that different
+// benchmarks given the same seed do not share streams.
+func hashName(name string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-1a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
