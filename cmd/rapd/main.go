@@ -1,0 +1,220 @@
+// Command rapd is the long-running resilient ingest daemon: it feeds one
+// or more event sources through the supervised, checkpointed pipeline of
+// internal/ingest and keeps a crash-recoverable RAP profile on disk. It is
+// the deployment story for the always-on profiler the paper's hardware
+// engine implies: kill it at any point and restart it, and the profile
+// resumes from the last checkpoint with nothing double-counted.
+//
+// Usage:
+//
+//	rapd -checkpoint-dir /var/lib/rapd a.trace b.trace
+//	raptrace -bench gzip -kind value -n 5000000 | rapd -stdin
+//	rapd -bench gzip -kind value -gen-n 10000000 -stats-every 2s
+//
+// Trace-file and generator sources are replayable, so crash recovery is
+// lossless for them. Stdin is a one-shot stream: events between the last
+// checkpoint and a crash cannot be replayed (the gap is logged).
+// SIGINT/SIGTERM trigger a clean shutdown: queues drain, a final
+// checkpoint is flushed, and the closing stats are printed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rap/internal/core"
+	"rap/internal/ingest"
+	"rap/internal/trace"
+	"rap/internal/workload"
+)
+
+type cliConfig struct {
+	traces []string // positional trace file paths
+	stdin  bool
+
+	bench string // generator source: workload name
+	kind  string
+	genN  uint64
+	seed  uint64
+
+	shards   int
+	queue    int
+	batch    int
+	drop     string
+	epsilon  float64
+	universe int
+	branch   int
+
+	checkpointDir   string
+	checkpointEvery time.Duration
+	readTimeout     time.Duration
+	maxRetries      int
+	statsEvery      time.Duration
+}
+
+func main() {
+	c := parseFlags(os.Args[1:], os.Stderr)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, c, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "rapd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseFlags(args []string, errOut io.Writer) cliConfig {
+	var c cliConfig
+	fs := flag.NewFlagSet("rapd", flag.ExitOnError)
+	fs.SetOutput(errOut)
+	fs.BoolVar(&c.stdin, "stdin", false, "ingest a binary trace stream from stdin")
+	fs.StringVar(&c.bench, "bench", "", "add a generated source: modeled benchmark (gcc gzip mcf parser vortex vpr bzip2)")
+	fs.StringVar(&c.kind, "kind", "value", "generated stream kind: code | value | address | zeroload")
+	fs.Uint64Var(&c.genN, "gen-n", 10_000_000, "events for the generated source")
+	fs.Uint64Var(&c.seed, "seed", 1, "seed for the generated source")
+	fs.IntVar(&c.shards, "shards", 4, "tree shards")
+	fs.IntVar(&c.queue, "queue", 64, "bounded queue capacity per shard, in batches")
+	fs.IntVar(&c.batch, "batch", 256, "events coalesced per queue entry")
+	fs.StringVar(&c.drop, "drop", "block", "overload policy: block (lossless backpressure) | newest (shed + count)")
+	fs.Float64Var(&c.epsilon, "epsilon", core.DefaultEpsilon, "error bound")
+	fs.IntVar(&c.universe, "universe-bits", core.DefaultUniverseBits, "universe width in bits")
+	fs.IntVar(&c.branch, "branch", core.DefaultBranch, "branching factor")
+	fs.StringVar(&c.checkpointDir, "checkpoint-dir", "", "directory for crash-safe checkpoints (empty: disabled)")
+	fs.DurationVar(&c.checkpointEvery, "checkpoint-every", 10*time.Second, "checkpoint cadence; bounds the crash replay window")
+	fs.DurationVar(&c.readTimeout, "read-timeout", 30*time.Second, "per-read stall timeout (0: disabled)")
+	fs.IntVar(&c.maxRetries, "max-retries", 5, "consecutive failures before a source is abandoned")
+	fs.DurationVar(&c.statsEvery, "stats-every", 10*time.Second, "stats logging cadence (0: disabled)")
+	fs.Parse(args)
+	c.traces = fs.Args()
+	return c
+}
+
+func (c cliConfig) options(logf func(string, ...any)) (ingest.Options, error) {
+	cfg := core.DefaultConfig()
+	cfg.Epsilon = c.epsilon
+	cfg.UniverseBits = c.universe
+	cfg.Branch = c.branch
+	opts := ingest.Options{
+		Tree:            cfg,
+		Shards:          c.shards,
+		QueueLen:        c.queue,
+		BatchLen:        c.batch,
+		ReadTimeout:     c.readTimeout,
+		MaxRetries:      c.maxRetries,
+		CheckpointDir:   c.checkpointDir,
+		CheckpointEvery: c.checkpointEvery,
+		Logf:            logf,
+	}
+	switch c.drop {
+	case "block":
+		opts.Drop = ingest.Block
+	case "newest":
+		opts.Drop = ingest.DropNewest
+	default:
+		return opts, fmt.Errorf("unknown drop policy %q (want block or newest)", c.drop)
+	}
+	return opts, nil
+}
+
+func (c cliConfig) specs(stdin io.Reader) ([]ingest.SourceSpec, error) {
+	var specs []ingest.SourceSpec
+	for i, path := range c.traces {
+		specs = append(specs, ingest.FileSource(fmt.Sprintf("trace%d:%s", i, path), path))
+	}
+	if c.stdin {
+		specs = append(specs, ingest.ReaderSource("stdin", stdin))
+	}
+	if c.bench != "" {
+		b, err := workload.ByName(c.bench)
+		if err != nil {
+			return nil, err
+		}
+		kind, n, seed := c.kind, c.genN, c.seed
+		open := func() trace.Source {
+			switch kind {
+			case "code":
+				return trace.Limit(b.Code(seed, n), n)
+			case "value":
+				return trace.Limit(b.Values(seed, n), n)
+			case "zeroload":
+				return trace.Limit(b.Loads(seed, n).ZeroLoadAddresses(), n)
+			case "address":
+				loads := b.Loads(seed, n)
+				return trace.Limit(trace.FuncSource(func() (uint64, bool) {
+					return loads.Next().Addr, true
+				}), n)
+			}
+			return nil
+		}
+		if open() == nil {
+			return nil, fmt.Errorf("unknown kind %q", c.kind)
+		}
+		specs = append(specs, ingest.GeneratorSource(
+			fmt.Sprintf("gen:%s:%s", c.bench, kind), open))
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no sources: pass trace files, -stdin, or -bench")
+	}
+	return specs, nil
+}
+
+func run(ctx context.Context, c cliConfig, out io.Writer) error {
+	logger := log.New(out, "rapd: ", log.LstdFlags)
+	opts, err := c.options(logger.Printf)
+	if err != nil {
+		return err
+	}
+	specs, err := c.specs(os.Stdin)
+	if err != nil {
+		return err
+	}
+
+	in, err := ingest.Open(opts, specs)
+	if err != nil {
+		return err
+	}
+	if n := in.N(); n > 0 {
+		logger.Printf("recovered %d events from checkpoint in %s", n, c.checkpointDir)
+	}
+
+	stopStats := make(chan struct{})
+	defer close(stopStats)
+	if c.statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(c.statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					logStats(logger, in.Stats())
+				case <-stopStats:
+					return
+				}
+			}
+		}()
+	}
+
+	err = in.Run(ctx)
+	st := in.Stats()
+	logStats(logger, st)
+	for _, s := range st.Sources {
+		status := "done"
+		if s.Failed {
+			status = "FAILED: " + s.LastErr
+		}
+		logger.Printf("source %s: applied=%d dropped=%d retries=%d %s",
+			s.Name, s.Applied, s.Dropped, s.Retries, status)
+	}
+	return err
+}
+
+func logStats(logger *log.Logger, st ingest.Stats) {
+	logger.Printf("n=%d nodes=%d mem=%dB dropped=%d sources=%d",
+		st.N, st.Nodes, st.MemoryBytes, st.Dropped, len(st.Sources))
+}

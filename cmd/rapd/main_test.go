@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rap/internal/ingest"
+	"rap/internal/trace"
+)
+
+func writeTrace(t *testing.T, path string, vals []uint64) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	for _, v := range vals {
+		if err := w.Write(trace.Event{Value: v, Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	c := parseFlags([]string{
+		"-stdin", "-shards", "2", "-drop", "newest",
+		"-checkpoint-dir", "/tmp/x", "-epsilon", "0.02",
+		"a.trace", "b.trace",
+	}, os.Stderr)
+	if !c.stdin || c.shards != 2 || c.drop != "newest" ||
+		c.checkpointDir != "/tmp/x" || c.epsilon != 0.02 {
+		t.Fatalf("parsed config %+v", c)
+	}
+	if len(c.traces) != 2 || c.traces[0] != "a.trace" {
+		t.Fatalf("positional traces %v", c.traces)
+	}
+}
+
+func TestOptionsRejectsBadDropPolicy(t *testing.T) {
+	c := cliConfig{drop: "oldest", epsilon: 0.01, universe: 64, branch: 4}
+	if _, err := c.options(func(string, ...any) {}); err == nil {
+		t.Fatal("bad drop policy accepted")
+	}
+}
+
+func TestSpecsRequireASource(t *testing.T) {
+	c := cliConfig{drop: "block"}
+	if _, err := c.specs(nil); err == nil {
+		t.Fatal("no sources accepted")
+	}
+	c.bench = "gzip"
+	c.kind = "nonsense"
+	if _, err := c.specs(nil); err == nil {
+		t.Fatal("bad generator kind accepted")
+	}
+}
+
+func TestRunEndToEndWithRestart(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(77))
+	zipf := rand.NewZipf(rng, 1.2, 8, 1<<20-1)
+	vals := make([]uint64, 30_000)
+	for i := range vals {
+		vals[i] = zipf.Uint64()
+	}
+	path := filepath.Join(dir, "events.trace")
+	writeTrace(t, path, vals)
+
+	c := cliConfig{
+		traces:          []string{path},
+		shards:          2,
+		drop:            "block",
+		epsilon:         0.05,
+		universe:        20,
+		branch:          4,
+		checkpointDir:   filepath.Join(dir, "ck"),
+		checkpointEvery: time.Hour,
+		readTimeout:     5 * time.Second,
+		maxRetries:      2,
+	}
+
+	var out bytes.Buffer
+	if err := run(context.Background(), c, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "n=30000") {
+		t.Fatalf("final stats missing from output:\n%s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ck", "checkpoint.rapc")); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	// Restart over the same trace: the daemon must recover the position
+	// from the checkpoint and apply nothing twice.
+	var out2 bytes.Buffer
+	if err := run(context.Background(), c, &out2); err != nil {
+		t.Fatalf("restart run: %v\n%s", err, out2.String())
+	}
+	if !strings.Contains(out2.String(), "recovered 30000 events") {
+		t.Fatalf("restart did not recover from checkpoint:\n%s", out2.String())
+	}
+	if !strings.Contains(out2.String(), "n=30000") {
+		t.Fatalf("restart double-counted or lost events:\n%s", out2.String())
+	}
+}
+
+func TestRunSignalStyleCancel(t *testing.T) {
+	// A generator source large enough to outlive the test: cancellation
+	// (what SIGINT/SIGTERM feed through signal.NotifyContext) must yield
+	// a clean shutdown with a final checkpoint.
+	dir := t.TempDir()
+	c := cliConfig{
+		bench:           "gzip",
+		kind:            "value",
+		genN:            50_000_000,
+		seed:            1,
+		shards:          2,
+		drop:            "block",
+		epsilon:         0.05,
+		universe:        64,
+		branch:          4,
+		checkpointDir:   dir,
+		checkpointEvery: time.Hour,
+		readTimeout:     5 * time.Second,
+		maxRetries:      2,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, c, &out) }()
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after cancel: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on cancel")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoint.rapc")); err != nil {
+		t.Fatalf("shutdown did not flush a final checkpoint: %v", err)
+	}
+
+	// The flushed checkpoint must be loadable and non-empty.
+	opts, err := c.options(func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := c.specs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ingest.Open(opts, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() == 0 {
+		t.Fatal("final checkpoint holds no events")
+	}
+}

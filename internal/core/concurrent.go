@@ -91,3 +91,18 @@ func (c *ConcurrentTree) Snapshot() ([]byte, error) {
 	defer c.mu.Unlock()
 	return c.tree.MarshalBinary()
 }
+
+// Restore replaces the tree's contents with a snapshot previously produced
+// by Snapshot (or Tree.MarshalBinary). On decode error the tree is left
+// unchanged, so a corrupt checkpoint can be rejected without losing the
+// live profile.
+func (c *ConcurrentTree) Restore(data []byte) error {
+	var nt Tree
+	if err := nt.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tree = &nt
+	return nil
+}

@@ -81,3 +81,52 @@ func TestConcurrentParallelFeeds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestConcurrentSnapshotRestore(t *testing.T) {
+	c, err := NewConcurrent(testConfig(24, 4, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50_000; i++ {
+		c.Add(i * 31 % (1 << 20))
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Stats()
+
+	back, err := NewConcurrent(testConfig(24, 4, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Stats(); got != want {
+		t.Fatalf("restored stats %+v, want %+v", got, want)
+	}
+	if a, b := back.Estimate(0, 1<<19), c.Estimate(0, 1<<19); a != b {
+		t.Fatalf("restored estimate %d, want %d", a, b)
+	}
+
+	// A corrupt snapshot must be rejected and leave the tree untouched,
+	// even while other goroutines keep feeding it.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < 10_000; i++ {
+			back.Add(i)
+		}
+	}()
+	bad := append([]byte{}, snap...)
+	bad[0] ^= 0xff // break the magic: guaranteed decode failure
+	if err := back.Restore(bad); err == nil {
+		t.Fatal("Restore accepted corrupt snapshot")
+	}
+	wg.Wait()
+	if n := back.N(); n != want.N+10_000 {
+		t.Fatalf("N after rejected restore = %d, want %d", n, want.N+10_000)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 )
 
@@ -91,17 +92,20 @@ func (c Config) validate() (Config, error) {
 	if c.Branch < 2 || c.Branch > 256 || bits.OnesCount(uint(c.Branch)) != 1 {
 		return c, fmt.Errorf("core: Branch %d must be a power of two in [2,256]", c.Branch)
 	}
-	if !(c.Epsilon > 0 && c.Epsilon < 1) {
+	// NaN compares false against everything, so the range checks below
+	// would silently accept non-finite values (NaN <= 1 is false, NaN < 0
+	// is false). Reject them explicitly before the range checks.
+	if !isFinite(c.Epsilon) || !(c.Epsilon > 0 && c.Epsilon < 1) {
 		return c, fmt.Errorf("core: Epsilon %v must be in (0,1)", c.Epsilon)
 	}
-	if c.MergeEvery == 0 && c.MergeRatio <= 1 {
-		return c, fmt.Errorf("core: MergeRatio %v must be > 1", c.MergeRatio)
+	if c.MergeEvery == 0 && (!isFinite(c.MergeRatio) || c.MergeRatio <= 1) {
+		return c, fmt.Errorf("core: MergeRatio %v must be finite and > 1", c.MergeRatio)
 	}
 	if c.FirstMerge == 0 && c.MergeEvery == 0 {
 		return c, fmt.Errorf("core: FirstMerge must be >= 1")
 	}
-	if c.MergeThresholdScale < 0 {
-		return c, fmt.Errorf("core: MergeThresholdScale %v must be >= 0", c.MergeThresholdScale)
+	if !isFinite(c.MergeThresholdScale) || c.MergeThresholdScale < 0 {
+		return c, fmt.Errorf("core: MergeThresholdScale %v must be finite and >= 0", c.MergeThresholdScale)
 	}
 	if c.MergeThresholdScale == 0 {
 		c.MergeThresholdScale = 1
@@ -110,6 +114,11 @@ func (c Config) validate() (Config, error) {
 		c.MinSplitCount = DefaultMinSplitCount
 	}
 	return c, nil
+}
+
+// isFinite reports whether f is neither NaN nor an infinity.
+func isFinite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
 }
 
 // Height returns H, the maximum height of a tree with this configuration:

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// NaN compares false against every bound, so a validator written purely as
+// range checks lets NaN (and, for some fields, Inf) slip through and poison
+// every later threshold computation. These tests pin the explicit
+// finiteness rejection.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"epsilon NaN", func(c *Config) { c.Epsilon = nan }},
+		{"epsilon +Inf", func(c *Config) { c.Epsilon = inf }},
+		{"epsilon -Inf", func(c *Config) { c.Epsilon = -inf }},
+		{"merge ratio NaN", func(c *Config) { c.MergeRatio = nan }},
+		{"merge ratio +Inf", func(c *Config) { c.MergeRatio = inf }},
+		{"merge threshold scale NaN", func(c *Config) { c.MergeThresholdScale = nan }},
+		{"merge threshold scale +Inf", func(c *Config) { c.MergeThresholdScale = inf }},
+		{"merge threshold scale -Inf", func(c *Config) { c.MergeThresholdScale = -inf }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mod(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Fatalf("New accepted non-finite config %+v", cfg)
+			}
+		})
+	}
+}
+
+// A NaN MergeRatio under a fixed MergeEvery schedule is never consulted, so
+// the validator must still accept that combination (it did before the
+// finiteness hardening).
+func TestValidateIgnoresMergeRatioUnderFixedSchedule(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MergeRatio = 0
+	cfg.MergeEvery = 1024
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("New rejected fixed-schedule config: %v", err)
+	}
+}
+
+func TestValidateAcceptsFiniteEdges(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epsilon = 0.999
+	cfg.MergeRatio = 1.0001
+	cfg.MergeThresholdScale = 2.5
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New rejected valid config: %v", err)
+	}
+	for i := uint64(0); i < 10_000; i++ {
+		tr.Add(i % 37)
+	}
+	if tr.N() != 10_000 {
+		t.Fatalf("N = %d, want 10000", tr.N())
+	}
+}

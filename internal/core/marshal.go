@@ -107,10 +107,17 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("core: truncated snapshot state: %w", err)
 	}
 
+	if nt.maxNodes < 0 {
+		return fmt.Errorf("core: snapshot maxNodes overflows int")
+	}
+
 	nt.nodes = 0
-	root, err := nt.unmarshalNode(r)
+	root, err := nt.unmarshalNode(r, 0, 0, 0)
 	if err != nil {
 		return err
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("core: %d trailing bytes after snapshot", r.Len())
 	}
 	nt.root = root
 	if nt.nodes > nt.maxNodes {
@@ -120,7 +127,20 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
-func (t *Tree) unmarshalNode(r *bytes.Reader) (*node, error) {
+// unmarshalNode decodes one node and its subtree. A hostile snapshot must
+// not be able to smuggle in a tree that violates the structural invariants
+// the update and query paths rely on, so beyond truncation the decoder
+// enforces: the node's (lo, plen) must equal the bounds derived from its
+// parent and child slot (wantLo, wantPlen) — the encoding is redundant and
+// the redundancy must agree; child slot indices must be strictly
+// increasing, which rules out duplicates that would leak nodes and
+// double-count; and the recursion depth may never exceed the configured
+// tree height, which bounds decoding work even when stride reaches zero at
+// the bottom of the universe.
+func (t *Tree) unmarshalNode(r *bytes.Reader, wantLo uint64, wantPlen uint8, depth int) (*node, error) {
+	if depth > t.height {
+		return nil, fmt.Errorf("core: snapshot nests %d levels, tree height %d", depth, t.height)
+	}
 	var err error
 	v := &node{}
 	v.lo = mustUvarint(r, &err)
@@ -137,6 +157,10 @@ func (t *Tree) unmarshalNode(r *bytes.Reader) (*node, error) {
 	if int(v.plen) > t.cfg.UniverseBits {
 		return nil, fmt.Errorf("core: snapshot node plen %d exceeds universe", v.plen)
 	}
+	if v.lo != wantLo || v.plen != wantPlen {
+		return nil, fmt.Errorf("core: snapshot node (%#x, %d) does not match derived bounds (%#x, %d)",
+			v.lo, v.plen, wantLo, wantPlen)
+	}
 	t.nodes++
 	if live == 0 {
 		return v, nil
@@ -146,12 +170,15 @@ func (t *Tree) unmarshalNode(r *bytes.Reader) (*node, error) {
 		return nil, fmt.Errorf("core: snapshot node has %d children, fanout %d", live, fan)
 	}
 	v.children = make([]*node, fan)
+	prev := -1
 	for k := uint64(0); k < live; k++ {
 		idx := mustUvarint(r, &err)
-		if err != nil || idx >= uint64(fan) {
+		if err != nil || idx >= uint64(fan) || int(idx) <= prev {
 			return nil, fmt.Errorf("core: bad snapshot child index")
 		}
-		c, cerr := t.unmarshalNode(r)
+		prev = int(idx)
+		childLo, childPlen := t.childBounds(v, int(idx))
+		c, cerr := t.unmarshalNode(r, childLo, childPlen, depth+1)
 		if cerr != nil {
 			return nil, cerr
 		}

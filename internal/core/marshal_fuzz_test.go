@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// hostileSnapshot builds snapshot bytes for a w=4, b=4 universe (height 2)
+// consisting of the valid header of an empty tree followed by a hand-built
+// node stream. The empty tree's own node stream is exactly the last four
+// bytes (lo=0, plen=0, count=0, live=0), so stripping those yields a header
+// to graft arbitrary node encodings onto.
+func hostileSnapshot(t *testing.T, nodeStream []byte) []byte {
+	t.Helper()
+	tr := MustNew(testConfig(4, 4, 0.05))
+	data, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := data[:len(data)-4]
+	return append(append([]byte{}, header...), nodeStream...)
+}
+
+func TestUnmarshalRejectsHostileSnapshots(t *testing.T) {
+	// Node encoding: uvarint lo, byte plen, uvarint count, uvarint live,
+	// then (uvarint childIdx, child node) per live child. For w=4, b=4 the
+	// root's children sit at plen 2 with lo = idx<<2.
+	leaf := func(lo, plen byte) []byte { return []byte{lo, plen, 0x00, 0x00} }
+	cases := map[string][]byte{
+		"child index beyond fanout": {0x00, 0x00, 0x00, 0x01, 0x05},
+		"duplicate child index": append(append(
+			[]byte{0x00, 0x00, 0x00, 0x02, 0x01}, leaf(0x04, 2)...),
+			append([]byte{0x01}, leaf(0x04, 2)...)...),
+		"out of order child index": append(append(
+			[]byte{0x00, 0x00, 0x00, 0x02, 0x02}, leaf(0x08, 2)...),
+			append([]byte{0x01}, leaf(0x04, 2)...)...),
+		"root bounds mismatch lo":   leaf(0x01, 0),
+		"root bounds mismatch plen": leaf(0x00, 2),
+		"child bounds mismatch": append(
+			[]byte{0x00, 0x00, 0x00, 0x01, 0x01}, leaf(0x08, 2)...),
+		"plen exceeds universe": leaf(0x00, 9),
+		// plen 4 nodes have fanout 1 and stride 0: a chain of them could
+		// recurse forever if depth were unchecked.
+		"recursion past height": append(
+			[]byte{0x00, 0x00, 0x00, 0x01, 0x01}, // root -> child 1 (plen 2)
+			append([]byte{0x04, 0x02, 0x00, 0x01, 0x00}, // -> child 0 (plen 4)
+				append([]byte{0x04, 0x04, 0x00, 0x01, 0x00}, // -> child 0 (plen 4 again)
+					leaf(0x04, 4)...)...)...),
+		"trailing garbage": append(leaf(0x00, 0), 0xff),
+		"child count over fanout": {0x00, 0x00, 0x00, 0x07},
+	}
+	for name, stream := range cases {
+		t.Run(name, func(t *testing.T) {
+			data := hostileSnapshot(t, stream)
+			var tr Tree
+			if err := tr.UnmarshalBinary(data); err == nil {
+				t.Fatalf("UnmarshalBinary accepted hostile snapshot % x", stream)
+			}
+		})
+	}
+}
+
+// FuzzUnmarshalBinary throws arbitrary bytes at the snapshot decoder. The
+// decoder must never panic, and any snapshot it does accept must be
+// internally consistent: the walked node count matches the bookkeeping,
+// queries run, further profiling runs, and a re-marshal round-trips.
+func FuzzUnmarshalBinary(f *testing.F) {
+	for _, cfg := range []Config{
+		testConfig(4, 4, 0.05),
+		testConfig(24, 4, 0.02),
+		testConfig(64, 16, 0.01),
+	} {
+		tr := MustNew(cfg)
+		for i := uint64(0); i < 5_000; i++ {
+			tr.Add(i * i % (1 << 16))
+		}
+		data, err := tr.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		f.Add(data[:len(data)-1])
+	}
+	f.Add([]byte("RAPT\x01"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr Tree
+		if err := tr.UnmarshalBinary(data); err != nil {
+			return
+		}
+		walked := 0
+		tr.Walk(func(NodeInfo) bool { walked++; return true })
+		if walked != tr.NodeCount() {
+			t.Fatalf("walked %d nodes, bookkeeping says %d", walked, tr.NodeCount())
+		}
+		_ = tr.Estimate(0, ^uint64(0))
+		tr.Add(42)
+		out, err := tr.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted snapshot failed: %v", err)
+		}
+		var back Tree
+		if err := back.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-unmarshal of accepted snapshot failed: %v", err)
+		}
+		if !bytes.Equal(out, mustMarshal(t, &back)) {
+			t.Fatal("snapshot round trip is not a fixed point")
+		}
+	})
+}
+
+func mustMarshal(t *testing.T, tr *Tree) []byte {
+	t.Helper()
+	data, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

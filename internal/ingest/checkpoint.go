@@ -1,0 +1,268 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rap/internal/core"
+)
+
+// Checkpoint file format (version 1):
+//
+//	"RAPC" | version byte |
+//	uvarint nShards | per shard: uvarint len, tree snapshot (core format) |
+//	uvarint nSources | per source: uvarint len, name bytes,
+//	                               uvarint applied, uvarint dropped |
+//	4-byte little-endian CRC32 (IEEE) of everything before it
+//
+// Durability protocol: write to a temp file in the same directory, fsync,
+// close, rotate the current checkpoint to the .prev name, rename the temp
+// file into place, fsync the directory. A crash at any point leaves either
+// the old checkpoint, the new one, or both names pointing at intact files;
+// a torn write is caught by the CRC on load and quarantined.
+
+const (
+	ckMagic   = "RAPC"
+	ckVersion = 1
+
+	ckName = "checkpoint.rapc"
+	ckPrev = "checkpoint.prev.rapc"
+	ckTmp  = "checkpoint.rapc.tmp"
+)
+
+type sourcePos struct {
+	name    string
+	applied uint64
+	dropped uint64
+}
+
+type checkpointState struct {
+	trees   []*core.Tree
+	sources []sourcePos
+}
+
+// Checkpoint atomically persists the trees and stream positions of every
+// source. All shard locks are held (in fixed order) while the cut is
+// taken, so the recorded positions match exactly the events reflected in
+// the trees — the invariant replay-on-recovery depends on. It is a no-op
+// without a checkpoint directory.
+func (in *Ingestor) Checkpoint() error {
+	if in.opts.CheckpointDir == "" {
+		return nil
+	}
+	for _, sh := range in.shards {
+		sh.mu.Lock()
+	}
+	snaps := make([][]byte, 0, len(in.shards))
+	var snapErr error
+	for _, sh := range in.shards {
+		data, err := sh.tree.MarshalBinary()
+		if err != nil {
+			snapErr = err
+			break
+		}
+		snaps = append(snaps, data)
+	}
+	positions := make([]sourcePos, 0, len(in.sources))
+	for _, ss := range in.sources {
+		positions = append(positions, sourcePos{
+			name:    ss.spec.Name,
+			applied: ss.applied,
+			dropped: ss.dropped.Load(),
+		})
+	}
+	for i := len(in.shards) - 1; i >= 0; i-- {
+		in.shards[i].mu.Unlock()
+	}
+	if snapErr != nil {
+		return snapErr
+	}
+	return writeCheckpoint(in.opts.CheckpointDir, snaps, positions)
+}
+
+func encodeCheckpoint(snaps [][]byte, positions []sourcePos) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(ckMagic)
+	buf.WriteByte(ckVersion)
+	putUvarint(&buf, uint64(len(snaps)))
+	for _, s := range snaps {
+		putUvarint(&buf, uint64(len(s)))
+		buf.Write(s)
+	}
+	putUvarint(&buf, uint64(len(positions)))
+	for _, sp := range positions {
+		putUvarint(&buf, uint64(len(sp.name)))
+		buf.WriteString(sp.name)
+		putUvarint(&buf, sp.applied)
+		putUvarint(&buf, sp.dropped)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(crc[:])
+	return buf.Bytes()
+}
+
+func writeCheckpoint(dir string, snaps [][]byte, positions []sourcePos) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data := encodeCheckpoint(snaps, positions)
+	tmp := filepath.Join(dir, ckTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	main := filepath.Join(dir, ckName)
+	if _, err := os.Stat(main); err == nil {
+		if err := os.Rename(main, filepath.Join(dir, ckPrev)); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, main); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so the renames above are durable. Errors are
+// ignored: some filesystems reject fsync on directories and the protocol
+// degrades gracefully (the CRC still catches torn state).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// loadCheckpoint returns the most recent intact checkpoint state, trying
+// the current file then the previous one. A file that fails the CRC or
+// does not decode is quarantined — renamed aside with a .corrupt suffix so
+// it is preserved for diagnosis but never retried — and logged. With no
+// usable checkpoint it returns (nil, nil); only real I/O errors are
+// returned.
+func loadCheckpoint(dir string, logf func(string, ...any)) (*checkpointState, error) {
+	for _, name := range []string{ckName, ckPrev} {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		st, derr := decodeCheckpoint(data)
+		if derr == nil {
+			return st, nil
+		}
+		q := path + fmt.Sprintf(".corrupt-%d", time.Now().UnixNano())
+		if rerr := os.Rename(path, q); rerr != nil {
+			logf("ingest: corrupt checkpoint %s: %v (quarantine failed: %v)", path, derr, rerr)
+		} else {
+			logf("ingest: corrupt checkpoint %s: %v (quarantined as %s)", path, derr, q)
+		}
+	}
+	return nil, nil
+}
+
+func decodeCheckpoint(data []byte) (*checkpointState, error) {
+	if len(data) < len(ckMagic)+1+4 {
+		return nil, errors.New("checkpoint too short")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("checksum mismatch: %08x != %08x", got, want)
+	}
+	r := bytes.NewReader(body)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != ckMagic {
+		return nil, errors.New("bad checkpoint magic")
+	}
+	ver, err := r.ReadByte()
+	if err != nil || ver != ckVersion {
+		return nil, fmt.Errorf("unsupported checkpoint version %d", ver)
+	}
+
+	st := &checkpointState{}
+	nShards, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nShards; i++ {
+		snap, err := readBlob(r)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d snapshot: %w", i, err)
+		}
+		var tr core.Tree
+		if err := tr.UnmarshalBinary(snap); err != nil {
+			return nil, fmt.Errorf("shard %d snapshot: %w", i, err)
+		}
+		st.trees = append(st.trees, &tr)
+	}
+	nSources, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nSources; i++ {
+		nameB, err := readBlob(r)
+		if err != nil {
+			return nil, fmt.Errorf("source %d: %w", i, err)
+		}
+		var sp sourcePos
+		sp.name = string(nameB)
+		if sp.applied, err = binary.ReadUvarint(r); err != nil {
+			return nil, fmt.Errorf("source %q position: %w", sp.name, err)
+		}
+		if sp.dropped, err = binary.ReadUvarint(r); err != nil {
+			return nil, fmt.Errorf("source %q position: %w", sp.name, err)
+		}
+		st.sources = append(st.sources, sp)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes in checkpoint", r.Len())
+	}
+	return st, nil
+}
+
+func readBlob(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("blob length %d exceeds remaining %d bytes", n, r.Len())
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func putUvarint(buf *bytes.Buffer, x uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], x)
+	buf.Write(tmp[:n])
+}

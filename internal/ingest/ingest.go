@@ -1,0 +1,660 @@
+// Package ingest is the resilient streaming front end of the profiler: it
+// turns the one-shot "drain a source into a tree" model of the CLIs into a
+// long-running subsystem that survives slow consumers, flaky sources, and
+// process crashes.
+//
+// N supervised source readers feed S sharded core trees through bounded
+// channels. Each source is pinned to one shard, so a source's events are
+// applied in stream order and its checkpointed position is always a prefix
+// of the stream — the property that makes crash recovery exactly-once.
+// Queries aggregate across shards: each shard tree is a lower bound on the
+// events it saw with error at most ε·n_i, so the summed estimate is a
+// lower bound on the whole stream with error at most ε·Σn_i = ε·n. The
+// paper's guarantee survives sharding unchanged.
+//
+// Overload is explicit: with the Block policy the queues exert lossless
+// backpressure on readers; with DropNewest the readers shed load and count
+// every dropped event, so the effective error bound ε·n + dropped stays
+// honest instead of silently degrading.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rap/internal/core"
+	"rap/internal/trace"
+)
+
+// DropPolicy selects what a source reader does when its shard queue is
+// full.
+type DropPolicy int
+
+const (
+	// Block applies lossless backpressure: the reader waits for queue
+	// space, slowing the source down to the profiler's pace.
+	Block DropPolicy = iota
+	// DropNewest sheds load: events that arrive while the queue is full
+	// are dropped and counted, trading accuracy (accounted for) against
+	// latency under overload.
+	DropNewest
+)
+
+// ErrStalled is the error a source is retried with when a read exceeds
+// ReadTimeout.
+var ErrStalled = errors.New("ingest: source read stalled")
+
+// Options configures an Ingestor. The zero value of every field selects a
+// sensible default (see withDefaults); the zero Options therefore runs a
+// single-shard, blocking, checkpoint-free ingestor over DefaultConfig
+// trees.
+type Options struct {
+	// Tree is the configuration every shard tree is built with. The zero
+	// Config selects core.DefaultConfig.
+	Tree core.Config
+
+	// Shards is the number of tree shards (default 4). Checkpoints record
+	// the shard count; recovery requires it unchanged.
+	Shards int
+
+	// QueueLen is the per-shard bounded channel capacity in batches
+	// (default 64).
+	QueueLen int
+
+	// BatchLen is how many events a reader coalesces per queue entry
+	// (default 256).
+	BatchLen int
+
+	// FlushEvery bounds how long a partial batch may sit in a reader
+	// before being enqueued anyway (default 50ms), keeping live sources
+	// fresh without giving up batching.
+	FlushEvery time.Duration
+
+	// Drop selects the overload policy (default Block).
+	Drop DropPolicy
+
+	// ReadTimeout, when > 0, bounds how long a single source read may
+	// take before the source is declared stalled and reopened.
+	ReadTimeout time.Duration
+
+	// MaxRetries is how many consecutive failed attempts (open errors,
+	// stalls, or read errors with no progress in between) a source gets
+	// before it is marked permanently failed (default 5).
+	MaxRetries int
+
+	// BackoffBase/BackoffMax shape the exponential retry backoff
+	// (defaults 50ms and 5s). Each attempt waits roughly
+	// base·2^(attempt-1), capped at max, with ±25% jitter so a fleet of
+	// failing sources does not retry in lockstep.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// CheckpointDir, when set, enables crash-safe checkpointing into that
+	// directory. Empty disables checkpointing entirely.
+	CheckpointDir string
+
+	// CheckpointEvery is the wall-clock checkpoint cadence (default 10s).
+	// It bounds the replay window: after a crash at most this much of the
+	// stream is re-read from the sources.
+	CheckpointEvery time.Duration
+
+	// SkipFinalCheckpoint suppresses the checkpoint normally flushed when
+	// Run winds down. Tests use it to simulate a hard crash.
+	SkipFinalCheckpoint bool
+
+	// Logf receives operational log lines (retries, quarantined
+	// checkpoints, failed sources). Default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tree == (core.Config{}) {
+		o.Tree = core.DefaultConfig()
+	}
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 64
+	}
+	if o.BatchLen <= 0 {
+		o.BatchLen = 256
+	}
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = 50 * time.Millisecond
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 5
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 10 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// batch is one queue entry: a run of events from a single source.
+type batch struct {
+	src    *sourceState
+	events []trace.Event
+}
+
+// shard owns one tree and the bounded queue feeding it. mu guards the tree
+// and the applied counters of every source pinned to this shard, so a
+// checkpoint that holds every shard lock sees positions exactly consistent
+// with tree contents.
+type shard struct {
+	mu   sync.Mutex
+	tree *core.Tree
+	ch   chan batch
+}
+
+func (sh *shard) apply(b batch) {
+	sh.mu.Lock()
+	for _, e := range b.events {
+		sh.tree.AddN(e.Value, e.Weight)
+	}
+	b.src.applied += uint64(len(b.events))
+	sh.mu.Unlock()
+}
+
+// sourceState is the supervision record for one source.
+type sourceState struct {
+	spec  SourceSpec
+	shard *shard
+
+	// consumed is the reader-local stream position: events read from the
+	// source and handed off (enqueued or dropped), including the resume
+	// base restored from a checkpoint. Only the reader goroutine touches
+	// it, so reopening after a failure can skip exactly this many events
+	// without racing the appliers.
+	consumed uint64
+
+	// applied counts events of this source applied to the shard tree;
+	// guarded by shard.mu.
+	applied uint64
+
+	dropped atomic.Uint64
+	retries atomic.Uint64
+	failed  atomic.Bool
+
+	errMu   sync.Mutex
+	lastErr error
+}
+
+func (ss *sourceState) noteErr(err error) {
+	ss.errMu.Lock()
+	ss.lastErr = err
+	ss.errMu.Unlock()
+}
+
+func (ss *sourceState) lastError() error {
+	ss.errMu.Lock()
+	defer ss.errMu.Unlock()
+	return ss.lastErr
+}
+
+// Ingestor runs the sharded, supervised, checkpointed ingest pipeline.
+type Ingestor struct {
+	opts    Options
+	shards  []*shard
+	sources []*sourceState
+	logf    func(format string, args ...any)
+}
+
+// Open builds an ingestor over the given sources and, when a checkpoint
+// directory is configured, recovers tree state and stream positions from
+// the most recent intact checkpoint. A corrupt checkpoint is quarantined
+// (renamed aside) and logged, then the previous one is tried; with no
+// usable checkpoint the ingestor starts fresh. Open never panics on bad
+// checkpoint bytes.
+func Open(opts Options, specs []SourceSpec) (*Ingestor, error) {
+	opts = opts.withDefaults()
+	if len(specs) == 0 {
+		return nil, errors.New("ingest: no sources")
+	}
+	seen := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		if s.Name == "" || s.Open == nil {
+			return nil, errors.New("ingest: source needs a name and an Open func")
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("ingest: duplicate source name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+
+	in := &Ingestor{opts: opts, logf: opts.Logf}
+	for i := 0; i < opts.Shards; i++ {
+		tree, err := core.New(opts.Tree)
+		if err != nil {
+			return nil, err
+		}
+		in.shards = append(in.shards, &shard{tree: tree, ch: make(chan batch, opts.QueueLen)})
+	}
+	for i, spec := range specs {
+		in.sources = append(in.sources, &sourceState{
+			spec:  spec,
+			shard: in.shards[i%opts.Shards],
+		})
+	}
+
+	if opts.CheckpointDir != "" {
+		st, err := loadCheckpoint(opts.CheckpointDir, in.logf)
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			if err := in.restore(st); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return in, nil
+}
+
+func (in *Ingestor) restore(st *checkpointState) error {
+	if len(st.trees) != len(in.shards) {
+		return fmt.Errorf("ingest: checkpoint has %d shards, ingestor has %d",
+			len(st.trees), len(in.shards))
+	}
+	for i, tr := range st.trees {
+		in.shards[i].tree = tr
+	}
+	byName := make(map[string]sourcePos, len(st.sources))
+	for _, sp := range st.sources {
+		byName[sp.name] = sp
+	}
+	for _, ss := range in.sources {
+		sp, ok := byName[ss.spec.Name]
+		if !ok {
+			continue // new source since the checkpoint: starts at zero
+		}
+		ss.applied = sp.applied
+		ss.dropped.Store(sp.dropped)
+		ss.consumed = sp.applied + sp.dropped
+		delete(byName, ss.spec.Name)
+	}
+	for name := range byName {
+		in.logf("ingest: checkpoint position for unknown source %q ignored", name)
+	}
+	return nil
+}
+
+// Run drives the pipeline until every source is drained or ctx is
+// canceled, then drains the queues, and (unless disabled) flushes a final
+// checkpoint. It returns the joined terminal errors of permanently failed
+// sources, or the final checkpoint error; a canceled ctx is a clean
+// shutdown, not an error. Run must be called at most once per Ingestor.
+func (in *Ingestor) Run(ctx context.Context) error {
+	var workers sync.WaitGroup
+	for _, sh := range in.shards {
+		workers.Add(1)
+		go func(sh *shard) {
+			defer workers.Done()
+			for b := range sh.ch {
+				sh.apply(b)
+			}
+		}(sh)
+	}
+
+	var readers sync.WaitGroup
+	for _, ss := range in.sources {
+		readers.Add(1)
+		go func(ss *sourceState) {
+			defer readers.Done()
+			in.supervise(ctx, ss)
+		}(ss)
+	}
+
+	stopCk := make(chan struct{})
+	var ckWg sync.WaitGroup
+	if in.opts.CheckpointDir != "" {
+		ckWg.Add(1)
+		go func() {
+			defer ckWg.Done()
+			tick := time.NewTicker(in.opts.CheckpointEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := in.Checkpoint(); err != nil {
+						in.logf("ingest: checkpoint failed: %v", err)
+					}
+				case <-stopCk:
+					return
+				}
+			}
+		}()
+	}
+
+	readers.Wait()
+	close(stopCk)
+	ckWg.Wait()
+	// Readers are done; close the queues and let the workers drain what
+	// was already accepted, so the final checkpoint covers it.
+	for _, sh := range in.shards {
+		close(sh.ch)
+	}
+	workers.Wait()
+
+	var errs []error
+	for _, ss := range in.sources {
+		if ss.failed.Load() {
+			errs = append(errs, fmt.Errorf("ingest: source %q failed permanently: %w",
+				ss.spec.Name, ss.lastError()))
+		}
+	}
+	if in.opts.CheckpointDir != "" && !in.opts.SkipFinalCheckpoint {
+		if err := in.Checkpoint(); err != nil {
+			errs = append(errs, fmt.Errorf("ingest: final checkpoint: %w", err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// backoff returns the jittered exponential delay before retry attempt
+// (1-based).
+func (in *Ingestor) backoff(attempt int) time.Duration {
+	d := in.opts.BackoffBase
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= in.opts.BackoffMax {
+			d = in.opts.BackoffMax
+			break
+		}
+	}
+	// ±25% jitter.
+	q := d / 4
+	if q > 0 {
+		d = d - q + rand.N(2*q)
+	}
+	return d
+}
+
+func (in *Ingestor) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// supervise opens and pumps one source, retrying transient failures with
+// exponential backoff and declaring the source failed after MaxRetries
+// consecutive attempts without progress.
+func (in *Ingestor) supervise(ctx context.Context, ss *sourceState) {
+	attempts := 0
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		src, err := ss.spec.Open()
+		if err == nil {
+			var progressed bool
+			progressed, err = in.pump(ctx, ss, src)
+			closeSource(src)
+			if err == nil {
+				return // clean EOF: source done
+			}
+			if ctx.Err() != nil {
+				return // shutdown, not a source failure
+			}
+			if progressed {
+				attempts = 0
+			}
+		}
+		attempts++
+		ss.retries.Add(1)
+		ss.noteErr(err)
+		if attempts > in.opts.MaxRetries {
+			ss.failed.Store(true)
+			in.logf("ingest: source %q failed permanently after %d attempts: %v",
+				ss.spec.Name, attempts, err)
+			return
+		}
+		d := in.backoff(attempts)
+		in.logf("ingest: source %q: %v (attempt %d/%d, retrying in %v)",
+			ss.spec.Name, err, attempts, in.opts.MaxRetries, d)
+		if !in.sleep(ctx, d) {
+			return
+		}
+	}
+}
+
+// pump drains one opened source into the shard queue, skipping the events
+// already accounted for by ss.consumed (crash recovery or a mid-stream
+// reopen). Reads run in a helper goroutine so a stalled source can be
+// detected and abandoned; the helper exits once the source unblocks or is
+// closed. pump reports whether any new events were handed off, and returns
+// nil only on clean EOF.
+func (in *Ingestor) pump(ctx context.Context, ss *sourceState, src trace.Source) (progressed bool, err error) {
+	type fetched struct {
+		e  trace.Event
+		ok bool
+	}
+	items := make(chan fetched)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		defer close(items)
+		for {
+			e, ok := src.Next()
+			select {
+			case items <- fetched{e, ok}:
+				if !ok {
+					return
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	skip := ss.consumed
+	pending := make([]trace.Event, 0, in.opts.BatchLen)
+	flush := func() bool {
+		if len(pending) == 0 {
+			return true
+		}
+		evs := pending
+		pending = make([]trace.Event, 0, in.opts.BatchLen)
+		return in.enqueue(ctx, ss, evs)
+	}
+
+	flushT := time.NewTimer(in.opts.FlushEvery)
+	flushT.Stop()
+	defer flushT.Stop()
+	var stallC <-chan time.Time
+	var stallT *time.Timer
+	if in.opts.ReadTimeout > 0 {
+		stallT = time.NewTimer(in.opts.ReadTimeout)
+		defer stallT.Stop()
+		stallC = stallT.C
+	}
+
+	for {
+		select {
+		case it := <-items:
+			if !it.ok {
+				if !flush() {
+					return progressed, ctx.Err()
+				}
+				if serr := sourceErr(src); serr != nil {
+					return progressed, serr
+				}
+				return progressed, nil
+			}
+			if stallT != nil {
+				stallT.Reset(in.opts.ReadTimeout)
+			}
+			if skip > 0 {
+				skip--
+				continue
+			}
+			pending = append(pending, it.e)
+			progressed = true
+			if len(pending) >= in.opts.BatchLen {
+				if !flush() {
+					return progressed, ctx.Err()
+				}
+			} else if len(pending) == 1 {
+				flushT.Reset(in.opts.FlushEvery)
+			}
+		case <-flushT.C:
+			if !flush() {
+				return progressed, ctx.Err()
+			}
+		case <-stallC:
+			flush()
+			return progressed, fmt.Errorf("%w after %v", ErrStalled, in.opts.ReadTimeout)
+		case <-ctx.Done():
+			flush()
+			return progressed, ctx.Err()
+		}
+	}
+}
+
+// enqueue hands a batch to the source's shard under the configured
+// overload policy, advancing the reader-local stream position for both
+// delivered and dropped events. It returns false only when a Block-policy
+// enqueue was abandoned because ctx ended (those events stay uncounted and
+// are replayed on the next run).
+func (in *Ingestor) enqueue(ctx context.Context, ss *sourceState, evs []trace.Event) bool {
+	b := batch{src: ss, events: evs}
+	n := uint64(len(evs))
+	if in.opts.Drop == DropNewest {
+		select {
+		case ss.shard.ch <- b:
+		default:
+			ss.dropped.Add(n)
+		}
+		ss.consumed += n
+		return true
+	}
+	select {
+	case ss.shard.ch <- b:
+		ss.consumed += n
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// sourceErr surfaces a source's terminal error, if it exposes one (as
+// trace.Reader and faults.Source do). A source without Err can only end
+// cleanly.
+func sourceErr(s trace.Source) error {
+	if es, ok := s.(interface{ Err() error }); ok {
+		return es.Err()
+	}
+	return nil
+}
+
+func closeSource(s trace.Source) {
+	if c, ok := s.(interface{ Close() error }); ok {
+		c.Close()
+	}
+}
+
+// Estimate returns the summed lower-bound estimate for [lo, hi] across all
+// shards. Each shard's estimate undercounts its slice of the stream by at
+// most ε·n_i, so the sum undercounts the whole stream by at most ε·N()
+// plus Dropped() events.
+func (in *Ingestor) Estimate(lo, hi uint64) uint64 {
+	var total uint64
+	for _, sh := range in.shards {
+		sh.mu.Lock()
+		total += sh.tree.Estimate(lo, hi)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// N returns the total event weight applied across all shards.
+func (in *Ingestor) N() uint64 {
+	var total uint64
+	for _, sh := range in.shards {
+		sh.mu.Lock()
+		total += sh.tree.N()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Dropped returns the total number of events shed under DropNewest.
+func (in *Ingestor) Dropped() uint64 {
+	var total uint64
+	for _, ss := range in.sources {
+		total += ss.dropped.Load()
+	}
+	return total
+}
+
+// SourceStats reports one source's supervision state.
+type SourceStats struct {
+	Name    string
+	Applied uint64 // events applied to its shard tree
+	Dropped uint64 // events shed under DropNewest
+	Retries uint64 // reopen attempts
+	Failed  bool   // permanently failed
+	LastErr string // most recent error, "" if none
+}
+
+// Stats is a point-in-time view of the whole pipeline.
+type Stats struct {
+	N           uint64 // total event weight applied
+	Nodes       int    // live tree nodes across shards
+	MemoryBytes int    // charged at core.NodeBytes per node
+	Dropped     uint64 // events shed under DropNewest
+	Sources     []SourceStats
+}
+
+// Stats gathers per-shard and per-source counters. The view is
+// monitoring-grade: shards are sampled one at a time, not under a global
+// cut.
+func (in *Ingestor) Stats() Stats {
+	var st Stats
+	for _, sh := range in.shards {
+		sh.mu.Lock()
+		ts := sh.tree.Stats()
+		sh.mu.Unlock()
+		st.N += ts.N
+		st.Nodes += ts.Nodes
+		st.MemoryBytes += ts.MemoryBytes
+	}
+	for _, ss := range in.sources {
+		s := SourceStats{
+			Name:    ss.spec.Name,
+			Dropped: ss.dropped.Load(),
+			Retries: ss.retries.Load(),
+			Failed:  ss.failed.Load(),
+		}
+		ss.shard.mu.Lock()
+		s.Applied = ss.applied
+		ss.shard.mu.Unlock()
+		if err := ss.lastError(); err != nil {
+			s.LastErr = err.Error()
+		}
+		st.Dropped += s.Dropped
+		st.Sources = append(st.Sources, s)
+	}
+	return st
+}

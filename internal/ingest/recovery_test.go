@@ -1,0 +1,168 @@
+package ingest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rap/internal/exact"
+)
+
+// TestKillAndRestartRecovery is the crash-recovery acceptance test: ingest
+// a stream, die SIGKILL-style mid-run (no final checkpoint, in-memory
+// state discarded), restart from the latest on-disk checkpoint, and finish
+// the stream. Every estimate on the recovered profile must remain a valid
+// lower bound within eps*n of the exact baseline for the full stream —
+// i.e. recovery is exactly-once: nothing double-counted, nothing lost.
+func TestKillAndRestartRecovery(t *testing.T) {
+	const perSource = 30_000
+	dir := t.TempDir()
+	valsA := zipfVals(perSource, 21)
+	valsB := zipfVals(perSource, 22)
+	ex := exact.New()
+	for _, v := range valsA {
+		ex.Add(v)
+	}
+	for _, v := range valsB {
+		ex.Add(v)
+	}
+
+	opts := testOptions(2)
+	opts.CheckpointDir = dir
+
+	// Epoch 1: ingest a prefix of each stream and checkpoint it. This
+	// stands in for the periodic checkpoint that happened to land at
+	// 18000 events per source.
+	run1 := runToCompletion(t, opts, []SourceSpec{
+		sliceSpec("a", valsA[:18_000]),
+		sliceSpec("b", valsB[:18_000]),
+	})
+	if got := run1.N(); got != 36_000 {
+		t.Fatalf("epoch 1 N = %d, want 36000", got)
+	}
+
+	// Epoch 2: the process keeps ingesting the full streams well past the
+	// checkpoint, then is killed: SkipFinalCheckpoint simulates SIGKILL —
+	// everything applied after the last checkpoint exists only in memory
+	// and dies with the process. The checkpoint interval is left at its
+	// default (10s), far longer than this run, so no periodic checkpoint
+	// sneaks in.
+	crashOpts := opts
+	crashOpts.SkipFinalCheckpoint = true
+	crashed, err := Open(crashOpts, []SourceSpec{
+		sliceSpec("a", valsA),
+		sliceSpec("b", valsB),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := crashed.N(); got != 36_000 {
+		t.Fatalf("epoch 2 restored N = %d, want 36000", got)
+	}
+	if err := crashed.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := crashed.N(); got != 2*perSource {
+		t.Fatalf("epoch 2 in-memory N = %d, want %d", got, 2*perSource)
+	}
+	// The "kill": crashed's state is simply abandoned. Disk still holds
+	// the epoch-1 checkpoint.
+
+	// Epoch 3: restart. Recovery must restore tree state and stream
+	// positions from the checkpoint and replay exactly the suffix.
+	recovered, err := Open(opts, []SourceSpec{
+		sliceSpec("a", valsA),
+		sliceSpec("b", valsB),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recovered.N(); got != 36_000 {
+		t.Fatalf("recovered N = %d, want checkpoint's 36000", got)
+	}
+	for _, ss := range recovered.sources {
+		if ss.consumed != 18_000 {
+			t.Fatalf("source %q resumes at %d, want 18000", ss.spec.Name, ss.consumed)
+		}
+	}
+	start := time.Now()
+	if err := recovered.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("replayed %d events in %v", 2*perSource-36_000, time.Since(start))
+
+	// Exactly-once: the recovered profile covers the whole stream.
+	if got := recovered.N(); got != 2*perSource {
+		t.Fatalf("N after recovery = %d, want %d (lost or duplicated events)", got, 2*perSource)
+	}
+	st := recovered.Stats()
+	for _, s := range st.Sources {
+		if s.Applied != perSource || s.Dropped != 0 {
+			t.Fatalf("source %q: applied %d dropped %d, want %d and 0",
+				s.Name, s.Applied, s.Dropped, perSource)
+		}
+	}
+	// Every estimate is a valid lower bound within eps*n of exact.
+	checkLowerBound(t, recovered, ex, 0, 23)
+}
+
+// TestMidRunCheckpointRecovery drives the same crash but with the
+// checkpoint taken asynchronously while ingest is actively running, so
+// the consistent-cut locking (positions matching tree contents exactly)
+// is exercised under real concurrency.
+func TestMidRunCheckpointRecovery(t *testing.T) {
+	const perSource = 40_000
+	dir := t.TempDir()
+	valsA := zipfVals(perSource, 31)
+	valsB := zipfVals(perSource, 32)
+	ex := exact.New()
+	for _, v := range valsA {
+		ex.Add(v)
+	}
+	for _, v := range valsB {
+		ex.Add(v)
+	}
+
+	opts := testOptions(2)
+	opts.CheckpointDir = dir
+	opts.SkipFinalCheckpoint = true
+	opts.BatchLen = 64
+
+	in, err := Open(opts, []SourceSpec{
+		sliceSpec("a", valsA),
+		sliceSpec("b", valsB),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- in.Run(context.Background()) }()
+	// Checkpoint repeatedly while the pipeline runs; the last one to land
+	// before completion is what the restart recovers from.
+	for i := 0; i < 20; i++ {
+		if err := in.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// In-memory state (the full 80k) dies here; disk has some mid-run cut.
+
+	recovered, err := Open(opts, []SourceSpec{
+		sliceSpec("a", valsA),
+		sliceSpec("b", valsB),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckN := recovered.N()
+	if err := recovered.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := recovered.N(); got != 2*perSource {
+		t.Fatalf("N after mid-run-cut recovery = %d (checkpoint had %d), want %d",
+			got, ckN, 2*perSource)
+	}
+	checkLowerBound(t, recovered, ex, 0, 33)
+}

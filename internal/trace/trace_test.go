@@ -196,6 +196,39 @@ func TestReaderTruncatedEvent(t *testing.T) {
 	}
 }
 
+// A trace cut off mid-event — whether inside the value varint, between
+// value and weight, or inside the weight varint — must surface a decode
+// error through Err, never end as a clean EOF: an ingest daemon relies on
+// the distinction to tell "stream done" from "stream damaged, retry".
+func TestReaderTruncationMidEventIsError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	// Multi-byte varints on both sides so every cut lands mid-event.
+	w.Write(Event{Value: 1 << 40, Weight: 1 << 20})
+	w.Flush()
+	full := buf.Bytes()
+	const header = 5 // magic + version
+	if len(full) <= header+2 {
+		t.Fatalf("test event encoded too small: %d bytes", len(full))
+	}
+	for cut := header + 1; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+		}
+		if r.Err() == nil {
+			t.Fatalf("trace cut to %d/%d bytes ended as clean EOF", cut, len(full))
+		}
+	}
+	// Sanity: the uncut trace is a clean EOF.
+	r := NewReader(bytes.NewReader(full))
+	if got := Collect(r); len(got) != 1 || r.Err() != nil {
+		t.Fatalf("full trace: %d events, err %v", len(got), r.Err())
+	}
+}
+
 func TestTextRoundTrip(t *testing.T) {
 	events := []Event{{0xdead, 2}, {0, 1}, {1 << 50, 7}}
 	var sb strings.Builder
