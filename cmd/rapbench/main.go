@@ -4,14 +4,22 @@
 //
 // Usage:
 //
-//	rapbench [-n events] [-seed s] fig2|fig3|fig5|fig6|fig7|fig8|fig9|fig10|hw|headline|narrow|ablations|all
+//	rapbench [-n events] [-seed s] [-json] fig2|fig3|fig5|fig6|fig7|fig8|fig9|fig10|hw|headline|narrow|ablations|all
+//
+// With -json each experiment is emitted as one machine-readable envelope
+// (experiment name, scale, wall time, events/sec, and the full result
+// struct); `all` writes a single combined document. This is the format
+// BENCH_*.json perf trajectories record.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"rap/internal/experiments"
 )
@@ -19,8 +27,9 @@ import (
 func main() {
 	n := flag.Uint64("n", experiments.DefaultOptions().Events, "events per profiling run")
 	seed := flag.Uint64("seed", experiments.DefaultOptions().Seed, "workload seed")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of prose tables")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rapbench [-n events] [-seed s] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "usage: rapbench [-n events] [-seed s] [-json] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 hw headline narrow ablations mini extensions all\n")
 	}
 	flag.Parse()
@@ -29,103 +38,153 @@ func main() {
 		os.Exit(2)
 	}
 	o := experiments.Options{Events: *n, Seed: *seed}
-	if err := run(os.Stdout, flag.Arg(0), o); err != nil {
+	var err error
+	if *jsonOut {
+		err = runJSON(os.Stdout, flag.Arg(0), o)
+	} else {
+		err = run(os.Stdout, flag.Arg(0), o)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "rapbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, name string, o experiments.Options) error {
+// printable is what every experiment result knows how to do.
+type printable interface{ Print(w io.Writer) }
+
+// multi renders several results in sequence (fig8 runs two profiles).
+type multi []printable
+
+func (m multi) Print(w io.Writer) {
+	for _, p := range m {
+		p.Print(w)
+	}
+}
+
+// order is the canonical experiment sequence `all` runs.
+var order = []string{
+	"fig2", "fig3", "fig5", "fig6", "fig7", "fig8",
+	"fig9", "fig10", "hw", "headline", "narrow", "ablations", "mini", "extensions",
+}
+
+// measure executes one experiment and returns its result. It is the
+// single dispatch point both output modes share.
+func measure(name string, o experiments.Options) (printable, error) {
+	wrap := func(r printable, err error) (printable, error) { return r, err }
 	switch name {
 	case "fig2":
-		experiments.Fig2().Print(w)
+		return experiments.Fig2(), nil
 	case "fig3":
-		experiments.Fig3().Print(w)
+		return experiments.Fig3(), nil
 	case "fig5":
-		r, err := experiments.Fig5(o)
-		if err != nil {
-			return err
-		}
-		r.Print(w)
+		return wrap(experiments.Fig5(o))
 	case "fig6":
-		r, err := experiments.Fig6(o)
-		if err != nil {
-			return err
-		}
-		r.Print(w)
+		return wrap(experiments.Fig6(o))
 	case "fig7":
-		r, err := experiments.Fig7(o)
-		if err != nil {
-			return err
-		}
-		r.Print(w)
+		return wrap(experiments.Fig7(o))
 	case "fig8":
+		var m multi
 		for _, kind := range []experiments.ProfileKind{experiments.CodeProfile, experiments.ValueProfile} {
 			r, err := experiments.Fig8(kind, o)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			r.Print(w)
+			m = append(m, r)
 		}
+		return m, nil
 	case "fig9":
-		r, err := experiments.Fig9(o)
-		if err != nil {
-			return err
-		}
-		r.Print(w)
+		return wrap(experiments.Fig9(o))
 	case "fig10":
-		r, err := experiments.Fig10(o)
-		if err != nil {
-			return err
-		}
-		r.Print(w)
+		return wrap(experiments.Fig10(o))
 	case "hw":
-		r, err := experiments.HW(o)
-		if err != nil {
-			return err
-		}
-		r.Print(w)
+		return wrap(experiments.HW(o))
 	case "headline":
-		r, err := experiments.Headline(o)
-		if err != nil {
-			return err
-		}
-		r.Print(w)
+		return wrap(experiments.Headline(o))
 	case "narrow":
-		r, err := experiments.Narrow(o)
-		if err != nil {
-			return err
-		}
-		r.Print(w)
+		return wrap(experiments.Narrow(o))
 	case "ablations":
-		r, err := experiments.Ablations(o)
-		if err != nil {
-			return err
-		}
-		r.Print(w)
+		return wrap(experiments.Ablations(o))
 	case "extensions":
-		r, err := experiments.Extensions(o)
-		if err != nil {
-			return err
-		}
-		r.Print(w)
+		return wrap(experiments.Extensions(o))
 	case "mini":
-		r, err := experiments.Mini(o)
-		if err != nil {
-			return err
-		}
-		r.Print(w)
-	case "all":
-		for _, sub := range []string{
-			"fig2", "fig3", "fig5", "fig6", "fig7", "fig8",
-			"fig9", "fig10", "hw", "headline", "narrow", "ablations", "mini", "extensions",
-		} {
+		return wrap(experiments.Mini(o))
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func run(w io.Writer, name string, o experiments.Options) error {
+	if name == "all" {
+		for _, sub := range order {
 			if err := run(w, sub, o); err != nil {
 				return fmt.Errorf("%s: %w", sub, err)
 			}
 		}
-	default:
-		return fmt.Errorf("unknown experiment %q", name)
+		return nil
 	}
+	r, err := measure(name, o)
+	if err != nil {
+		return err
+	}
+	r.Print(w)
 	return nil
+}
+
+// jsonResult is one experiment's machine-readable envelope.
+type jsonResult struct {
+	Experiment   string  `json:"experiment"`
+	Events       uint64  `json:"events"`
+	Seed         uint64  `json:"seed"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	EventsPerSec float64 `json:"events_per_sec"` // harness throughput: Events / ElapsedSec
+	Result       any     `json:"result"`         // the experiment's full result struct
+}
+
+// jsonDoc is the combined document `all` emits.
+type jsonDoc struct {
+	Tool        string       `json:"tool"`
+	GoVersion   string       `json:"go_version"`
+	Experiments []jsonResult `json:"experiments"`
+}
+
+func measureJSON(name string, o experiments.Options) (jsonResult, error) {
+	start := time.Now()
+	r, err := measure(name, o)
+	if err != nil {
+		return jsonResult{}, err
+	}
+	elapsed := time.Since(start)
+	res := jsonResult{
+		Experiment: name,
+		Events:     o.Events,
+		Seed:       o.Seed,
+		ElapsedSec: elapsed.Seconds(),
+		Result:     r,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.EventsPerSec = float64(o.Events) / s
+	}
+	return res, nil
+}
+
+func runJSON(w io.Writer, name string, o experiments.Options) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if name == "all" {
+		doc := jsonDoc{Tool: "rapbench", GoVersion: runtime.Version()}
+		for _, sub := range order {
+			res, err := measureJSON(sub, o)
+			if err != nil {
+				return fmt.Errorf("%s: %w", sub, err)
+			}
+			doc.Experiments = append(doc.Experiments, res)
+		}
+		return enc.Encode(doc)
+	}
+	res, err := measureJSON(name, o)
+	if err != nil {
+		return err
+	}
+	return enc.Encode(res)
 }

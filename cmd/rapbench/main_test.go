@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -34,5 +35,54 @@ func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
 	if err := run(&sb, "nope", testOpts()); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+	if err := runJSON(&sb, "nope", testOpts()); err == nil {
+		t.Fatal("unknown experiment accepted by JSON mode")
+	}
+}
+
+func TestRunJSONSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := runJSON(&sb, "headline", testOpts()); err != nil {
+		t.Fatal(err)
+	}
+	var res jsonResult
+	if err := json.Unmarshal([]byte(sb.String()), &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if res.Experiment != "headline" || res.Events != testOpts().Events ||
+		res.Seed != testOpts().Seed {
+		t.Fatalf("envelope %+v", res)
+	}
+	if res.ElapsedSec <= 0 || res.EventsPerSec <= 0 {
+		t.Fatalf("timing not recorded: %+v", res)
+	}
+	if res.Result == nil {
+		t.Fatal("result payload missing")
+	}
+}
+
+func TestRunJSONAllEmitsCombinedDoc(t *testing.T) {
+	var sb strings.Builder
+	if err := runJSON(&sb, "all", experiments.Options{Events: 20_000, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Tool != "rapbench" || doc.GoVersion == "" {
+		t.Fatalf("doc header %+v", doc)
+	}
+	if len(doc.Experiments) != len(order) {
+		t.Fatalf("experiments = %d, want %d", len(doc.Experiments), len(order))
+	}
+	for i, res := range doc.Experiments {
+		if res.Experiment != order[i] {
+			t.Fatalf("experiment %d = %q, want %q", i, res.Experiment, order[i])
+		}
+		if res.Result == nil {
+			t.Fatalf("%s result payload missing", res.Experiment)
+		}
 	}
 }

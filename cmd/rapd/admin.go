@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"rap/internal/ingest"
+	"rap/internal/obs"
+)
+
+// admin is the opt-in operator surface of rapd: metrics exposition,
+// liveness/readiness, the structural trace, and pprof. It is read-only —
+// nothing here mutates the pipeline — so binding it to a trusted
+// interface is the only access control it needs.
+type admin struct {
+	in      *ingest.Ingestor
+	reg     *obs.Registry
+	strace  *obs.StructuralTrace
+	ckEvery time.Duration // checkpoint cadence; freshness is judged against it
+	start   time.Time
+}
+
+// handler builds the admin mux:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  the same registry as one JSON document
+//	/healthz       process liveness (always 200 while serving)
+//	/readyz        200 only while the pipeline can still make progress
+//	/trace         sampled structural events as JSONL
+//	/debug/pprof/  the standard Go profiler endpoints
+func (a *admin) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		a.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		a.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeStatus(w, http.StatusOK, map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(a.start).Seconds(),
+		})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		ok, reason := a.ready(time.Now())
+		code := http.StatusOK
+		body := map[string]any{"status": "ready"}
+		if !ok {
+			code = http.StatusServiceUnavailable
+			body = map[string]any{"status": "unready", "reason": reason}
+		}
+		writeStatus(w, code, body)
+	})
+	if a.strace != nil {
+		mux.Handle("/trace", a.strace)
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeStatus(w http.ResponseWriter, code int, body map[string]any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
+}
+
+// ready reports whether the pipeline can still make progress: at least
+// one source must not have permanently failed, and when checkpointing is
+// enabled the last successful checkpoint (or, before the first one,
+// process start) must be younger than three cadences — a daemon that can
+// no longer persist its state is running on borrowed time and should be
+// rotated out of service.
+func (a *admin) ready(now time.Time) (bool, string) {
+	st := a.in.Stats()
+	alive := 0
+	for _, s := range st.Sources {
+		if !s.Failed {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return false, "all sources permanently failed"
+	}
+	if st.Checkpoint.Enabled && a.ckEvery > 0 {
+		ref := a.start
+		if !st.Checkpoint.LastAt.IsZero() {
+			ref = st.Checkpoint.LastAt
+		}
+		if age := now.Sub(ref); age > 3*a.ckEvery {
+			return false, fmt.Sprintf("no checkpoint for %v (cadence %v)", age.Round(time.Second), a.ckEvery)
+		}
+	}
+	return true, ""
+}
+
+// serveAdmin binds addr and serves the admin surface until the daemon
+// exits; it returns the bound address (useful with ":0") and a shutdown
+// func. Serving errors after bind are logged, not fatal: losing the
+// observability plane should never take the data plane down.
+func serveAdmin(addr string, a *admin, logger *slog.Logger) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("admin listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: a.handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Error("admin server failed", "err", err)
+		}
+	}()
+	logger.Info("admin listening", "addr", ln.Addr().String())
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -10,6 +10,12 @@
 //	rapd -checkpoint-dir /var/lib/rapd a.trace b.trace
 //	raptrace -bench gzip -kind value -n 5000000 | rapd -stdin
 //	rapd -bench gzip -kind value -gen-n 10000000 -stats-every 2s
+//	rapd -bench gzip -kind value -admin 127.0.0.1:9090
+//
+// With -admin, rapd serves its observability plane over HTTP: /metrics
+// (Prometheus text) and /metrics.json, /healthz and /readyz (readiness is
+// keyed on source liveness and checkpoint freshness), /trace (sampled
+// split/merge structural events as JSONL), and /debug/pprof.
 //
 // Trace-file and generator sources are replayable, so crash recovery is
 // lossless for them. Stdin is a one-shot stream: events between the last
@@ -23,7 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +37,7 @@ import (
 
 	"rap/internal/core"
 	"rap/internal/ingest"
+	"rap/internal/obs"
 	"rap/internal/trace"
 	"rap/internal/workload"
 )
@@ -57,6 +64,10 @@ type cliConfig struct {
 	readTimeout     time.Duration
 	maxRetries      int
 	statsEvery      time.Duration
+
+	admin       string // admin HTTP address, "" = disabled
+	traceSample uint64 // structural trace sampling: keep 1 in N decisions
+	traceCap    int    // structural trace ring capacity
 }
 
 func main() {
@@ -90,12 +101,15 @@ func parseFlags(args []string, errOut io.Writer) cliConfig {
 	fs.DurationVar(&c.readTimeout, "read-timeout", 30*time.Second, "per-read stall timeout (0: disabled)")
 	fs.IntVar(&c.maxRetries, "max-retries", 5, "consecutive failures before a source is abandoned")
 	fs.DurationVar(&c.statsEvery, "stats-every", 10*time.Second, "stats logging cadence (0: disabled)")
+	fs.StringVar(&c.admin, "admin", "", "admin HTTP address serving /metrics, /healthz, /readyz, /trace, pprof (empty: disabled)")
+	fs.Uint64Var(&c.traceSample, "trace-sample", 64, "structural trace sampling: record 1 in N split/merge decisions")
+	fs.IntVar(&c.traceCap, "trace-cap", 4096, "structural trace ring capacity, in events")
 	fs.Parse(args)
 	c.traces = fs.Args()
 	return c
 }
 
-func (c cliConfig) options(logf func(string, ...any)) (ingest.Options, error) {
+func (c cliConfig) options(logger *slog.Logger) (ingest.Options, error) {
 	cfg := core.DefaultConfig()
 	cfg.Epsilon = c.epsilon
 	cfg.UniverseBits = c.universe
@@ -109,7 +123,7 @@ func (c cliConfig) options(logf func(string, ...any)) (ingest.Options, error) {
 		MaxRetries:      c.maxRetries,
 		CheckpointDir:   c.checkpointDir,
 		CheckpointEvery: c.checkpointEvery,
-		Logf:            logf,
+		Logger:          logger,
 	}
 	switch c.drop {
 	case "block":
@@ -165,8 +179,8 @@ func (c cliConfig) specs(stdin io.Reader) ([]ingest.SourceSpec, error) {
 }
 
 func run(ctx context.Context, c cliConfig, out io.Writer) error {
-	logger := log.New(out, "rapd: ", log.LstdFlags)
-	opts, err := c.options(logger.Printf)
+	logger := slog.New(slog.NewTextHandler(out, nil)).With("app", "rapd")
+	opts, err := c.options(logger)
 	if err != nil {
 		return err
 	}
@@ -175,12 +189,39 @@ func run(ctx context.Context, c cliConfig, out io.Writer) error {
 		return err
 	}
 
+	// The observability plane is built only when the admin endpoint is
+	// requested, keeping the uninstrumented daemon's hot path hook-free.
+	var strace *obs.StructuralTrace
+	if c.admin != "" {
+		opts.Metrics = obs.NewRegistry()
+		strace = obs.NewStructuralTrace(c.traceSample, c.traceCap)
+		opts.StructuralTrace = strace
+	}
+
 	in, err := ingest.Open(opts, specs)
 	if err != nil {
 		return err
 	}
 	if n := in.N(); n > 0 {
-		logger.Printf("recovered %d events from checkpoint in %s", n, c.checkpointDir)
+		logger.Info("recovered events from checkpoint", "events", n, "dir", c.checkpointDir)
+	}
+
+	if c.admin != "" {
+		a := &admin{
+			in:      in,
+			reg:     opts.Metrics,
+			strace:  strace,
+			start:   time.Now(),
+			ckEvery: c.checkpointEvery,
+		}
+		if c.checkpointDir == "" {
+			a.ckEvery = 0 // no checkpointing: freshness never gates readiness
+		}
+		_, stopAdmin, err := serveAdmin(c.admin, a, logger)
+		if err != nil {
+			return err
+		}
+		defer stopAdmin()
 	}
 
 	stopStats := make(chan struct{})
@@ -204,17 +245,28 @@ func run(ctx context.Context, c cliConfig, out io.Writer) error {
 	st := in.Stats()
 	logStats(logger, st)
 	for _, s := range st.Sources {
-		status := "done"
+		l := logger.With("source", s.Name, "applied", s.Applied,
+			"dropped", s.Dropped, "retries", s.Retries)
 		if s.Failed {
-			status = "FAILED: " + s.LastErr
+			l.Error("source failed", "err", s.LastErr)
+		} else {
+			l.Info("source done")
 		}
-		logger.Printf("source %s: applied=%d dropped=%d retries=%d %s",
-			s.Name, s.Applied, s.Dropped, s.Retries, status)
 	}
 	return err
 }
 
-func logStats(logger *log.Logger, st ingest.Stats) {
-	logger.Printf("n=%d nodes=%d mem=%dB dropped=%d sources=%d",
-		st.N, st.Nodes, st.MemoryBytes, st.Dropped, len(st.Sources))
+func logStats(logger *slog.Logger, st ingest.Stats) {
+	args := []any{
+		"n", st.N, "nodes", st.Nodes, "mem_bytes", st.MemoryBytes,
+		"splits", st.Splits, "merges", st.Merges,
+		"dropped", st.Dropped, "sources", len(st.Sources),
+	}
+	if st.Checkpoint.Enabled {
+		args = append(args,
+			"ck_written", st.Checkpoint.Written,
+			"ck_failed", st.Checkpoint.Failed,
+			"ck_age", st.Checkpoint.Age(time.Now()).Round(time.Millisecond))
+	}
+	logger.Info("stats", args...)
 }

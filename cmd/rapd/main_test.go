@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -13,6 +15,10 @@ import (
 	"rap/internal/ingest"
 	"rap/internal/trace"
 )
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 func writeTrace(t *testing.T, path string, vals []uint64) {
 	t.Helper()
@@ -49,7 +55,7 @@ func TestParseFlags(t *testing.T) {
 
 func TestOptionsRejectsBadDropPolicy(t *testing.T) {
 	c := cliConfig{drop: "oldest", epsilon: 0.01, universe: 64, branch: 4}
-	if _, err := c.options(func(string, ...any) {}); err == nil {
+	if _, err := c.options(discardLogger()); err == nil {
 		t.Fatal("bad drop policy accepted")
 	}
 }
@@ -107,7 +113,8 @@ func TestRunEndToEndWithRestart(t *testing.T) {
 	if err := run(context.Background(), c, &out2); err != nil {
 		t.Fatalf("restart run: %v\n%s", err, out2.String())
 	}
-	if !strings.Contains(out2.String(), "recovered 30000 events") {
+	if !strings.Contains(out2.String(), "recovered events from checkpoint") ||
+		!strings.Contains(out2.String(), "events=30000") {
 		t.Fatalf("restart did not recover from checkpoint:\n%s", out2.String())
 	}
 	if !strings.Contains(out2.String(), "n=30000") {
@@ -154,7 +161,7 @@ func TestRunSignalStyleCancel(t *testing.T) {
 	}
 
 	// The flushed checkpoint must be loadable and non-empty.
-	opts, err := c.options(func(string, ...any) {})
+	opts, err := c.options(discardLogger())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,8 +10,9 @@ import "sync"
 // rates, prefer per-source Trees and post-hoc aggregation over a shared
 // lock.
 type ConcurrentTree struct {
-	mu   sync.Mutex
-	tree *Tree
+	mu    sync.Mutex
+	tree  *Tree
+	hooks *Hooks // survives Restore; reinstalled on the fresh tree
 }
 
 // NewConcurrent builds a mutex-guarded RAP tree.
@@ -21,6 +22,16 @@ func NewConcurrent(cfg Config) (*ConcurrentTree, error) {
 		return nil, err
 	}
 	return &ConcurrentTree{tree: t}, nil
+}
+
+// SetHooks installs observability hooks on the wrapped tree. Hooks are
+// invoked with the tree lock held, so they must not call back into the
+// ConcurrentTree.
+func (c *ConcurrentTree) SetHooks(h *Hooks) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hooks = h
+	c.tree.SetHooks(h)
 }
 
 // Add records one occurrence of p.
@@ -103,6 +114,7 @@ func (c *ConcurrentTree) Restore(data []byte) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	nt.SetHooks(c.hooks)
 	c.tree = &nt
 	return nil
 }

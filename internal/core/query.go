@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
 // NodeInfo describes one live node of the tree to external observers.
 type NodeInfo struct {
@@ -63,8 +66,20 @@ func (t *Tree) Estimate(lo, hi uint64) uint64 {
 	if lo > hi {
 		return 0
 	}
+	done := t.estimateTimer()
 	low, _ := t.estimate(t.root, lo&t.mask, hi&t.mask)
+	done()
 	return low
+}
+
+// estimateTimer starts an estimate-latency measurement when the
+// EstimateDone hook is installed; otherwise it is a single nil check.
+func (t *Tree) estimateTimer() func() {
+	if t.hooks == nil || t.hooks.EstimateDone == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.hooks.EstimateDone(time.Since(start)) }
 }
 
 // EstimateBounds returns both the lower-bound estimate for [lo, hi] and an
@@ -75,7 +90,10 @@ func (t *Tree) EstimateBounds(lo, hi uint64) (low, high uint64) {
 	if lo > hi {
 		return 0, 0
 	}
-	return t.estimate(t.root, lo&t.mask, hi&t.mask)
+	done := t.estimateTimer()
+	low, high = t.estimate(t.root, lo&t.mask, hi&t.mask)
+	done()
+	return low, high
 }
 
 func (t *Tree) estimate(v *node, lo, hi uint64) (low, high uint64) {

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/bits"
+	"time"
 )
 
 // Tree is a Range Adaptive Profiling tree: a one-pass, bounded-memory
@@ -27,6 +28,10 @@ type Tree struct {
 	splits       uint64
 	merges       uint64 // nodes folded away
 	mergeBatches uint64
+
+	// hooks, when non-nil, receives structural notifications (see
+	// hooks.go). Checked only on cold paths; nil is the fast default.
+	hooks *Hooks
 }
 
 // Stats is a snapshot of the tree's bookkeeping counters.
@@ -174,6 +179,7 @@ func (t *Tree) split(v *node) {
 	if v.children == nil {
 		v.children = make([]*node, fan)
 	}
+	created := 0
 	for i := range v.children {
 		if v.children[i] != nil {
 			continue
@@ -181,10 +187,22 @@ func (t *Tree) split(v *node) {
 		lo, plen := t.childBounds(v, i)
 		v.children[i] = &node{lo: lo, plen: plen}
 		t.nodes++
+		created++
 	}
 	t.splits++
 	if t.nodes > t.maxNodes {
 		t.maxNodes = t.nodes
+	}
+	if t.hooks != nil && t.hooks.Split != nil {
+		t.hooks.Split(SplitEvent{
+			Lo:          v.lo,
+			Hi:          v.hi(t.cfg.UniverseBits),
+			Depth:       t.depthOf(v.plen),
+			Count:       v.count,
+			Threshold:   t.SplitThreshold(),
+			N:           t.n,
+			NewChildren: created,
+		})
 	}
 }
 
@@ -195,10 +213,24 @@ func (t *Tree) split(v *node) {
 // bounds still hold while the merge work is amortized across a
 // geometrically growing interval.
 func (t *Tree) runMergeBatch() {
+	var start time.Time
+	timed := t.hooks != nil && t.hooks.MergeBatch != nil
+	if timed {
+		start = time.Now()
+	}
 	t.mergeBatches++
+	before := t.merges
 	thr := t.mergeThreshold()
 	t.mergeNode(t.root, thr)
 	t.advanceMergeSchedule()
+	if timed {
+		t.hooks.MergeBatch(MergeBatchEvent{
+			N:        t.n,
+			Merged:   int(t.merges - before),
+			Nodes:    t.nodes,
+			Duration: time.Since(start),
+		})
+	}
 }
 
 // MergeNow forces an immediate batch merge pass outside the schedule.
@@ -236,6 +268,16 @@ func (t *Tree) mergeNode(v *node, thr float64) {
 		}
 		t.mergeNode(c, thr)
 		if c.children == nil && float64(c.count) <= thr {
+			if t.hooks != nil && t.hooks.Merge != nil {
+				t.hooks.Merge(MergeEvent{
+					Lo:        c.lo,
+					Hi:        c.hi(t.cfg.UniverseBits),
+					Depth:     t.depthOf(c.plen),
+					Count:     c.count,
+					Threshold: thr,
+					N:         t.n,
+				})
+			}
 			v.count += c.count
 			v.children[i] = nil
 			t.nodes--

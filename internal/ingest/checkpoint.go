@@ -58,6 +58,24 @@ func (in *Ingestor) Checkpoint() error {
 	if in.opts.CheckpointDir == "" {
 		return nil
 	}
+	start := time.Now()
+	size, err := in.checkpoint()
+	if err != nil {
+		in.ckFailed.Add(1)
+		return err
+	}
+	dur := time.Since(start)
+	in.ckWritten.Add(1)
+	in.ckLastNano.Store(start.UnixNano())
+	in.ckLastSize.Store(int64(size))
+	in.ckLastDur.Store(int64(dur))
+	if in.ckDur != nil {
+		in.ckDur.ObserveDuration(dur)
+	}
+	return nil
+}
+
+func (in *Ingestor) checkpoint() (size int, err error) {
 	for _, sh := range in.shards {
 		sh.mu.Lock()
 	}
@@ -83,7 +101,7 @@ func (in *Ingestor) Checkpoint() error {
 		in.shards[i].mu.Unlock()
 	}
 	if snapErr != nil {
-		return snapErr
+		return 0, snapErr
 	}
 	return writeCheckpoint(in.opts.CheckpointDir, snaps, positions)
 }
@@ -110,39 +128,39 @@ func encodeCheckpoint(snaps [][]byte, positions []sourcePos) []byte {
 	return buf.Bytes()
 }
 
-func writeCheckpoint(dir string, snaps [][]byte, positions []sourcePos) error {
+func writeCheckpoint(dir string, snaps [][]byte, positions []sourcePos) (int, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+		return 0, err
 	}
 	data := encodeCheckpoint(snaps, positions)
 	tmp := filepath.Join(dir, ckTmp)
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		return err
+		return 0, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return err
+		return 0, err
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return 0, err
 	}
 
 	main := filepath.Join(dir, ckName)
 	if _, err := os.Stat(main); err == nil {
 		if err := os.Rename(main, filepath.Join(dir, ckPrev)); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	if err := os.Rename(tmp, main); err != nil {
-		return err
+		return 0, err
 	}
 	syncDir(dir)
-	return nil
+	return len(data), nil
 }
 
 // syncDir fsyncs a directory so the renames above are durable. Errors are
@@ -160,10 +178,11 @@ func syncDir(dir string) {
 // loadCheckpoint returns the most recent intact checkpoint state, trying
 // the current file then the previous one. A file that fails the CRC or
 // does not decode is quarantined — renamed aside with a .corrupt suffix so
-// it is preserved for diagnosis but never retried — and logged. With no
-// usable checkpoint it returns (nil, nil); only real I/O errors are
-// returned.
-func loadCheckpoint(dir string, logf func(string, ...any)) (*checkpointState, error) {
+// it is preserved for diagnosis but never retried — counted, and logged.
+// With no usable checkpoint it returns (nil, nil); only real I/O errors
+// are returned.
+func (in *Ingestor) loadCheckpoint() (*checkpointState, error) {
+	dir := in.opts.CheckpointDir
 	for _, name := range []string{ckName, ckPrev} {
 		path := filepath.Join(dir, name)
 		data, err := os.ReadFile(path)
@@ -177,11 +196,14 @@ func loadCheckpoint(dir string, logf func(string, ...any)) (*checkpointState, er
 		if derr == nil {
 			return st, nil
 		}
+		in.ckQuarantined.Add(1)
 		q := path + fmt.Sprintf(".corrupt-%d", time.Now().UnixNano())
 		if rerr := os.Rename(path, q); rerr != nil {
-			logf("ingest: corrupt checkpoint %s: %v (quarantine failed: %v)", path, derr, rerr)
+			in.log.Error("ingest: corrupt checkpoint, quarantine failed",
+				"path", path, "err", derr, "rename_err", rerr)
 		} else {
-			logf("ingest: corrupt checkpoint %s: %v (quarantined as %s)", path, derr, q)
+			in.log.Warn("ingest: corrupt checkpoint quarantined",
+				"path", path, "err", derr, "quarantine", q)
 		}
 	}
 	return nil, nil

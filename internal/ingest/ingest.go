@@ -23,12 +23,16 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"math/rand/v2"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rap/internal/core"
+	"rap/internal/obs"
 	"rap/internal/trace"
 )
 
@@ -109,9 +113,57 @@ type Options struct {
 	SkipFinalCheckpoint bool
 
 	// Logf receives operational log lines (retries, quarantined
-	// checkpoints, failed sources). Default log.Printf.
+	// checkpoints, failed sources) rendered as "msg key=value ...".
+	// Default log.Printf. Ignored when Logger is set.
 	Logf func(format string, args ...any)
+
+	// Logger, when set, receives structured operational logs with
+	// per-source fields (source, attempt, backoff, err) — the same labels
+	// the metrics registry uses, so logs and metrics can be joined. When
+	// nil, a handler bridging to Logf is installed.
+	Logger *slog.Logger
+
+	// Metrics, when set, registers pipeline metrics on this registry:
+	// per-shard tree counters and gauges (splits, merges, nodes, ε·n
+	// error budget, estimate latency), per-source queue depth/capacity,
+	// drops, retries, backoff state, and checkpoint counters/latency.
+	Metrics *obs.Registry
+
+	// StructuralTrace, when set (together with Metrics), records sampled
+	// split/merge decisions from every shard tree.
+	StructuralTrace *obs.StructuralTrace
 }
+
+// logfHandler is a minimal slog.Handler that renders records through a
+// printf-style sink, keeping the legacy Logf option (and tests that
+// capture it) working under structured logging.
+type logfHandler struct {
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+}
+
+func (h logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var sb strings.Builder
+	sb.WriteString(r.Message)
+	for _, a := range h.attrs {
+		fmt.Fprintf(&sb, " %s=%v", a.Key, a.Value)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		fmt.Fprintf(&sb, " %s=%v", a.Key, a.Value)
+		return true
+	})
+	h.logf("%s", sb.String())
+	return nil
+}
+
+func (h logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	h.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return h
+}
+
+func (h logfHandler) WithGroup(string) slog.Handler { return h }
 
 func (o Options) withDefaults() Options {
 	if o.Tree == (core.Config{}) {
@@ -141,8 +193,12 @@ func (o Options) withDefaults() Options {
 	if o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = 10 * time.Second
 	}
-	if o.Logf == nil {
-		o.Logf = log.Printf
+	if o.Logger == nil {
+		logf := o.Logf
+		if logf == nil {
+			logf = log.Printf
+		}
+		o.Logger = slog.New(logfHandler{logf: logf})
 	}
 	return o
 }
@@ -192,8 +248,25 @@ type sourceState struct {
 	retries atomic.Uint64
 	failed  atomic.Bool
 
+	// backoffUntil is the unix-nano deadline of the current retry
+	// backoff, 0 when the source is not backing off. Exported through
+	// SourceStats.Backoff and the rap_ingest_backoff_seconds gauge.
+	backoffUntil atomic.Int64
+
 	errMu   sync.Mutex
 	lastErr error
+}
+
+// backoffRemaining returns how much of the current retry backoff is left.
+func (ss *sourceState) backoffRemaining(now time.Time) time.Duration {
+	until := ss.backoffUntil.Load()
+	if until == 0 {
+		return 0
+	}
+	if d := time.Duration(until - now.UnixNano()); d > 0 {
+		return d
+	}
+	return 0
 }
 
 func (ss *sourceState) noteErr(err error) {
@@ -213,7 +286,17 @@ type Ingestor struct {
 	opts    Options
 	shards  []*shard
 	sources []*sourceState
-	logf    func(format string, args ...any)
+	log     *slog.Logger
+
+	// Checkpoint bookkeeping, updated by Checkpoint/loadCheckpoint and
+	// exported through Stats and the rap_checkpoint_* metrics.
+	ckWritten     atomic.Uint64
+	ckFailed      atomic.Uint64
+	ckQuarantined atomic.Uint64
+	ckLastNano    atomic.Int64 // unix nanos of the last successful write
+	ckLastSize    atomic.Int64 // bytes of the last successful write
+	ckLastDur     atomic.Int64 // wall nanos of the last successful write
+	ckDur         *obs.Histogram
 }
 
 // Open builds an ingestor over the given sources and, when a checkpoint
@@ -238,7 +321,7 @@ func Open(opts Options, specs []SourceSpec) (*Ingestor, error) {
 		seen[s.Name] = true
 	}
 
-	in := &Ingestor{opts: opts, logf: opts.Logf}
+	in := &Ingestor{opts: opts, log: opts.Logger}
 	for i := 0; i < opts.Shards; i++ {
 		tree, err := core.New(opts.Tree)
 		if err != nil {
@@ -254,7 +337,7 @@ func Open(opts Options, specs []SourceSpec) (*Ingestor, error) {
 	}
 
 	if opts.CheckpointDir != "" {
-		st, err := loadCheckpoint(opts.CheckpointDir, in.logf)
+		st, err := in.loadCheckpoint()
 		if err != nil {
 			return nil, err
 		}
@@ -264,7 +347,89 @@ func Open(opts Options, specs []SourceSpec) (*Ingestor, error) {
 			}
 		}
 	}
+	// Register metrics after restore so hooks land on the live trees.
+	if opts.Metrics != nil {
+		in.registerMetrics()
+	}
 	return in, nil
+}
+
+// registerMetrics wires the three instrumentation surfaces onto
+// opts.Metrics: per-shard tree hooks (counters, latency histograms,
+// structural trace), scrape-time gauges over shard and queue state, and
+// checkpoint counters. Scrape-time Funcs take the owning shard lock, so
+// an exposition is a consistent-enough monitoring view without ever
+// blocking the hot path for longer than one scrape.
+func (in *Ingestor) registerMetrics() {
+	reg := in.opts.Metrics
+	eps := in.opts.Tree.Epsilon
+	for i, sh := range in.shards {
+		shardID := strconv.Itoa(i)
+		sh.tree.SetHooks(obs.TreeHooks(reg, in.opts.StructuralTrace, shardID))
+		labels := []obs.Label{obs.L("shard", shardID)}
+		treeStat := func(f func(core.Stats) float64) func() float64 {
+			return func() float64 {
+				sh.mu.Lock()
+				st := sh.tree.Stats()
+				sh.mu.Unlock()
+				return f(st)
+			}
+		}
+		reg.CounterFunc("rap_tree_events_total", "Total event weight applied to the shard tree.",
+			treeStat(func(st core.Stats) float64 { return float64(st.N) }), labels...)
+		reg.GaugeFunc("rap_tree_nodes", "Live nodes in the shard tree.",
+			treeStat(func(st core.Stats) float64 { return float64(st.Nodes) }), labels...)
+		reg.GaugeFunc("rap_tree_nodes_max", "High-water mark of live nodes in the shard tree.",
+			treeStat(func(st core.Stats) float64 { return float64(st.MaxNodes) }), labels...)
+		reg.GaugeFunc("rap_tree_memory_bytes", "Shard tree memory at the paper's 16 B/node.",
+			treeStat(func(st core.Stats) float64 { return float64(st.MemoryBytes) }), labels...)
+		reg.GaugeFunc("rap_tree_error_budget", "Current ε·n error budget of the shard tree, in events.",
+			treeStat(func(st core.Stats) float64 { return eps * float64(st.N) }), labels...)
+	}
+	for _, ss := range in.sources {
+		ss := ss
+		labels := []obs.Label{obs.L("source", ss.spec.Name)}
+		reg.GaugeFunc("rap_ingest_queue_depth", "Batches waiting in the source's shard queue.",
+			func() float64 { return float64(len(ss.shard.ch)) }, labels...)
+		reg.GaugeFunc("rap_ingest_queue_capacity", "Capacity of the source's shard queue, in batches.",
+			func() float64 { return float64(cap(ss.shard.ch)) }, labels...)
+		reg.CounterFunc("rap_ingest_applied_total", "Events applied to the shard tree from this source.",
+			func() float64 {
+				ss.shard.mu.Lock()
+				defer ss.shard.mu.Unlock()
+				return float64(ss.applied)
+			}, labels...)
+		reg.CounterFunc("rap_ingest_dropped_total", "Events shed under DropNewest from this source.",
+			func() float64 { return float64(ss.dropped.Load()) }, labels...)
+		reg.CounterFunc("rap_ingest_retries_total", "Reopen attempts for this source.",
+			func() float64 { return float64(ss.retries.Load()) }, labels...)
+		reg.GaugeFunc("rap_ingest_failed", "1 when the source has permanently failed.",
+			func() float64 {
+				if ss.failed.Load() {
+					return 1
+				}
+				return 0
+			}, labels...)
+		reg.GaugeFunc("rap_ingest_backoff_seconds", "Seconds remaining in the source's current retry backoff.",
+			func() float64 { return ss.backoffRemaining(time.Now()).Seconds() }, labels...)
+	}
+	reg.CounterFunc("rap_checkpoint_written_total", "Checkpoints written successfully.",
+		func() float64 { return float64(in.ckWritten.Load()) })
+	reg.CounterFunc("rap_checkpoint_failed_total", "Checkpoint writes that failed.",
+		func() float64 { return float64(in.ckFailed.Load()) })
+	reg.CounterFunc("rap_checkpoint_quarantined_total", "Corrupt checkpoints quarantined on load.",
+		func() float64 { return float64(in.ckQuarantined.Load()) })
+	reg.GaugeFunc("rap_checkpoint_last_size_bytes", "Size of the last successful checkpoint.",
+		func() float64 { return float64(in.ckLastSize.Load()) })
+	reg.GaugeFunc("rap_checkpoint_last_age_seconds", "Seconds since the last successful checkpoint; -1 before the first.",
+		func() float64 {
+			last := in.ckLastNano.Load()
+			if last == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, last)).Seconds()
+		})
+	in.ckDur = reg.Histogram("rap_checkpoint_seconds", "Wall time of one checkpoint write.", obs.DurationBuckets())
 }
 
 func (in *Ingestor) restore(st *checkpointState) error {
@@ -290,7 +455,7 @@ func (in *Ingestor) restore(st *checkpointState) error {
 		delete(byName, ss.spec.Name)
 	}
 	for name := range byName {
-		in.logf("ingest: checkpoint position for unknown source %q ignored", name)
+		in.log.Warn("ingest: checkpoint position for unknown source ignored", "source", name)
 	}
 	return nil
 }
@@ -333,7 +498,7 @@ func (in *Ingestor) Run(ctx context.Context) error {
 				select {
 				case <-tick.C:
 					if err := in.Checkpoint(); err != nil {
-						in.logf("ingest: checkpoint failed: %v", err)
+						in.log.Error("ingest: checkpoint failed", "err", err)
 					}
 				case <-stopCk:
 					return
@@ -426,14 +591,18 @@ func (in *Ingestor) supervise(ctx context.Context, ss *sourceState) {
 		ss.noteErr(err)
 		if attempts > in.opts.MaxRetries {
 			ss.failed.Store(true)
-			in.logf("ingest: source %q failed permanently after %d attempts: %v",
-				ss.spec.Name, attempts, err)
+			in.log.Error("ingest: source failed permanently",
+				"source", ss.spec.Name, "attempts", attempts, "err", err)
 			return
 		}
 		d := in.backoff(attempts)
-		in.logf("ingest: source %q: %v (attempt %d/%d, retrying in %v)",
-			ss.spec.Name, err, attempts, in.opts.MaxRetries, d)
-		if !in.sleep(ctx, d) {
+		in.log.Warn("ingest: source read failed, retrying",
+			"source", ss.spec.Name, "err", err,
+			"attempt", attempts, "max_retries", in.opts.MaxRetries, "backoff", d)
+		ss.backoffUntil.Store(time.Now().Add(d).UnixNano())
+		ok := in.sleep(ctx, d)
+		ss.backoffUntil.Store(0)
+		if !ok {
 			return
 		}
 	}
@@ -610,21 +779,49 @@ func (in *Ingestor) Dropped() uint64 {
 
 // SourceStats reports one source's supervision state.
 type SourceStats struct {
-	Name    string
-	Applied uint64 // events applied to its shard tree
-	Dropped uint64 // events shed under DropNewest
-	Retries uint64 // reopen attempts
-	Failed  bool   // permanently failed
-	LastErr string // most recent error, "" if none
+	Name       string
+	Applied    uint64        // events applied to its shard tree
+	Dropped    uint64        // events shed under DropNewest
+	Retries    uint64        // reopen attempts
+	Failed     bool          // permanently failed
+	LastErr    string        // most recent error, "" if none
+	QueueDepth int           // batches waiting in its shard queue
+	QueueCap   int           // capacity of its shard queue, in batches
+	Backoff    time.Duration // time remaining in the current retry backoff
+}
+
+// CheckpointStats reports the checkpoint subsystem's state.
+type CheckpointStats struct {
+	Enabled      bool
+	Written      uint64        // successful checkpoint writes
+	Failed       uint64        // failed checkpoint writes
+	Quarantined  uint64        // corrupt checkpoints quarantined on load
+	LastAt       time.Time     // time of the last successful write; zero if none
+	LastSize     int           // bytes of the last successful write
+	LastDuration time.Duration // wall time of the last successful write
+}
+
+// Age returns how long ago the last successful checkpoint was written,
+// or -1 if none has been.
+func (c CheckpointStats) Age(now time.Time) time.Duration {
+	if c.LastAt.IsZero() {
+		return -1
+	}
+	return now.Sub(c.LastAt)
 }
 
 // Stats is a point-in-time view of the whole pipeline.
 type Stats struct {
-	N           uint64 // total event weight applied
-	Nodes       int    // live tree nodes across shards
-	MemoryBytes int    // charged at core.NodeBytes per node
-	Dropped     uint64 // events shed under DropNewest
-	Sources     []SourceStats
+	N            uint64 // total event weight applied
+	Nodes        int    // live tree nodes across shards
+	MaxNodes     int    // summed per-shard node high-water marks
+	MemoryBytes  int    // charged at core.NodeBytes per node
+	Splits       uint64 // split operations across shards
+	Merges       uint64 // nodes folded away across shards
+	MergeBatches uint64 // batched merge passes across shards
+	Dropped      uint64 // events shed under DropNewest
+	Checkpoint   CheckpointStats
+	Sources      []SourceStats
 }
 
 // Stats gathers per-shard and per-source counters. The view is
@@ -638,14 +835,22 @@ func (in *Ingestor) Stats() Stats {
 		sh.mu.Unlock()
 		st.N += ts.N
 		st.Nodes += ts.Nodes
+		st.MaxNodes += ts.MaxNodes
 		st.MemoryBytes += ts.MemoryBytes
+		st.Splits += ts.Splits
+		st.Merges += ts.Merges
+		st.MergeBatches += ts.MergeBatches
 	}
+	now := time.Now()
 	for _, ss := range in.sources {
 		s := SourceStats{
-			Name:    ss.spec.Name,
-			Dropped: ss.dropped.Load(),
-			Retries: ss.retries.Load(),
-			Failed:  ss.failed.Load(),
+			Name:       ss.spec.Name,
+			Dropped:    ss.dropped.Load(),
+			Retries:    ss.retries.Load(),
+			Failed:     ss.failed.Load(),
+			QueueDepth: len(ss.shard.ch),
+			QueueCap:   cap(ss.shard.ch),
+			Backoff:    ss.backoffRemaining(now),
 		}
 		ss.shard.mu.Lock()
 		s.Applied = ss.applied
@@ -655,6 +860,17 @@ func (in *Ingestor) Stats() Stats {
 		}
 		st.Dropped += s.Dropped
 		st.Sources = append(st.Sources, s)
+	}
+	st.Checkpoint = CheckpointStats{
+		Enabled:      in.opts.CheckpointDir != "",
+		Written:      in.ckWritten.Load(),
+		Failed:       in.ckFailed.Load(),
+		Quarantined:  in.ckQuarantined.Load(),
+		LastSize:     int(in.ckLastSize.Load()),
+		LastDuration: time.Duration(in.ckLastDur.Load()),
+	}
+	if nano := in.ckLastNano.Load(); nano != 0 {
+		st.Checkpoint.LastAt = time.Unix(0, nano)
 	}
 	return st
 }

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP and # TYPE lines per family, one sample
+// line per series, histograms expanded to _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.Snapshot() {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f FamilySnapshot, s SeriesSnapshot) error {
+	if f.Kind != KindHistogram.String() {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, renderLabels(s.labels, "", 0), formatFloat(s.Value))
+		return err
+	}
+	for _, b := range s.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.Upper, 1) {
+			le = formatFloat(b.Upper)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, renderLabels(s.labels, "le", le), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, renderLabels(s.labels, "", 0), formatFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, renderLabels(s.labels, "", 0), s.Count)
+	return err
+}
+
+// renderLabels renders {k="v",...}, appending the extra label when
+// extraKey is non-empty (the histogram le), or "" with no labels at all.
+func renderLabels(labels []Label, extraKey string, extraVal any) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, escapeValue(l.Value))
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", extraKey, extraVal)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeValue(s string) string {
+	// %q handles quote and backslash escaping; only newlines need help to
+	// keep the exposition line-oriented.
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// MarshalJSON renders the bucket bound as a string so the +Inf bucket
+// survives encoding/json, which rejects non-finite float64s.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.Upper, 1) {
+		le = formatFloat(b.Upper)
+	}
+	return json.Marshal(struct {
+		Upper string `json:"le"`
+		Count uint64 `json:"count"`
+	}{le, b.Count})
+}
+
+// JSONExposition is the machine-readable scrape document.
+type JSONExposition struct {
+	Metrics []FamilySnapshot `json:"metrics"`
+}
+
+// WriteJSON renders the registry as one indented JSON document, the
+// format BENCH trajectories and tests consume.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(JSONExposition{Metrics: r.Snapshot()})
+}

@@ -1,0 +1,335 @@
+// Package obs is the zero-dependency observability subsystem of the
+// profiler: a named registry of atomic counters, gauges, and fixed-bucket
+// histograms with Prometheus-text and JSON exposition, plus a sampled
+// structural event trace of the tree's split/merge decisions.
+//
+// The design splits instruments from collection. Hot paths update atomic
+// instruments (or nothing at all: the core tree is instrumented through a
+// nil-checkable hook struct, so an uninstrumented tree pays ~zero).
+// Scrape-time values — queue depths, error budgets, checkpoint age — are
+// registered as Func instruments evaluated only when an exposition is
+// written.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a metric family for exposition.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one key=value dimension of a metric series.
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counters.
+// Buckets are upper bounds; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	uppers []float64
+	counts []atomic.Uint64 // len(uppers)+1; last is +Inf
+	total  atomic.Uint64
+	sum    Gauge
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.uppers, v) // first upper >= v
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets spans 1µs..~8.4s in octaves, a fit for both merge-batch
+// and checkpoint latencies.
+func DurationBuckets() []float64 { return ExpBuckets(1e-6, 2, 24) }
+
+// series is one labeled instance within a family.
+type series struct {
+	labels  []Label // sorted by key
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // scrape-time callback
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	series map[string]*series
+}
+
+// Registry is a named collection of metric families. All methods are safe
+// for concurrent use; instrument lookups are idempotent, so packages can
+// re-request a metric by name instead of threading instances around.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func labelKey(labels []Label) string {
+	var sb strings.Builder
+	for _, l := range labels {
+		sb.WriteString(l.Key)
+		sb.WriteByte(1)
+		sb.WriteString(l.Value)
+		sb.WriteByte(2)
+	}
+	return sb.String()
+}
+
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// lookup returns the series for name+labels, creating family and series
+// as needed. The caller must hold r.mu. It panics on a kind mismatch: two
+// packages disagreeing about what a metric name means is a programming
+// error, not a runtime condition.
+func (r *Registry) lookup(name, help string, kind Kind, labels []Label) *series {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	labels = sortLabels(labels)
+	key := labelKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: labels}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter name{labels}, creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, KindCounter, labels)
+	if s.counter == nil && s.fn == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge name{labels}, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, KindGauge, labels)
+	if s.gauge == nil && s.fn == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// CounterFunc registers a counter whose value is collected by calling fn
+// at exposition time — for cumulative counts maintained elsewhere (tree
+// split totals, per-source drop counts).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, KindCounter, labels)
+	s.fn = fn
+	s.counter = nil
+}
+
+// GaugeFunc registers a gauge collected by calling fn at exposition time —
+// for instantaneous state (queue depth, checkpoint age, ε·n budgets).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, KindGauge, labels)
+	s.fn = fn
+	s.gauge = nil
+}
+
+// Histogram returns the histogram name{labels} with the given bucket
+// upper bounds, creating it on first use. Buckets are only consulted on
+// creation; later lookups reuse the existing buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, KindHistogram, labels)
+	if s.hist == nil {
+		uppers := append([]float64(nil), buckets...)
+		sort.Float64s(uppers)
+		s.hist = &Histogram{
+			uppers: uppers,
+			counts: make([]atomic.Uint64, len(uppers)+1),
+		}
+	}
+	return s.hist
+}
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	Upper float64 `json:"le"`
+	Count uint64  `json:"count"` // cumulative, Prometheus-style
+}
+
+// SeriesSnapshot is one series at one scrape.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	// Histogram-only fields.
+	Count   uint64        `json:"count,omitempty"`
+	Sum     float64       `json:"sum,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+
+	labels []Label // original order-stable labels, for text exposition
+}
+
+// FamilySnapshot is one metric family at one scrape.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Kind   string           `json:"kind"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot collects every family, evaluating Func instruments, and
+// returns them sorted by name (series sorted by label key) so exposition
+// output is deterministic.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	out := make([]FamilySnapshot, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		fs := FamilySnapshot{Name: f.name, Kind: f.kind.String(), Help: f.help}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			ss := SeriesSnapshot{labels: s.labels}
+			if len(s.labels) > 0 {
+				ss.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					ss.Labels[l.Key] = l.Value
+				}
+			}
+			switch {
+			case s.fn != nil:
+				ss.Value = s.fn()
+			case s.counter != nil:
+				ss.Value = float64(s.counter.Value())
+			case s.gauge != nil:
+				ss.Value = s.gauge.Value()
+			case s.hist != nil:
+				ss.Count = s.hist.Count()
+				ss.Sum = s.hist.Sum()
+				var cum uint64
+				for i, u := range s.hist.uppers {
+					cum += s.hist.counts[i].Load()
+					ss.Buckets = append(ss.Buckets, BucketCount{Upper: u, Count: cum})
+				}
+				cum += s.hist.counts[len(s.hist.uppers)].Load()
+				ss.Buckets = append(ss.Buckets, BucketCount{Upper: math.Inf(1), Count: cum})
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}

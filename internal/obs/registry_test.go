@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Re-lookup returns the same instrument.
+	if r.Counter("x_total", "help") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("depth", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestLabelsSeparateSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "h", L("shard", "0"))
+	b := r.Counter("x_total", "h", L("shard", "1"))
+	if a == b {
+		t.Fatal("different labels returned the same series")
+	}
+	// Label order must not matter.
+	c1 := r.Counter("y_total", "h", L("a", "1"), L("b", "2"))
+	c2 := r.Counter("y_total", "h", L("b", "2"), L("a", "1"))
+	if c1 != c2 {
+		t.Fatal("label order produced distinct series")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "h")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "h", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.565) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.565", h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Series) != 1 {
+		t.Fatalf("snapshot shape %+v", snap)
+	}
+	buckets := snap[0].Series[0].Buckets
+	// le=0.01 -> 2 (0.005, 0.01 inclusive), le=0.1 -> 3, le=1 -> 4, +Inf -> 5.
+	want := []uint64{2, 3, 4, 5}
+	if len(buckets) != 4 {
+		t.Fatalf("buckets %+v", buckets)
+	}
+	for i, b := range buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d (le=%v) = %d, want %d", i, b.Upper, b.Count, want[i])
+		}
+	}
+	if !math.IsInf(buckets[3].Upper, 1) {
+		t.Fatalf("last bucket upper = %v, want +Inf", buckets[3].Upper)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rap_splits_total", "Splits performed.", L("shard", "0")).Add(7)
+	r.GaugeFunc("rap_queue_depth", "Depth.", func() float64 { return 3 }, L("source", `a"b`))
+	h := r.Histogram("rap_lat_seconds", "Latency.", []float64{0.5})
+	h.Observe(0.25)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP rap_splits_total Splits performed.",
+		"# TYPE rap_splits_total counter",
+		`rap_splits_total{shard="0"} 7`,
+		"# TYPE rap_queue_depth gauge",
+		`rap_queue_depth{source="a\"b"} 3`,
+		"# TYPE rap_lat_seconds histogram",
+		`rap_lat_seconds_bucket{le="0.5"} 1`,
+		`rap_lat_seconds_bucket{le="+Inf"} 2`,
+		"rap_lat_seconds_sum 2.25",
+		"rap_lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONExpositionRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "h", L("k", "v")).Add(2)
+	r.Histogram("b_seconds", "h", []float64{1}).Observe(0.5)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name   string `json:"name"`
+			Kind   string `json:"kind"`
+			Series []struct {
+				Labels  map[string]string `json:"labels"`
+				Value   float64           `json:"value"`
+				Buckets []struct {
+					Le    string `json:"le"`
+					Count uint64 `json:"count"`
+				} `json:"buckets"`
+			} `json:"series"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.Metrics) != 2 {
+		t.Fatalf("metrics = %d, want 2", len(doc.Metrics))
+	}
+	if doc.Metrics[0].Name != "a_total" || doc.Metrics[0].Series[0].Value != 2 ||
+		doc.Metrics[0].Series[0].Labels["k"] != "v" {
+		t.Fatalf("counter doc %+v", doc.Metrics[0])
+	}
+	hb := doc.Metrics[1].Series[0].Buckets
+	if len(hb) != 2 || hb[1].Le != "+Inf" || hb[1].Count != 1 {
+		t.Fatalf("histogram buckets %+v", hb)
+	}
+}
+
+func TestConcurrentInstrumentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c_total", "h")
+			h := r.Histogram("h_seconds", "h", DurationBuckets())
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.ObserveDuration(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "h").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h_seconds", "h", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StructuralEvent is one recorded split or merge decision: the runtime
+// analogue of the paper's Figure 2 region tracking. It captures the state
+// the decision was taken on — range, depth, counter, threshold, stream
+// position — so offline analysis can replay how the tree adapted to the
+// stream without holding the stream itself.
+type StructuralEvent struct {
+	Seq       uint64  `json:"seq"`             // decision sequence number (pre-sampling)
+	UnixNano  int64   `json:"time_unix_nano"`  // wall clock at record time
+	Op        string  `json:"op"`              // "split" | "merge"
+	Shard     string  `json:"shard,omitempty"` // owning shard, when sharded
+	Lo        uint64  `json:"lo"`              // inclusive range low end
+	Hi        uint64  `json:"hi"`              // inclusive range high end
+	Depth     int     `json:"depth"`           // split steps below the root
+	Count     uint64  `json:"count"`           // node counter at decision time
+	Threshold float64 `json:"threshold"`       // split/merge threshold compared against
+	N         uint64  `json:"n"`               // tree's stream position
+}
+
+// StructuralTrace is a sampled ring buffer of structural events. Sampling
+// is decided with one atomic increment per decision, so a heavily
+// splitting tree stays cheap to trace; only kept events pay for a
+// timestamp and the buffer lock.
+type StructuralTrace struct {
+	sample uint64 // keep 1 of every sample decisions per op kind
+	seq    atomic.Uint64
+
+	mu   sync.Mutex
+	buf  []StructuralEvent // ring storage, cap fixed at construction
+	next int               // ring write position once buf is full
+	kept uint64
+}
+
+// NewStructuralTrace keeps 1 in sample decisions in a ring of capacity
+// events. sample <= 1 keeps everything; capacity <= 0 selects 4096.
+func NewStructuralTrace(sample uint64, capacity int) *StructuralTrace {
+	if sample < 1 {
+		sample = 1
+	}
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &StructuralTrace{sample: sample, buf: make([]StructuralEvent, 0, capacity)}
+}
+
+// Record applies the sampling decision to ev and, if kept, stamps it and
+// appends it to the ring, evicting the oldest event when full. ev.Seq and
+// ev.UnixNano are set by Record.
+func (st *StructuralTrace) Record(ev StructuralEvent) {
+	seq := st.seq.Add(1)
+	if (seq-1)%st.sample != 0 {
+		return
+	}
+	ev.Seq = seq
+	ev.UnixNano = time.Now().UnixNano()
+	st.mu.Lock()
+	if len(st.buf) < cap(st.buf) {
+		st.buf = append(st.buf, ev)
+	} else {
+		st.buf[st.next] = ev
+		st.next = (st.next + 1) % len(st.buf)
+	}
+	st.kept++
+	st.mu.Unlock()
+}
+
+// Decisions returns the total number of decisions seen (before sampling).
+func (st *StructuralTrace) Decisions() uint64 { return st.seq.Load() }
+
+// Kept returns how many events passed sampling (including evicted ones).
+func (st *StructuralTrace) Kept() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.kept
+}
+
+// Events returns the retained events oldest-first.
+func (st *StructuralTrace) Events() []StructuralEvent {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]StructuralEvent, 0, len(st.buf))
+	out = append(out, st.buf[st.next:]...)
+	out = append(out, st.buf[:st.next]...)
+	return out
+}
+
+// WriteJSONL writes the retained events oldest-first, one JSON object per
+// line — the import format for offline tree-adaptation analysis.
+func (st *StructuralTrace) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w) // Encode appends \n after each value
+	for _, ev := range st.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServeHTTP exposes the trace as application/jsonl, so the admin server
+// can mount a StructuralTrace directly as a handler.
+func (st *StructuralTrace) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.Header().Set("X-Trace-Decisions", strconv.FormatUint(st.Decisions(), 10))
+	st.WriteJSONL(w)
+}

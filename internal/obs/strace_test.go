@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rap/internal/core"
+)
+
+func TestStructuralTraceSamplingAndRing(t *testing.T) {
+	st := NewStructuralTrace(4, 8) // keep 1 in 4, ring of 8
+	for i := 0; i < 100; i++ {
+		st.Record(StructuralEvent{Op: "split", Lo: uint64(i)})
+	}
+	if st.Decisions() != 100 {
+		t.Fatalf("decisions = %d, want 100", st.Decisions())
+	}
+	if st.Kept() != 25 {
+		t.Fatalf("kept = %d, want 25", st.Kept())
+	}
+	evs := st.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained = %d, want ring capacity 8", len(evs))
+	}
+	// Oldest-first: seq strictly increasing, ending at the last kept seq.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if evs[len(evs)-1].Seq != 97 { // decisions 1,5,...,97 kept
+		t.Fatalf("last kept seq = %d, want 97", evs[len(evs)-1].Seq)
+	}
+}
+
+func TestStructuralTraceJSONL(t *testing.T) {
+	st := NewStructuralTrace(1, 16)
+	st.Record(StructuralEvent{Op: "split", Shard: "0", Lo: 1, Hi: 2, Depth: 3, Count: 4, Threshold: 5.5, N: 6})
+	st.Record(StructuralEvent{Op: "merge", Shard: "1", Lo: 7, Hi: 8})
+	var sb strings.Builder
+	if err := st.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var lines int
+	for sc.Scan() {
+		var ev StructuralEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v: %s", lines, err, sc.Text())
+		}
+		lines++
+		if ev.UnixNano == 0 {
+			t.Fatal("event not timestamped")
+		}
+	}
+	if lines != 2 {
+		t.Fatalf("lines = %d, want 2", lines)
+	}
+}
+
+// TestTreeHooksEndToEnd drives a real tree with TreeHooks installed and
+// checks that the registry counters agree with the tree's own Stats and
+// that structural events carry the decision state.
+func TestTreeHooksEndToEnd(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewStructuralTrace(1, 1<<14)
+	cfg := core.DefaultConfig()
+	cfg.UniverseBits = 16
+	cfg.Epsilon = 0.05
+	tree := core.MustNew(cfg)
+	tree.SetHooks(TreeHooks(reg, tr, "0"))
+
+	for i := 0; i < 200_000; i++ {
+		tree.Add(uint64(i*2654435761) & 0xffff)
+	}
+	tree.Estimate(0, 1<<15)
+	st := tree.Finalize()
+
+	labels := []Label{L("shard", "0")}
+	if got := reg.Counter(MetricTreeSplits, "", labels...).Value(); got != st.Splits {
+		t.Fatalf("splits metric = %d, tree stats = %d", got, st.Splits)
+	}
+	if got := reg.Counter(MetricTreeMerges, "", labels...).Value(); got != st.Merges {
+		t.Fatalf("merges metric = %d, tree stats = %d", got, st.Merges)
+	}
+	if got := reg.Counter(MetricTreeMergeBatches, "", labels...).Value(); got != st.MergeBatches {
+		t.Fatalf("merge batches metric = %d, tree stats = %d", got, st.MergeBatches)
+	}
+	if got := reg.Histogram(MetricTreeMergeBatchDur, "", nil, labels...).Count(); got != st.MergeBatches {
+		t.Fatalf("merge batch duration observations = %d, want %d", got, st.MergeBatches)
+	}
+	if got := reg.Histogram(MetricTreeEstimateDur, "", nil, labels...).Count(); got != 1 {
+		t.Fatalf("estimate duration observations = %d, want 1", got)
+	}
+
+	splits, merges := 0, 0
+	for _, ev := range tr.Events() {
+		switch ev.Op {
+		case "split":
+			splits++
+		case "merge":
+			merges++
+		default:
+			t.Fatalf("unknown op %q", ev.Op)
+		}
+		if ev.Hi < ev.Lo || ev.Shard != "0" {
+			t.Fatalf("malformed event %+v", ev)
+		}
+		if ev.Op == "split" && float64(ev.Count) <= ev.Threshold {
+			t.Fatalf("split recorded below threshold: %+v", ev)
+		}
+	}
+	if splits == 0 || merges == 0 {
+		t.Fatalf("trace recorded %d splits, %d merges; want both > 0", splits, merges)
+	}
+}

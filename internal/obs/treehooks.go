@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"time"
+
+	"rap/internal/core"
+)
+
+// Standard tree metric names. One place to keep exposition, docs, and
+// tests agreeing.
+const (
+	MetricTreeSplits        = "rap_tree_splits_total"
+	MetricTreeMerges        = "rap_tree_merges_total"
+	MetricTreeMergeBatches  = "rap_tree_merge_batches_total"
+	MetricTreeMergeBatchDur = "rap_tree_merge_batch_seconds"
+	MetricTreeEstimateDur   = "rap_tree_estimate_seconds"
+)
+
+// TreeHooks builds a core.Hooks that counts splits, merges, and merge
+// batches, times merge batches and estimate queries, and (when tr is
+// non-nil) records sampled structural events labeled with shard. Install
+// the result with Tree.SetHooks; one hooks value per tree.
+func TreeHooks(reg *Registry, tr *StructuralTrace, shard string) *core.Hooks {
+	labels := []Label{L("shard", shard)}
+	splits := reg.Counter(MetricTreeSplits, "Split operations performed.", labels...)
+	merges := reg.Counter(MetricTreeMerges, "Nodes folded into their parents.", labels...)
+	batches := reg.Counter(MetricTreeMergeBatches, "Batched merge passes run.", labels...)
+	batchDur := reg.Histogram(MetricTreeMergeBatchDur,
+		"Wall time of one batched merge pass.", DurationBuckets(), labels...)
+	estDur := reg.Histogram(MetricTreeEstimateDur,
+		"Latency of Estimate/EstimateBounds queries.", DurationBuckets(), labels...)
+
+	return &core.Hooks{
+		Split: func(e core.SplitEvent) {
+			splits.Inc()
+			if tr != nil {
+				tr.Record(StructuralEvent{
+					Op: "split", Shard: shard,
+					Lo: e.Lo, Hi: e.Hi, Depth: e.Depth,
+					Count: e.Count, Threshold: e.Threshold, N: e.N,
+				})
+			}
+		},
+		Merge: func(e core.MergeEvent) {
+			merges.Inc()
+			if tr != nil {
+				tr.Record(StructuralEvent{
+					Op: "merge", Shard: shard,
+					Lo: e.Lo, Hi: e.Hi, Depth: e.Depth,
+					Count: e.Count, Threshold: e.Threshold, N: e.N,
+				})
+			}
+		},
+		MergeBatch: func(e core.MergeBatchEvent) {
+			batches.Inc()
+			batchDur.ObserveDuration(e.Duration)
+		},
+		EstimateDone: func(d time.Duration) {
+			estDur.ObserveDuration(d)
+		},
+	}
+}
