@@ -30,7 +30,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of prose tables")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rapbench [-n events] [-seed s] [-json] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 hw headline narrow ablations mini extensions all\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 hw headline narrow ablations mini extensions contended all\n")
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -66,6 +66,7 @@ func (m multi) Print(w io.Writer) {
 var order = []string{
 	"fig2", "fig3", "fig5", "fig6", "fig7", "fig8",
 	"fig9", "fig10", "hw", "headline", "narrow", "ablations", "mini", "extensions",
+	"contended",
 }
 
 // measure executes one experiment and returns its result. It is the
@@ -109,6 +110,8 @@ func measure(name string, o experiments.Options) (printable, error) {
 		return wrap(experiments.Extensions(o))
 	case "mini":
 		return wrap(experiments.Mini(o))
+	case "contended":
+		return wrap(experiments.Contended(o))
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", name)
 	}

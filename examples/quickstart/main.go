@@ -1,64 +1,73 @@
-// Quickstart: build a RAP tree over a skewed stream, ask for the hot
+// Quickstart: build a RAP profiler over a skewed stream, ask for the hot
 // ranges, and check the answers against the guarantees — the five-minute
-// tour of the library.
+// tour of the library, using only the public rap package.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"os"
 
-	"rap/internal/core"
-	"rap/internal/stats"
+	"rap"
 )
 
 func main() {
-	// A RAP tree with the paper's defaults: 64-bit universe, branching
+	// A profiler with the paper's defaults: 64-bit universe, branching
 	// factor 4, eps = 1% error bound, batched merges doubling in period.
-	cfg := core.DefaultConfig()
-	tree, err := core.New(cfg)
+	// Functional options select the operating point; with no engine
+	// option New returns the plain single-goroutine tree.
+	p, err := rap.New(
+		rap.WithUniverse(0), // full 64-bit universe
+		rap.WithEpsilon(0.01),
+		rap.WithBranching(4),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Feed it two million events: a hot point, a hot narrow band, and a
 	// uniform background — without telling RAP which is which.
-	rng := stats.NewSplitMix64(42)
+	rng := rand.New(rand.NewPCG(42, 0))
 	const n = 2_000_000
 	for i := 0; i < n; i++ {
 		switch {
 		case i%5 == 0: // 20%: one hot value
-			tree.Add(0xCAFEBABE)
+			p.Add(0xCAFEBABE)
 		case i%5 == 1 || i%5 == 2: // 40%: a hot 4KB band
-			tree.Add(0x7F000000 + rng.Uint64n(4096))
+			p.Add(0x7F000000 + rng.Uint64N(4096))
 		default: // 40%: uniform noise over the whole 64-bit universe
-			tree.Add(rng.Uint64())
+			p.Add(rng.Uint64())
 		}
 	}
 
-	st := tree.Finalize()
+	st := p.Finalize()
 	fmt.Printf("profiled %d events with %d live counters (%d bytes, max %d)\n",
 		st.N, st.Nodes, st.MemoryBytes, st.MaxNodes)
-	fmt.Printf("split threshold is eps*n/H = %.0f events\n\n", tree.SplitThreshold())
 
 	// Hot ranges at the 10% threshold: RAP finds the hot point and the
 	// hot band at full precision, and summarizes the noise coarsely.
-	fmt.Println("ranges holding >= 10% of the stream:")
-	for _, h := range tree.HotRanges(0.10) {
+	fmt.Println("\nranges holding >= 10% of the stream:")
+	for _, h := range p.HotRanges(0.10) {
 		fmt.Printf("  [%x, %x]  %5.1f%%\n", h.Lo, h.Hi, 100*h.Frac)
 	}
 
 	// Range queries come with guarantees: the estimate is a lower bound
 	// and the upper bound brackets the truth.
-	lo, hi := tree.EstimateBounds(0x7F000000, 0x7F000FFF)
+	lo, hi := p.EstimateBounds(0x7F000000, 0x7F000FFF)
 	fmt.Printf("\nband estimate: between %d and %d events (true: ~%d)\n", lo, hi, 2*n/5)
+
+	// The default engine is the full-surface Tree; beyond the Profiler
+	// interface it offers snapshots and structure dumps.
+	tree := p.(*rap.Tree)
+	fmt.Printf("split threshold is eps*n/H = %.0f events\n", tree.SplitThreshold())
 
 	// Snapshots round-trip, so profiles can be shipped and post-processed.
 	blob, err := tree.MarshalBinary()
 	if err != nil {
 		log.Fatal(err)
 	}
-	var restored core.Tree
+	var restored rap.Tree
 	if err := restored.UnmarshalBinary(blob); err != nil {
 		log.Fatal(err)
 	}

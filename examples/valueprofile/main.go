@@ -9,8 +9,8 @@ import (
 	"log"
 	"os"
 
+	"rap"
 	"rap/internal/analysis"
-	"rap/internal/core"
 	"rap/internal/trace"
 	"rap/internal/workload"
 )
@@ -26,8 +26,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := core.DefaultConfig() // 64-bit values, eps = 1%
-	tree := core.MustNew(cfg)
+	cfg := rap.DefaultConfig() // 64-bit values, eps = 1%
+	tree := rap.MustNewTree(cfg)
 	src := trace.Limit(b.Values(*seed, *events), *events)
 	for {
 		e, ok := src.Next()

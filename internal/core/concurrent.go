@@ -34,73 +34,83 @@ func (c *ConcurrentTree) SetHooks(h *Hooks) {
 	c.tree.SetHooks(h)
 }
 
+// withLock runs fn on the wrapped tree with the mutex held. Every public
+// method delegates through it, so the locking discipline lives in exactly
+// one place. fn must not call back into the ConcurrentTree.
+func (c *ConcurrentTree) withLock(fn func(t *Tree)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn(c.tree)
+}
+
 // Add records one occurrence of p.
 func (c *ConcurrentTree) Add(p uint64) { c.AddN(p, 1) }
 
 // AddN records weight occurrences of p.
 func (c *ConcurrentTree) AddN(p uint64, weight uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.tree.AddN(p, weight)
+	c.withLock(func(t *Tree) { t.AddN(p, weight) })
 }
 
 // AddBatch records a batch of points under one lock acquisition —
-// substantially cheaper than per-event locking for buffered sources.
+// substantially cheaper than per-event locking for buffered sources. The
+// already-locked tree is fed through AddN directly, skipping the
+// per-point Add indirection.
 func (c *ConcurrentTree) AddBatch(points []uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, p := range points {
-		c.tree.Add(p)
-	}
+	c.withLock(func(t *Tree) {
+		for _, p := range points {
+			t.AddN(p, 1)
+		}
+	})
+}
+
+// Merge folds a plain Tree into the profile under the lock (see
+// Tree.Merge). other is only read.
+func (c *ConcurrentTree) Merge(other *Tree) error {
+	var err error
+	c.withLock(func(t *Tree) { err = t.Merge(other) })
+	return err
 }
 
 // N returns the total event weight processed.
-func (c *ConcurrentTree) N() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.tree.N()
+func (c *ConcurrentTree) N() (n uint64) {
+	c.withLock(func(t *Tree) { n = t.N() })
+	return n
 }
 
 // Stats returns a snapshot of the tree's counters.
-func (c *ConcurrentTree) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.tree.Stats()
+func (c *ConcurrentTree) Stats() (st Stats) {
+	c.withLock(func(t *Tree) { st = t.Stats() })
+	return st
 }
 
 // Estimate returns the lower-bound estimate for [lo, hi].
-func (c *ConcurrentTree) Estimate(lo, hi uint64) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.tree.Estimate(lo, hi)
+func (c *ConcurrentTree) Estimate(lo, hi uint64) (est uint64) {
+	c.withLock(func(t *Tree) { est = t.Estimate(lo, hi) })
+	return est
 }
 
 // EstimateBounds returns the bracketing estimates for [lo, hi].
 func (c *ConcurrentTree) EstimateBounds(lo, hi uint64) (low, high uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.tree.EstimateBounds(lo, hi)
+	c.withLock(func(t *Tree) { low, high = t.EstimateBounds(lo, hi) })
+	return low, high
 }
 
 // HotRanges reports the hot ranges at threshold theta.
-func (c *ConcurrentTree) HotRanges(theta float64) []HotRange {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.tree.HotRanges(theta)
+func (c *ConcurrentTree) HotRanges(theta float64) (hot []HotRange) {
+	c.withLock(func(t *Tree) { hot = t.HotRanges(theta) })
+	return hot
 }
 
 // Finalize compacts the tree and returns its statistics.
-func (c *ConcurrentTree) Finalize() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.tree.Finalize()
+func (c *ConcurrentTree) Finalize() (st Stats) {
+	c.withLock(func(t *Tree) { st = t.Finalize() })
+	return st
 }
 
 // Snapshot serializes the tree under the lock.
-func (c *ConcurrentTree) Snapshot() ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.tree.MarshalBinary()
+func (c *ConcurrentTree) Snapshot() (data []byte, err error) {
+	c.withLock(func(t *Tree) { data, err = t.MarshalBinary() })
+	return data, err
 }
 
 // Restore replaces the tree's contents with a snapshot previously produced

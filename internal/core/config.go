@@ -84,6 +84,11 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate checks c and returns the normalized copy New would build a
+// tree with (defaults filled in). It is the hook the public rap facade
+// uses to surface configuration errors before constructing an engine.
+func (c Config) Validate() (Config, error) { return c.validate() }
+
 // validate checks c and returns a normalized copy.
 func (c Config) validate() (Config, error) {
 	if c.UniverseBits < 1 || c.UniverseBits > 64 {

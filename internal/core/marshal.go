@@ -12,9 +12,13 @@ import (
 // so profiles can be shipped off the profiling host and post-processed,
 // the way the hardware engine's SRAM contents would be read out.
 
+// Version history: v1 omitted MinSplitCount, so a round-trip silently
+// reset the cold-start split guard to its default (and made restored
+// trees un-mergeable with their originals). v2 carries the full Config.
+// v1 snapshots are still read, with the guard defaulted.
 const (
 	marshalMagic   = "RAPT"
-	marshalVersion = 1
+	marshalVersion = 2
 )
 
 // MarshalBinary encodes the tree (configuration, schedule state, and all
@@ -31,6 +35,7 @@ func (t *Tree) MarshalBinary() ([]byte, error) {
 	writeUvarint(&buf, t.cfg.FirstMerge)
 	writeUvarint(&buf, t.cfg.MergeEvery)
 	writeFloat(&buf, t.cfg.MergeThresholdScale)
+	writeUvarint(&buf, t.cfg.MinSplitCount)
 
 	writeUvarint(&buf, t.n)
 	writeUvarint(&buf, uint64(t.maxNodes))
@@ -76,7 +81,7 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("core: bad snapshot magic")
 	}
 	ver, err := r.ReadByte()
-	if err != nil || ver != marshalVersion {
+	if err != nil || (ver != 1 && ver != marshalVersion) {
 		return fmt.Errorf("core: unsupported snapshot version %d", ver)
 	}
 
@@ -88,6 +93,9 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 	cfg.FirstMerge = mustUvarint(r, &err)
 	cfg.MergeEvery = mustUvarint(r, &err)
 	cfg.MergeThresholdScale = readFloat(r, &err)
+	if ver >= 2 {
+		cfg.MinSplitCount = mustUvarint(r, &err)
+	}
 	if err != nil {
 		return fmt.Errorf("core: truncated snapshot header: %w", err)
 	}

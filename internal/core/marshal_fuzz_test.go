@@ -46,7 +46,7 @@ func TestUnmarshalRejectsHostileSnapshots(t *testing.T) {
 			append([]byte{0x04, 0x02, 0x00, 0x01, 0x00}, // -> child 0 (plen 4)
 				append([]byte{0x04, 0x04, 0x00, 0x01, 0x00}, // -> child 0 (plen 4 again)
 					leaf(0x04, 4)...)...)...),
-		"trailing garbage": append(leaf(0x00, 0), 0xff),
+		"trailing garbage":        append(leaf(0x00, 0), 0xff),
 		"child count over fanout": {0x00, 0x00, 0x00, 0x07},
 	}
 	for name, stream := range cases {

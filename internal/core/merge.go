@@ -1,0 +1,143 @@
+package core
+
+import "errors"
+
+// Merge: structural union of two RAP trees, the aggregation primitive the
+// sharded engine (internal/shard) is built on. Per-shard trees are each a
+// valid RAP summary of the slice of the stream they saw; Merge folds one
+// into another so queries can run over a single combined view.
+//
+// Why the paper's guarantee survives: in each input tree, the events of
+// any range R that are *missing* from R's subtree were credited to
+// ancestors that straddle R, and the paper bounds that loss by ε·n_i
+// (Section 2.2). Merge only ever adds counts at the same (lo, plen)
+// position they occupied in the source tree — no count moves relative to
+// the range hierarchy — so the merged tree's estimate for R misses at
+// most ε·n_1 + ε·n_2 = ε·(n_1+n_2) events. The summed lower bounds are a
+// lower bound for the summed stream, with the error budget of the
+// combined stream length.
+
+// ErrConfigMismatch is returned by Merge when the two trees were built
+// with different configurations; their thresholds and geometry would not
+// agree, so their union has no single guarantee.
+var ErrConfigMismatch = errors.New("core: merge requires trees with identical configurations")
+
+// ErrSelfMerge is returned by Merge when a tree is merged into itself.
+var ErrSelfMerge = errors.New("core: cannot merge a tree into itself")
+
+// Merge folds other into t: counts of coincident ranges add, ranges that
+// exist in only one tree are united in (nodes missing from t are created),
+// and the stream lengths sum. other is read but never modified, so a
+// caller may merge a live shard tree while holding only that shard's lock.
+//
+// After the union, every node is re-checked against the split threshold at
+// the combined n — ranges that were hot in neither half but are hot in the
+// union sprout children so subsequent updates keep refining them — and the
+// merge schedule is advanced to the larger of the two intervals. Merge
+// does not run a merge batch; call MergeNow (or Finalize) to compact the
+// result.
+func (t *Tree) Merge(other *Tree) error {
+	if other == nil {
+		return nil
+	}
+	if t == other {
+		return ErrSelfMerge
+	}
+	if t.cfg != other.cfg {
+		return ErrConfigMismatch
+	}
+	t.graft(t.root, other.root)
+	t.n += other.n
+	t.splits += other.splits
+	t.merges += other.merges
+	t.mergeBatches += other.mergeBatches
+	if t.nodes > t.maxNodes {
+		t.maxNodes = t.nodes
+	}
+	// Keep the later merge schedule of the two so a freshly merged view
+	// does not immediately re-enter the geometric ramp-up phase.
+	if other.mergeInterval > t.mergeInterval {
+		t.mergeInterval = other.mergeInterval
+	}
+	if next := t.n + t.mergeInterval; next > t.nextMerge {
+		t.nextMerge = next
+	}
+	t.resplit(t.root)
+	return nil
+}
+
+// graft adds src's subtree counts into dst's subtree. dst and src cover
+// the same (lo, plen) range by construction: both trees share a Config, so
+// child slot i of a node at plen covers the same subrange in either tree.
+// Nodes present only in src are deep-copied, never aliased, so the source
+// tree stays independent.
+func (t *Tree) graft(dst, src *node) {
+	dst.count += src.count
+	if src.children == nil {
+		return
+	}
+	if dst.children == nil {
+		dst.children = make([]*node, len(src.children))
+	}
+	for i, sc := range src.children {
+		if sc == nil {
+			continue
+		}
+		dc := dst.children[i]
+		if dc == nil {
+			dc = &node{lo: sc.lo, plen: sc.plen}
+			dst.children[i] = dc
+			t.nodes++
+		}
+		t.graft(dc, sc)
+	}
+}
+
+// resplit applies the post-merge split re-check: any node whose counter
+// now exceeds the split threshold at the combined n, and which could still
+// sprout children (a leaf, or a node with merge holes), splits exactly as
+// it would have on the update path.
+func (t *Tree) resplit(v *node) {
+	if float64(v.count) > t.SplitThreshold() && int(v.plen) < t.cfg.UniverseBits {
+		if v.children == nil || hasHole(v.children) {
+			t.split(v)
+		}
+	}
+	for _, c := range v.children {
+		if c != nil {
+			t.resplit(c)
+		}
+	}
+}
+
+// hasHole reports whether a children slice has a merged-away slot.
+func hasHole(children []*node) bool {
+	for _, c := range children {
+		if c == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the tree sharing no nodes with t. Hooks are
+// not carried over: a clone is a passive snapshot.
+func (t *Tree) Clone() *Tree {
+	nt := *t
+	nt.hooks = nil
+	nt.root = cloneNode(t.root)
+	return &nt
+}
+
+func cloneNode(v *node) *node {
+	c := &node{lo: v.lo, plen: v.plen, count: v.count}
+	if v.children != nil {
+		c.children = make([]*node, len(v.children))
+		for i, ch := range v.children {
+			if ch != nil {
+				c.children[i] = cloneNode(ch)
+			}
+		}
+	}
+	return c
+}

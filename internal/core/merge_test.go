@@ -1,0 +1,301 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Merge algebra: the properties that make per-shard trees composable.
+
+func mergeTestConfig() Config {
+	cfg := testConfig(16, 4, 0.05)
+	cfg.FirstMerge = 32
+	// Disable the cold-start split guard: it floors the split threshold
+	// above eps*n/H at small n, which inflates each shard's worst case
+	// past eps*n_i. With the guard inert the paper's pure eps*n bound is
+	// exactly what the property tests can assert.
+	cfg.MinSplitCount = 1
+	return cfg
+}
+
+func feed(t *testing.T, cfg Config, points []uint16) *Tree {
+	t.Helper()
+	tr := MustNew(cfg)
+	for _, p := range points {
+		tr.Add(uint64(p))
+	}
+	return tr
+}
+
+func TestMergeConfigMismatch(t *testing.T) {
+	a := MustNew(testConfig(16, 4, 0.05))
+	b := MustNew(testConfig(16, 4, 0.10))
+	if err := a.Merge(b); err != ErrConfigMismatch {
+		t.Fatalf("Merge with different eps: got %v, want ErrConfigMismatch", err)
+	}
+	if err := a.Merge(a); err != ErrSelfMerge {
+		t.Fatalf("self merge: got %v, want ErrSelfMerge", err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+}
+
+// TestMergeIdentity: merging an empty tree in either direction leaves
+// every estimate, N, and Total unchanged.
+func TestMergeIdentity(t *testing.T) {
+	f := func(points []uint16) bool {
+		cfg := mergeTestConfig()
+		a := feed(t, cfg, points)
+		empty := MustNew(cfg)
+		wantN, wantTotal := a.N(), a.Total()
+
+		if err := a.Merge(empty); err != nil {
+			return false
+		}
+		if a.N() != wantN || a.Total() != wantTotal {
+			return false
+		}
+		// Empty absorbs a: the result answers exactly like a.
+		into := MustNew(cfg)
+		if err := into.Merge(a); err != nil {
+			return false
+		}
+		if into.N() != wantN || into.Total() != wantTotal {
+			return false
+		}
+		for _, q := range queryGrid() {
+			if into.Estimate(q.lo, q.hi) != a.Estimate(q.lo, q.hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeCommutative: a.Merge(b) and b.Merge(a) answer every range query
+// identically (the union is symmetric in structure and counts).
+func TestMergeCommutative(t *testing.T) {
+	f := func(ps, qs []uint16) bool {
+		cfg := mergeTestConfig()
+		ab := feed(t, cfg, ps)
+		if err := ab.Merge(feed(t, cfg, qs)); err != nil {
+			return false
+		}
+		ba := feed(t, cfg, qs)
+		if err := ba.Merge(feed(t, cfg, ps)); err != nil {
+			return false
+		}
+		if ab.N() != ba.N() || ab.Total() != ba.Total() || ab.NodeCount() != ba.NodeCount() {
+			return false
+		}
+		for _, q := range queryGrid() {
+			l1, h1 := ab.EstimateBounds(q.lo, q.hi)
+			l2, h2 := ba.EstimateBounds(q.lo, q.hi)
+			if l1 != l2 || h1 != h2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeConservation: the merged tree accounts for every event of both
+// inputs — N and Total both equal n1+n2 — and the source is unchanged.
+func TestMergeConservation(t *testing.T) {
+	f := func(ps, qs []uint16) bool {
+		cfg := mergeTestConfig()
+		a, b := feed(t, cfg, ps), feed(t, cfg, qs)
+		bN, bTotal, bNodes := b.N(), b.Total(), b.NodeCount()
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		want := uint64(len(ps) + len(qs))
+		if a.N() != want || a.Total() != want {
+			return false
+		}
+		// b must be untouched: Merge reads, never writes, its argument.
+		return b.N() == bN && b.Total() == bTotal && b.NodeCount() == bNodes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeLowerBoundProperty is the randomized cross-shard property test:
+// points are scattered across k shard trees, the shards are merged, and
+// for random ranges the merged estimate never exceeds the exact count and
+// never undershoots it by more than eps * n_total.
+func TestMergeLowerBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 30; iter++ {
+		cfg := mergeTestConfig()
+		shards := 2 + rng.Intn(6) // 2..7 shards
+		trees := make([]*Tree, shards)
+		for i := range trees {
+			trees[i] = MustNew(cfg)
+		}
+		ex := exact{}
+		n := 2_000 + rng.Intn(10_000)
+		zipf := rand.NewZipf(rng, 1.2, 4, 1<<16-1)
+		for i := 0; i < n; i++ {
+			p := zipf.Uint64()
+			trees[rng.Intn(shards)].Add(p) // arbitrary shard assignment
+			ex.add(p)
+		}
+		merged := MustNew(cfg)
+		for _, tr := range trees {
+			if err := merged.Merge(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.N() != uint64(n) {
+			t.Fatalf("merged N = %d, want %d", merged.N(), n)
+		}
+		// Tracked (prefix-aligned) ranges carry the paper's bound: the
+		// events missing from such a range's subtree were credited to its
+		// <= H ancestors, each holding at most the eps*n/H threshold, so
+		// the undershoot is at most eps*n_total after the merge.
+		slack := cfg.Epsilon * float64(n)
+		for q := 0; q < 60; q++ {
+			width := uint64(1) << (2 * (1 + rng.Intn(7))) // b=4 strides
+			lo := uint64(rng.Intn(1<<16)) &^ (width - 1)
+			hi := lo + width - 1
+			truth := ex.rangeCount(lo, hi)
+			low, high := merged.EstimateBounds(lo, hi)
+			if low > truth {
+				t.Fatalf("[%x,%x]: merged estimate %d exceeds truth %d", lo, hi, low, truth)
+			}
+			if truth > high {
+				t.Fatalf("[%x,%x]: truth %d above upper bound %d", lo, hi, truth, high)
+			}
+			if float64(truth)-float64(low) > slack {
+				t.Fatalf("[%x,%x]: undershoot %d beyond eps*n = %.1f", lo, hi, truth-low, slack)
+			}
+		}
+		// Arbitrary spans have two boundaries, one eps*n budget each; the
+		// estimates must still bracket the truth.
+		for q := 0; q < 40; q++ {
+			lo := uint64(rng.Intn(1 << 16))
+			hi := lo + uint64(rng.Intn(1<<16-int(lo)))
+			truth := ex.rangeCount(lo, hi)
+			low, high := merged.EstimateBounds(lo, hi)
+			if low > truth || truth > high {
+				t.Fatalf("[%x,%x]: truth %d outside bracket [%d,%d]", lo, hi, truth, low, high)
+			}
+			if float64(truth)-float64(low) > 2*slack {
+				t.Fatalf("[%x,%x]: undershoot %d beyond 2*eps*n = %.1f", lo, hi, truth-low, 2*slack)
+			}
+		}
+	}
+}
+
+// TestMergeAssociativeEstimates: ((a+b)+c) and (a+(b+c)) agree on every
+// query — the order shards are folded in does not matter.
+func TestMergeAssociativeEstimates(t *testing.T) {
+	f := func(ps, qs, rs []uint16) bool {
+		cfg := mergeTestConfig()
+		left := feed(t, cfg, ps)
+		if err := left.Merge(feed(t, cfg, qs)); err != nil {
+			return false
+		}
+		if err := left.Merge(feed(t, cfg, rs)); err != nil {
+			return false
+		}
+		mid := feed(t, cfg, qs)
+		if err := mid.Merge(feed(t, cfg, rs)); err != nil {
+			return false
+		}
+		right := feed(t, cfg, ps)
+		if err := right.Merge(mid); err != nil {
+			return false
+		}
+		if left.N() != right.N() || left.Total() != right.Total() {
+			return false
+		}
+		for _, q := range queryGrid() {
+			if left.Estimate(q.lo, q.hi) != right.Estimate(q.lo, q.hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeResplit: a range cold in each half but hot in the union is
+// split by the post-merge threshold re-check, so the merged tree keeps
+// refining where the combined stream is hot.
+func TestMergeResplit(t *testing.T) {
+	cfg := testConfig(16, 4, 0.05)
+	cfg.FirstMerge = 1 << 20 // no merges: isolate split behaviour
+	a, b := MustNew(cfg), MustNew(cfg)
+	// Each half alone: 600 events at one point plus uniform noise.
+	for i := 0; i < 600; i++ {
+		a.Add(0x1234)
+		b.Add(0x1234)
+	}
+	for i := 0; i < 4000; i++ {
+		a.Add(uint64(i * 13 % (1 << 16)))
+		b.Add(uint64(i * 31 % (1 << 16)))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	// The hot point's leaf must now be deep: with the union's 1200 events
+	// at one value, the covering node splits down toward the singleton.
+	est := a.Estimate(0x1234, 0x1234)
+	if est == 0 {
+		t.Fatalf("hot point invisible after merge; want a refined estimate")
+	}
+	if a.Total() != a.N() {
+		t.Fatalf("Total %d != N %d after resplit", a.Total(), a.N())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	cfg := mergeTestConfig()
+	tr := MustNew(cfg)
+	for i := 0; i < 5_000; i++ {
+		tr.Add(uint64(i % 97 * 601))
+	}
+	cl := tr.Clone()
+	if cl.N() != tr.N() || cl.Total() != tr.Total() || cl.NodeCount() != tr.NodeCount() {
+		t.Fatal("clone differs from original")
+	}
+	// Mutating the clone must not touch the original.
+	before := tr.Stats()
+	for i := 0; i < 5_000; i++ {
+		cl.Add(uint64(i))
+	}
+	if tr.Stats() != before {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+type querySpan struct{ lo, hi uint64 }
+
+// queryGrid covers the 16-bit test universe with spans of varied width and
+// alignment.
+func queryGrid() []querySpan {
+	var qs []querySpan
+	for _, w := range []uint64{1, 0xf, 0xff, 0xfff, 0x3fff, 0xffff} {
+		for lo := uint64(0); lo < 1<<16; lo += 1 << 13 {
+			hi := lo + w
+			if hi >= 1<<16 {
+				hi = 1<<16 - 1
+			}
+			qs = append(qs, querySpan{lo, hi})
+		}
+	}
+	return qs
+}

@@ -42,6 +42,22 @@ func (s *SampledTree) Add(p uint64) {
 	}
 }
 
+// AddN records weight raw occurrences of p in one step. The deterministic
+// sampler state advances exactly as if Add had been called weight times:
+// however the weight is split into calls, the same raw positions are
+// sampled.
+func (s *SampledTree) AddN(p uint64, weight uint64) {
+	if weight == 0 {
+		return
+	}
+	s.n += weight
+	total := s.tick + weight
+	if sampled := total / s.k; sampled > 0 {
+		s.tree.AddN(p, sampled)
+	}
+	s.tick = total % s.k
+}
+
 // N returns the raw stream length observed.
 func (s *SampledTree) N() uint64 { return s.n }
 
@@ -60,6 +76,25 @@ func (s *SampledTree) Estimate(lo, hi uint64) uint64 {
 	return s.tree.Estimate(lo, hi) * s.k
 }
 
+// EstimateBounds returns the scaled bracketing estimates for [lo, hi].
+// The bracket bounds the *sampled* stream scaled by k; sampling variance
+// means the raw-stream truth can fall outside it, unlike Tree's one-sided
+// guarantee.
+func (s *SampledTree) EstimateBounds(lo, hi uint64) (low, high uint64) {
+	low, high = s.tree.EstimateBounds(lo, hi)
+	return low * s.k, high * s.k
+}
+
+// Stats returns the underlying tree's structural counters with N rewritten
+// to the raw stream length, so Stats().N always agrees with N() across
+// engines (SampledN still exposes the sampled count); memory and
+// structural counters are the real footprint of the summary.
+func (s *SampledTree) Stats() Stats {
+	st := s.tree.Stats()
+	st.N = s.n
+	return st
+}
+
 // HotRanges reports hot ranges of the sampled stream at threshold theta,
 // with weights scaled back to raw-stream units.
 func (s *SampledTree) HotRanges(theta float64) []HotRange {
@@ -71,9 +106,13 @@ func (s *SampledTree) HotRanges(theta float64) []HotRange {
 	return hot
 }
 
-// Finalize compacts the underlying tree and returns its stats (which
-// count sampled, not raw, events).
-func (s *SampledTree) Finalize() Stats { return s.tree.Finalize() }
+// Finalize compacts the underlying tree and returns its stats, with N
+// rewritten to the raw stream length as in Stats.
+func (s *SampledTree) Finalize() Stats {
+	st := s.tree.Finalize()
+	st.N = s.n
+	return st
+}
 
 // Tree exposes the underlying RAP tree.
 func (s *SampledTree) Tree() *Tree { return s.tree }

@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+func TestContendedShapes(t *testing.T) {
+	r, err := Contended(Options{Events: 40_000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(r.Rows))
+	}
+	wantFeeders := []int{1, 2, 4, 8}
+	for i, row := range r.Rows {
+		if row.Feeders != wantFeeders[i] {
+			t.Fatalf("row %d feeders = %d, want %d", i, row.Feeders, wantFeeders[i])
+		}
+		if row.SingleLockEPS <= 0 || row.ShardedEPS <= 0 {
+			t.Fatalf("row %d has non-positive throughput: %+v", i, row)
+		}
+		if row.Speedup <= 0 {
+			t.Fatalf("row %d speedup not computed: %+v", i, row)
+		}
+	}
+	if r.GOMAXPROCS < 1 {
+		t.Fatalf("GOMAXPROCS = %d", r.GOMAXPROCS)
+	}
+}

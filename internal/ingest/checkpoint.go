@@ -76,32 +76,21 @@ func (in *Ingestor) Checkpoint() error {
 }
 
 func (in *Ingestor) checkpoint() (size int, err error) {
-	for _, sh := range in.shards {
-		sh.mu.Lock()
-	}
-	snaps := make([][]byte, 0, len(in.shards))
-	var snapErr error
-	for _, sh := range in.shards {
-		data, err := sh.tree.MarshalBinary()
-		if err != nil {
-			snapErr = err
-			break
+	var positions []sourcePos
+	snaps, err := in.engine.SnapshotShards(func() {
+		// Runs with every shard lock held: applied counters are exactly
+		// consistent with the tree snapshots being taken.
+		positions = make([]sourcePos, 0, len(in.sources))
+		for _, ss := range in.sources {
+			positions = append(positions, sourcePos{
+				name:    ss.spec.Name,
+				applied: ss.applied,
+				dropped: ss.dropped.Load(),
+			})
 		}
-		snaps = append(snaps, data)
-	}
-	positions := make([]sourcePos, 0, len(in.sources))
-	for _, ss := range in.sources {
-		positions = append(positions, sourcePos{
-			name:    ss.spec.Name,
-			applied: ss.applied,
-			dropped: ss.dropped.Load(),
-		})
-	}
-	for i := len(in.shards) - 1; i >= 0; i-- {
-		in.shards[i].mu.Unlock()
-	}
-	if snapErr != nil {
-		return 0, snapErr
+	})
+	if err != nil {
+		return 0, err
 	}
 	return writeCheckpoint(in.opts.CheckpointDir, snaps, positions)
 }

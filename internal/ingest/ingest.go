@@ -33,6 +33,7 @@ import (
 
 	"rap/internal/core"
 	"rap/internal/obs"
+	"rap/internal/shard"
 	"rap/internal/trace"
 )
 
@@ -209,29 +210,19 @@ type batch struct {
 	events []trace.Event
 }
 
-// shard owns one tree and the bounded queue feeding it. mu guards the tree
-// and the applied counters of every source pinned to this shard, so a
-// checkpoint that holds every shard lock sees positions exactly consistent
-// with tree contents.
-type shard struct {
-	mu   sync.Mutex
-	tree *core.Tree
-	ch   chan batch
-}
-
-func (sh *shard) apply(b batch) {
-	sh.mu.Lock()
-	for _, e := range b.events {
-		sh.tree.AddN(e.Value, e.Weight)
-	}
-	b.src.applied += uint64(len(b.events))
-	sh.mu.Unlock()
+// shardQueue is the bounded queue feeding one shard of the engine. The
+// engine's per-shard lock guards both the tree and the applied counters
+// of every source pinned to this shard, so a checkpoint cut that holds
+// every shard lock sees positions exactly consistent with tree contents.
+type shardQueue struct {
+	idx int
+	ch  chan batch
 }
 
 // sourceState is the supervision record for one source.
 type sourceState struct {
 	spec  SourceSpec
-	shard *shard
+	queue *shardQueue
 
 	// consumed is the reader-local stream position: events read from the
 	// source and handed off (enqueued or dropped), including the resume
@@ -241,7 +232,7 @@ type sourceState struct {
 	consumed uint64
 
 	// applied counts events of this source applied to the shard tree;
-	// guarded by shard.mu.
+	// guarded by the engine's lock on this source's shard.
 	applied uint64
 
 	dropped atomic.Uint64
@@ -282,9 +273,12 @@ func (ss *sourceState) lastError() error {
 }
 
 // Ingestor runs the sharded, supervised, checkpointed ingest pipeline.
+// Tree state lives in a shard.Engine; the ingestor owns the queues,
+// supervision, and checkpointing around it.
 type Ingestor struct {
 	opts    Options
-	shards  []*shard
+	engine  *shard.Engine
+	queues  []*shardQueue
 	sources []*sourceState
 	log     *slog.Logger
 
@@ -322,17 +316,18 @@ func Open(opts Options, specs []SourceSpec) (*Ingestor, error) {
 	}
 
 	in := &Ingestor{opts: opts, log: opts.Logger}
+	engine, err := shard.New(opts.Tree, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	in.engine = engine
 	for i := 0; i < opts.Shards; i++ {
-		tree, err := core.New(opts.Tree)
-		if err != nil {
-			return nil, err
-		}
-		in.shards = append(in.shards, &shard{tree: tree, ch: make(chan batch, opts.QueueLen)})
+		in.queues = append(in.queues, &shardQueue{idx: i, ch: make(chan batch, opts.QueueLen)})
 	}
 	for i, spec := range specs {
 		in.sources = append(in.sources, &sourceState{
 			spec:  spec,
-			shard: in.shards[i%opts.Shards],
+			queue: in.queues[i%opts.Shards],
 		})
 	}
 
@@ -363,17 +358,14 @@ func Open(opts Options, specs []SourceSpec) (*Ingestor, error) {
 func (in *Ingestor) registerMetrics() {
 	reg := in.opts.Metrics
 	eps := in.opts.Tree.Epsilon
-	for i, sh := range in.shards {
-		shardID := strconv.Itoa(i)
-		sh.tree.SetHooks(obs.TreeHooks(reg, in.opts.StructuralTrace, shardID))
-		labels := []obs.Label{obs.L("shard", shardID)}
+	in.engine.SetShardHooks(func(i int) *core.Hooks {
+		return obs.TreeHooks(reg, in.opts.StructuralTrace, strconv.Itoa(i))
+	})
+	for i := 0; i < in.engine.Shards(); i++ {
+		i := i
+		labels := []obs.Label{obs.L("shard", strconv.Itoa(i))}
 		treeStat := func(f func(core.Stats) float64) func() float64 {
-			return func() float64 {
-				sh.mu.Lock()
-				st := sh.tree.Stats()
-				sh.mu.Unlock()
-				return f(st)
-			}
+			return func() float64 { return f(in.engine.ShardStats(i)) }
 		}
 		reg.CounterFunc("rap_tree_events_total", "Total event weight applied to the shard tree.",
 			treeStat(func(st core.Stats) float64 { return float64(st.N) }), labels...)
@@ -390,14 +382,14 @@ func (in *Ingestor) registerMetrics() {
 		ss := ss
 		labels := []obs.Label{obs.L("source", ss.spec.Name)}
 		reg.GaugeFunc("rap_ingest_queue_depth", "Batches waiting in the source's shard queue.",
-			func() float64 { return float64(len(ss.shard.ch)) }, labels...)
+			func() float64 { return float64(len(ss.queue.ch)) }, labels...)
 		reg.GaugeFunc("rap_ingest_queue_capacity", "Capacity of the source's shard queue, in batches.",
-			func() float64 { return float64(cap(ss.shard.ch)) }, labels...)
+			func() float64 { return float64(cap(ss.queue.ch)) }, labels...)
 		reg.CounterFunc("rap_ingest_applied_total", "Events applied to the shard tree from this source.",
 			func() float64 {
-				ss.shard.mu.Lock()
-				defer ss.shard.mu.Unlock()
-				return float64(ss.applied)
+				var applied uint64
+				in.engine.WithShard(ss.queue.idx, func(*core.Tree) { applied = ss.applied })
+				return float64(applied)
 			}, labels...)
 		reg.CounterFunc("rap_ingest_dropped_total", "Events shed under DropNewest from this source.",
 			func() float64 { return float64(ss.dropped.Load()) }, labels...)
@@ -433,12 +425,12 @@ func (in *Ingestor) registerMetrics() {
 }
 
 func (in *Ingestor) restore(st *checkpointState) error {
-	if len(st.trees) != len(in.shards) {
+	if len(st.trees) != in.engine.Shards() {
 		return fmt.Errorf("ingest: checkpoint has %d shards, ingestor has %d",
-			len(st.trees), len(in.shards))
+			len(st.trees), in.engine.Shards())
 	}
 	for i, tr := range st.trees {
-		in.shards[i].tree = tr
+		in.engine.AdoptShard(i, tr)
 	}
 	byName := make(map[string]sourcePos, len(st.sources))
 	for _, sp := range st.sources {
@@ -460,6 +452,18 @@ func (in *Ingestor) restore(st *checkpointState) error {
 	return nil
 }
 
+// apply folds one batch into the engine under its shard's lock, advancing
+// the source's applied position in the same critical section so
+// checkpoint cuts stay exact.
+func (in *Ingestor) apply(q *shardQueue, b batch) {
+	in.engine.WithShard(q.idx, func(tr *core.Tree) {
+		for _, e := range b.events {
+			tr.AddN(e.Value, e.Weight)
+		}
+		b.src.applied += uint64(len(b.events))
+	})
+}
+
 // Run drives the pipeline until every source is drained or ctx is
 // canceled, then drains the queues, and (unless disabled) flushes a final
 // checkpoint. It returns the joined terminal errors of permanently failed
@@ -467,14 +471,14 @@ func (in *Ingestor) restore(st *checkpointState) error {
 // shutdown, not an error. Run must be called at most once per Ingestor.
 func (in *Ingestor) Run(ctx context.Context) error {
 	var workers sync.WaitGroup
-	for _, sh := range in.shards {
+	for _, q := range in.queues {
 		workers.Add(1)
-		go func(sh *shard) {
+		go func(q *shardQueue) {
 			defer workers.Done()
-			for b := range sh.ch {
-				sh.apply(b)
+			for b := range q.ch {
+				in.apply(q, b)
 			}
-		}(sh)
+		}(q)
 	}
 
 	var readers sync.WaitGroup
@@ -512,8 +516,8 @@ func (in *Ingestor) Run(ctx context.Context) error {
 	ckWg.Wait()
 	// Readers are done; close the queues and let the workers drain what
 	// was already accepted, so the final checkpoint covers it.
-	for _, sh := range in.shards {
-		close(sh.ch)
+	for _, q := range in.queues {
+		close(q.ch)
 	}
 	workers.Wait()
 
@@ -711,7 +715,7 @@ func (in *Ingestor) enqueue(ctx context.Context, ss *sourceState, evs []trace.Ev
 	n := uint64(len(evs))
 	if in.opts.Drop == DropNewest {
 		select {
-		case ss.shard.ch <- b:
+		case ss.queue.ch <- b:
 		default:
 			ss.dropped.Add(n)
 		}
@@ -719,7 +723,7 @@ func (in *Ingestor) enqueue(ctx context.Context, ss *sourceState, evs []trace.Ev
 		return true
 	}
 	select {
-	case ss.shard.ch <- b:
+	case ss.queue.ch <- b:
 		ss.consumed += n
 		return true
 	case <-ctx.Done():
@@ -748,24 +752,18 @@ func closeSource(s trace.Source) {
 // most ε·n_i, so the sum undercounts the whole stream by at most ε·N()
 // plus Dropped() events.
 func (in *Ingestor) Estimate(lo, hi uint64) uint64 {
-	var total uint64
-	for _, sh := range in.shards {
-		sh.mu.Lock()
-		total += sh.tree.Estimate(lo, hi)
-		sh.mu.Unlock()
-	}
-	return total
+	return in.engine.Estimate(lo, hi)
 }
 
 // N returns the total event weight applied across all shards.
 func (in *Ingestor) N() uint64 {
-	var total uint64
-	for _, sh := range in.shards {
-		sh.mu.Lock()
-		total += sh.tree.N()
-		sh.mu.Unlock()
-	}
-	return total
+	return in.engine.N()
+}
+
+// Engine exposes the underlying sharded engine for richer queries
+// (EstimateBounds, HotRanges, merged snapshots).
+func (in *Ingestor) Engine() *shard.Engine {
+	return in.engine
 }
 
 // Dropped returns the total number of events shed under DropNewest.
@@ -829,10 +827,8 @@ type Stats struct {
 // cut.
 func (in *Ingestor) Stats() Stats {
 	var st Stats
-	for _, sh := range in.shards {
-		sh.mu.Lock()
-		ts := sh.tree.Stats()
-		sh.mu.Unlock()
+	for i := 0; i < in.engine.Shards(); i++ {
+		ts := in.engine.ShardStats(i)
 		st.N += ts.N
 		st.Nodes += ts.Nodes
 		st.MaxNodes += ts.MaxNodes
@@ -848,13 +844,11 @@ func (in *Ingestor) Stats() Stats {
 			Dropped:    ss.dropped.Load(),
 			Retries:    ss.retries.Load(),
 			Failed:     ss.failed.Load(),
-			QueueDepth: len(ss.shard.ch),
-			QueueCap:   cap(ss.shard.ch),
+			QueueDepth: len(ss.queue.ch),
+			QueueCap:   cap(ss.queue.ch),
 			Backoff:    ss.backoffRemaining(now),
 		}
-		ss.shard.mu.Lock()
-		s.Applied = ss.applied
-		ss.shard.mu.Unlock()
+		in.engine.WithShard(ss.queue.idx, func(*core.Tree) { s.Applied = ss.applied })
 		if err := ss.lastError(); err != nil {
 			s.LastErr = err.Error()
 		}

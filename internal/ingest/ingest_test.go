@@ -119,22 +119,28 @@ func TestIngestDropAccountingStaysHonest(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Wedge the shard: its worker blocks inside apply, the queue fills,
-	// and the reader must shed load instead of stalling or crashing.
-	sh := in.shards[0]
-	sh.mu.Lock()
+	// Wedge the shard: a goroutine parks inside WithShard holding the
+	// shard lock, so the worker blocks inside apply, the queue fills, and
+	// the reader must shed load instead of stalling or crashing.
+	held := make(chan struct{})
+	release := make(chan struct{})
+	go in.engine.WithShard(0, func(*core.Tree) {
+		close(held)
+		<-release
+	})
+	<-held
 	done := make(chan error, 1)
 	go func() { done <- in.Run(context.Background()) }()
 	deadline := time.After(5 * time.Second)
 	for in.sources[0].dropped.Load() == 0 {
 		select {
 		case <-deadline:
-			sh.mu.Unlock()
+			close(release)
 			t.Fatal("no drops observed while shard was wedged")
 		case <-time.After(time.Millisecond):
 		}
 	}
-	sh.mu.Unlock()
+	close(release)
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}

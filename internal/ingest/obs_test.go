@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"rap/internal/core"
 	"rap/internal/obs"
 	"rap/internal/trace"
 )
@@ -104,11 +105,17 @@ func TestDropNewestAccountingReconciles(t *testing.T) {
 
 	// Stall the single shard's applier: it will pop at most one batch and
 	// then block on the lock, so the 4-batch queue must overflow.
-	in.shards[0].mu.Lock()
+	held := make(chan struct{})
+	release := make(chan struct{})
+	go in.Engine().WithShard(0, func(*core.Tree) {
+		close(held)
+		<-release
+	})
+	<-held
 	done := make(chan error, 1)
 	go func() { done <- in.Run(context.Background()) }()
 	time.Sleep(100 * time.Millisecond)
-	in.shards[0].mu.Unlock()
+	close(release)
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,413 @@
+// Package shard is the sharded RAP profiler engine: k independent core
+// trees behind striped locks, fed by per-goroutine handles so the hot
+// ingest path never crosses a shared lock, queried through merged
+// snapshots so answers carry the whole-stream guarantee.
+//
+// The design rests on the merge algebra of core.Tree.Merge: each shard
+// tree is a valid RAP summary of the slice of the stream it saw, with
+// worst-case underestimate eps*n_i, and the structural union of the
+// shards underestimates the combined stream by at most eps*sum(n_i) —
+// the same bound a single tree over the whole stream would give. Sharding
+// therefore buys linear ingest scalability without weakening the paper's
+// accuracy contract.
+//
+// Intended use: call Handle once per feeding goroutine and ingest through
+// it. A handle is pinned to one shard, so with at least as many shards as
+// feeders every Add takes an uncontended per-shard lock — the scalable
+// replacement for core.ConcurrentTree's single mutex.
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rap/internal/core"
+)
+
+// ErrShardCount is returned by Restore when a snapshot was taken with a
+// different shard count than the engine it is being restored into.
+var ErrShardCount = errors.New("shard: snapshot shard count mismatch")
+
+// Engine is a sharded RAP profiler. Construction parameters are fixed for
+// the engine's lifetime; all methods are safe for concurrent use.
+type Engine struct {
+	cfg    core.Config
+	shards []*treeShard
+	next   atomic.Uint64 // round-robin cursor for Handle and Add
+}
+
+// treeShard is one stripe: a tree and the lock that guards it. Shards are
+// separately heap-allocated so neighbouring locks do not share a cache
+// line.
+type treeShard struct {
+	mu    sync.Mutex
+	tree  *core.Tree
+	hooks *core.Hooks // reinstalled when Restore swaps the tree
+}
+
+// New builds an engine with k shards over cfg. k <= 0 selects
+// runtime.GOMAXPROCS(0), the number of feeders that can actually run in
+// parallel.
+func New(cfg core.Config, k int) (*Engine, error) {
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	norm, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: norm, shards: make([]*treeShard, k)}
+	for i := range e.shards {
+		t, err := core.New(norm)
+		if err != nil {
+			return nil, err
+		}
+		e.shards[i] = &treeShard{tree: t}
+	}
+	return e, nil
+}
+
+// Config returns the normalized configuration every shard tree runs.
+func (e *Engine) Config() core.Config { return e.cfg }
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Handle returns an ingest handle pinned to one shard, assigned
+// round-robin. Give each feeding goroutine its own handle: with feeders
+// <= shards every handle owns its stripe exclusively and the hot path
+// never contends.
+type Handle struct {
+	sh *treeShard
+}
+
+// Handle returns a new ingest handle (see Handle type).
+func (e *Engine) Handle() *Handle {
+	i := e.next.Add(1) - 1
+	return &Handle{sh: e.shards[i%uint64(len(e.shards))]}
+}
+
+// Add records one occurrence of p on the handle's shard.
+func (h *Handle) Add(p uint64) { h.AddN(p, 1) }
+
+// AddN records weight occurrences of p on the handle's shard.
+func (h *Handle) AddN(p uint64, weight uint64) {
+	h.sh.mu.Lock()
+	h.sh.tree.AddN(p, weight)
+	h.sh.mu.Unlock()
+}
+
+// AddBatch records a run of points under one lock acquisition.
+func (h *Handle) AddBatch(points []uint64) {
+	h.sh.mu.Lock()
+	for _, p := range points {
+		h.sh.tree.AddN(p, 1)
+	}
+	h.sh.mu.Unlock()
+}
+
+// Add records one occurrence of p on a round-robin shard. Handle-free
+// ingestion keeps the engine drop-in compatible with ConcurrentTree, at
+// the cost of bouncing the round-robin cursor between cores; hot loops
+// should hold a Handle instead.
+func (e *Engine) Add(p uint64) { e.AddN(p, 1) }
+
+// AddN records weight occurrences of p on a round-robin shard.
+func (e *Engine) AddN(p uint64, weight uint64) {
+	i := e.next.Add(1) - 1
+	sh := e.shards[i%uint64(len(e.shards))]
+	sh.mu.Lock()
+	sh.tree.AddN(p, weight)
+	sh.mu.Unlock()
+}
+
+// AddBatch records a batch of points on one round-robin shard under a
+// single lock acquisition.
+func (e *Engine) AddBatch(points []uint64) {
+	i := e.next.Add(1) - 1
+	sh := e.shards[i%uint64(len(e.shards))]
+	sh.mu.Lock()
+	for _, p := range points {
+		sh.tree.AddN(p, 1)
+	}
+	sh.mu.Unlock()
+}
+
+// WithShard runs fn on shard i's tree with that shard's lock held. It is
+// the embedding hook internal/ingest builds its batch appliers and
+// consistent checkpoints on. fn must not call back into the engine.
+func (e *Engine) WithShard(i int, fn func(t *core.Tree)) {
+	sh := e.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fn(sh.tree)
+}
+
+// merged builds a one-off union of all shard trees. Shards are folded in
+// one at a time, each under its own lock only — queries never stop the
+// world. The result is a passive snapshot (no hooks).
+func (e *Engine) merged() *core.Tree {
+	m := core.MustNew(e.cfg)
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		err := m.Merge(sh.tree)
+		sh.mu.Unlock()
+		if err != nil {
+			// Shard trees share the engine config by construction; a
+			// mismatch is a programming error, not a runtime condition.
+			panic(err)
+		}
+	}
+	return m
+}
+
+// MergedTree returns a merged snapshot of all shards as a plain tree, for
+// dumps, analysis, and serialization. The snapshot is independent of the
+// engine: mutating it does not touch live shards.
+func (e *Engine) MergedTree() *core.Tree { return e.merged() }
+
+// Estimate returns the lower-bound estimate for [lo, hi] over the merged
+// view. The undershoot is at most eps*N() for tracked ranges.
+func (e *Engine) Estimate(lo, hi uint64) uint64 {
+	return e.merged().Estimate(lo, hi)
+}
+
+// EstimateBounds returns the bracketing estimates for [lo, hi] over the
+// merged view.
+func (e *Engine) EstimateBounds(lo, hi uint64) (low, high uint64) {
+	return e.merged().EstimateBounds(lo, hi)
+}
+
+// HotRanges reports the ranges holding at least theta of the combined
+// stream, computed on the merged view so a range split across shards is
+// still found.
+func (e *Engine) HotRanges(theta float64) []core.HotRange {
+	return e.merged().HotRanges(theta)
+}
+
+// N returns the total event weight across all shards.
+func (e *Engine) N() uint64 {
+	var total uint64
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		total += sh.tree.N()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Stats aggregates the per-shard counters: sums for event and operation
+// counts, memory charged across all live shard nodes. The view is
+// monitoring-grade — shards are sampled one at a time.
+func (e *Engine) Stats() core.Stats {
+	var agg core.Stats
+	agg.Height = e.cfg.Height()
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		st := sh.tree.Stats()
+		sh.mu.Unlock()
+		agg.N += st.N
+		agg.Nodes += st.Nodes
+		agg.MaxNodes += st.MaxNodes
+		agg.MemoryBytes += st.MemoryBytes
+		agg.Splits += st.Splits
+		agg.Merges += st.Merges
+		agg.MergeBatches += st.MergeBatches
+	}
+	return agg
+}
+
+// ShardStats returns shard i's own counters.
+func (e *Engine) ShardStats(i int) core.Stats {
+	sh := e.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tree.Stats()
+}
+
+// Finalize compacts every shard with a merge batch and returns the
+// aggregated statistics.
+func (e *Engine) Finalize() core.Stats {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.tree.MergeNow()
+		sh.mu.Unlock()
+	}
+	return e.Stats()
+}
+
+// SetHooks installs the same observability hooks on every shard tree.
+// Hooks fire with a shard lock held and from many goroutines, so they
+// must be concurrency-safe and must not call back into the engine. For
+// per-shard labeled metrics use SetShardHooks.
+func (e *Engine) SetHooks(h *core.Hooks) {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.hooks = h
+		sh.tree.SetHooks(h)
+		sh.mu.Unlock()
+	}
+}
+
+// SetShardHooks installs per-shard hooks built by make (called once per
+// shard index). The hooks survive Restore the same way SetHooks does.
+func (e *Engine) SetShardHooks(make func(shard int) *core.Hooks) {
+	for i, sh := range e.shards {
+		h := make(i)
+		sh.mu.Lock()
+		sh.hooks = h
+		sh.tree.SetHooks(h)
+		sh.mu.Unlock()
+	}
+}
+
+// Snapshot format: "RAPS" | version | uvarint shard count | per shard a
+// length-prefixed core tree snapshot. The per-shard trees are preserved
+// individually (not pre-merged) so a restore resumes with the same
+// distribution of state across stripes.
+const (
+	snapMagic   = "RAPS"
+	snapVersion = 1
+)
+
+// Snapshot serializes all shards. Shard locks are taken one at a time, so
+// concurrent ingest skews the cut between shards: the snapshot is a valid
+// profile of some interleaving, suitable for monitoring and hand-off. For
+// an exact cut (checkpointing), quiesce ingest or use SnapshotShards.
+func (e *Engine) Snapshot() ([]byte, error) {
+	snaps := make([][]byte, len(e.shards))
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		data, err := sh.tree.MarshalBinary()
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		snaps[i] = data
+	}
+	return encodeSnapshot(snaps), nil
+}
+
+// SnapshotShards marshals every shard under a full cut: all shard locks
+// are held (in index order) while the trees are serialized and capture —
+// when non-nil — runs, so positions recorded by capture are exactly
+// consistent with the tree contents. This is the primitive the ingest
+// checkpointer uses.
+func (e *Engine) SnapshotShards(capture func()) ([][]byte, error) {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for i := len(e.shards) - 1; i >= 0; i-- {
+			e.shards[i].mu.Unlock()
+		}
+	}()
+	snaps := make([][]byte, len(e.shards))
+	for i, sh := range e.shards {
+		data, err := sh.tree.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		snaps[i] = data
+	}
+	if capture != nil {
+		capture()
+	}
+	return snaps, nil
+}
+
+func encodeSnapshot(snaps [][]byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(snapMagic)
+	buf.WriteByte(snapVersion)
+	writeUvarint(&buf, uint64(len(snaps)))
+	for _, s := range snaps {
+		writeUvarint(&buf, uint64(len(s)))
+		buf.Write(s)
+	}
+	return buf.Bytes()
+}
+
+// Restore replaces every shard's contents from a snapshot previously
+// produced by Snapshot. The shard count must match (ErrShardCount
+// otherwise); installed hooks are re-applied to the fresh trees. On any
+// decode error the engine is left unchanged.
+func (e *Engine) Restore(data []byte) error {
+	r := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != snapMagic {
+		return errors.New("shard: bad snapshot magic")
+	}
+	ver, err := r.ReadByte()
+	if err != nil || ver != snapVersion {
+		return fmt.Errorf("shard: unsupported snapshot version %d", ver)
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("shard: truncated snapshot: %w", err)
+	}
+	if count != uint64(len(e.shards)) {
+		return fmt.Errorf("%w: snapshot has %d, engine has %d",
+			ErrShardCount, count, len(e.shards))
+	}
+	trees := make([]*core.Tree, count)
+	for i := range trees {
+		blob, err := readBlob(r)
+		if err != nil {
+			return fmt.Errorf("shard %d snapshot: %w", i, err)
+		}
+		var t core.Tree
+		if err := t.UnmarshalBinary(blob); err != nil {
+			return fmt.Errorf("shard %d snapshot: %w", i, err)
+		}
+		trees[i] = &t
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("shard: %d trailing bytes after snapshot", r.Len())
+	}
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		trees[i].SetHooks(sh.hooks)
+		sh.tree = trees[i]
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// AdoptShard replaces shard i's tree wholesale (the ingest recovery path,
+// which decodes trees from its own checkpoint format). Installed hooks
+// are re-applied to the adopted tree.
+func (e *Engine) AdoptShard(i int, t *core.Tree) {
+	sh := e.shards[i]
+	sh.mu.Lock()
+	t.SetHooks(sh.hooks)
+	sh.tree = t
+	sh.mu.Unlock()
+}
+
+func writeUvarint(buf *bytes.Buffer, x uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], x)
+	buf.Write(tmp[:n])
+}
+
+func readBlob(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("blob length %d exceeds remaining %d bytes", n, r.Len())
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,0 +1,161 @@
+package rap
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Option is one functional configuration knob for New/NewConfig.
+type Option func(*builder)
+
+// builder accumulates options before validation.
+type builder struct {
+	cfg        Config
+	shards     int
+	concurrent bool
+	sampleK    uint64
+	errs       []error
+}
+
+// WithUniverse sets the value universe to [0, size), rounded up to the
+// next power of two; size 0 selects the full 64-bit universe. This is the
+// domain the paper's H = log_b(universe) height derives from.
+func WithUniverse(size uint64) Option {
+	return func(b *builder) {
+		if size == 0 {
+			b.cfg.UniverseBits = 64
+			return
+		}
+		b.cfg.UniverseBits = bits.Len64(size - 1)
+		if b.cfg.UniverseBits == 0 {
+			b.cfg.UniverseBits = 1 // size 1: smallest valid universe
+		}
+	}
+}
+
+// WithUniverseBits sets the universe to [0, 2^w) directly.
+func WithUniverseBits(w int) Option {
+	return func(b *builder) { b.cfg.UniverseBits = w }
+}
+
+// WithEpsilon sets the paper's ε: estimates undercount any tracked range
+// by at most ε·n. Must be in (0, 1).
+func WithEpsilon(eps float64) Option {
+	return func(b *builder) { b.cfg.Epsilon = eps }
+}
+
+// WithBranching sets the paper's b, the fan-out of a split. Must be a
+// power of two in [2, 256].
+func WithBranching(branch int) Option {
+	return func(b *builder) { b.cfg.Branch = branch }
+}
+
+// WithMergeRatio sets the paper's q, the geometric growth factor of the
+// interval between batched merge passes. Must be > 1.
+func WithMergeRatio(q float64) Option {
+	return func(b *builder) { b.cfg.MergeRatio = q }
+}
+
+// WithFirstMerge sets how many events arrive before the first merge
+// batch.
+func WithFirstMerge(n uint64) Option {
+	return func(b *builder) { b.cfg.FirstMerge = n }
+}
+
+// WithMergeEvery replaces the geometric merge schedule with a fixed
+// period (the paper's "continuous merging" regime).
+func WithMergeEvery(n uint64) Option {
+	return func(b *builder) { b.cfg.MergeEvery = n }
+}
+
+// WithSharding selects the sharded engine with k shards (k <= 0 selects
+// GOMAXPROCS). Shards ingest in parallel without a shared lock; queries
+// merge the shard trees and keep the ε·n bound over the combined stream.
+func WithSharding(k int) Option {
+	return func(b *builder) {
+		if k <= 0 {
+			b.errs = append(b.errs, fmt.Errorf("rap: WithSharding(%d): shard count must be >= 1", k))
+			return
+		}
+		b.shards = k
+	}
+}
+
+// WithConcurrent selects the mutex-wrapped engine, safe for concurrent
+// use from any number of goroutines.
+func WithConcurrent() Option {
+	return func(b *builder) { b.concurrent = true }
+}
+
+// WithSampling applies deterministic 1-in-k sampling ahead of the tree;
+// estimates are scaled back up. k must be >= 1 (1 disables sampling).
+func WithSampling(k uint64) Option {
+	return func(b *builder) {
+		if k == 0 {
+			b.errs = append(b.errs, errors.New("rap: WithSampling(0): sample period must be >= 1"))
+			return
+		}
+		b.sampleK = k
+	}
+}
+
+// apply folds the options over the default config.
+func apply(opts []Option) (*builder, error) {
+	b := &builder{cfg: DefaultConfig()}
+	for _, o := range opts {
+		o(b)
+	}
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	return b, nil
+}
+
+// NewConfig builds and validates the Config the given options describe,
+// for callers constructing engines directly.
+func NewConfig(opts ...Option) (Config, error) {
+	b, err := apply(opts)
+	if err != nil {
+		return Config{}, err
+	}
+	return b.cfg.Validate()
+}
+
+// New builds a Profiler from functional options. Engine selection:
+// WithSharding picks the sharded engine, WithConcurrent the locked tree,
+// WithSampling(k>1) the sampling tree, otherwise the plain
+// single-goroutine Tree. Combinations that would stack engines
+// (sharding+concurrent, sharding+sampling, concurrent+sampling) are
+// rejected rather than silently picking one.
+func New(opts ...Option) (Profiler, error) {
+	b, err := apply(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := b.cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	sampling := b.sampleK > 1
+	modes := 0
+	for _, on := range []bool{b.shards > 0, b.concurrent, sampling} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return nil, fmt.Errorf("rap: options select %d engines (sharding=%v concurrent=%v sampling=%v); pick one",
+			modes, b.shards > 0, b.concurrent, sampling)
+	}
+	switch {
+	case b.shards > 0:
+		return NewSharded(cfg, b.shards)
+	case b.concurrent:
+		return NewConcurrent(cfg)
+	case sampling:
+		return NewSampled(cfg, b.sampleK)
+	default:
+		return NewTree(cfg)
+	}
+}

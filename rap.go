@@ -1,0 +1,145 @@
+// Package rap is the public face of the RAP profiler: an implementation
+// of "Profiling over Adaptive Ranges" (Mysore et al., CGO 2006), which
+// maintains a small adaptive tree of bit-prefix ranges over a large value
+// universe and answers range-count queries with a guaranteed error bound.
+//
+// The paper's symbols map onto configuration options as follows:
+//
+//	ε (epsilon)  WithEpsilon      relative error bound: any tracked range's
+//	                              estimate undercounts by at most ε·n
+//	b            WithBranching    branching factor of a split (power of two)
+//	q            WithMergeRatio   geometric growth of the merge interval
+//	H            (derived)        tree height, Config.Height(): log_b of the
+//	                              universe size set by WithUniverse
+//
+// The simplest use is the functional-option constructor:
+//
+//	p, err := rap.New(rap.WithUniverse(1<<32), rap.WithEpsilon(0.01))
+//	...
+//	p.Add(addr)
+//	low, high := p.EstimateBounds(lo, hi)
+//	hot := p.HotRanges(0.10)
+//
+// New returns a Profiler backed by one of four engines, selected by
+// options: a plain single-goroutine Tree, a mutex-wrapped ConcurrentTree
+// (WithConcurrent), a SampledTree that applies 1-in-k sampling ahead of
+// the tree (WithSampling), or a Sharded engine that fans events across
+// per-shard trees and answers queries from their merged union
+// (WithSharding). All four satisfy Profiler; all estimates are lower
+// bounds with the paper's ε·n guarantee.
+//
+// Advanced callers can keep constructing engines directly from a Config
+// literal — the types here are aliases of the internal ones, so the two
+// styles interoperate.
+package rap
+
+import (
+	"rap/internal/core"
+	"rap/internal/shard"
+)
+
+// Config parameterizes a profiler; see the field docs for the paper
+// correspondence. Zero value is invalid — start from DefaultConfig or use
+// New with options.
+type Config = core.Config
+
+// Stats is a point-in-time summary of an engine's tree(s).
+type Stats = core.Stats
+
+// HotRange is one range whose estimated share of the stream is at least
+// the queried threshold θ.
+type HotRange = core.HotRange
+
+// NodeInfo describes one tracked range during a Tree.Walk.
+type NodeInfo = core.NodeInfo
+
+// Tree is the core single-goroutine profiler.
+type Tree = core.Tree
+
+// ConcurrentTree is a Tree behind one mutex, safe for concurrent use.
+type ConcurrentTree = core.ConcurrentTree
+
+// SampledTree applies deterministic 1-in-k sampling ahead of a Tree and
+// scales estimates back up.
+type SampledTree = core.SampledTree
+
+// Sharded fans events across k per-shard trees (lock striping, pinned
+// Handles) and answers queries from their merged union.
+type Sharded = shard.Engine
+
+// Handle is a cheap per-goroutine ingest endpoint of a Sharded engine.
+type Handle = shard.Handle
+
+// Hooks and the structural events it observes, for instrumentation.
+type (
+	Hooks           = core.Hooks
+	SplitEvent      = core.SplitEvent
+	MergeEvent      = core.MergeEvent
+	MergeBatchEvent = core.MergeBatchEvent
+)
+
+// Errors surfaced by the facade's constructors and Merge/Restore paths.
+var (
+	// ErrConfigMismatch is returned by Tree.Merge when the two trees were
+	// built with different configurations.
+	ErrConfigMismatch = core.ErrConfigMismatch
+	// ErrSelfMerge is returned by Tree.Merge when src and dst are the
+	// same tree.
+	ErrSelfMerge = core.ErrSelfMerge
+	// ErrShardCount is returned by Sharded.Restore when a snapshot's
+	// shard count does not match the engine's.
+	ErrShardCount = shard.ErrShardCount
+)
+
+// DefaultConfig returns the paper's default operating point (64-bit
+// universe, b=4, ε=1%, q=2).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewTree builds the single-goroutine engine from an explicit Config.
+func NewTree(cfg Config) (*Tree, error) { return core.New(cfg) }
+
+// MustNewTree is NewTree, panicking on an invalid Config.
+func MustNewTree(cfg Config) *Tree { return core.MustNew(cfg) }
+
+// NewConcurrent builds the mutex-wrapped engine from an explicit Config.
+func NewConcurrent(cfg Config) (*ConcurrentTree, error) { return core.NewConcurrent(cfg) }
+
+// NewSampled builds a 1-in-k sampling engine from an explicit Config.
+func NewSampled(cfg Config, k uint64) (*SampledTree, error) { return core.NewSampled(cfg, k) }
+
+// NewSharded builds a k-shard engine from an explicit Config; k <= 0
+// selects GOMAXPROCS shards.
+func NewSharded(cfg Config, k int) (*Sharded, error) { return shard.New(cfg, k) }
+
+// Profiler is the query/ingest surface every engine satisfies. Estimates
+// are lower bounds: for any tracked range the true count is in
+// [Estimate, Estimate+ε·n].
+type Profiler interface {
+	// Add records one event at point p.
+	Add(p uint64)
+	// AddN records weight events at point p.
+	AddN(p uint64, weight uint64)
+	// N returns the total event weight recorded.
+	N() uint64
+	// Estimate returns the lower-bound count for [lo, hi].
+	Estimate(lo, hi uint64) uint64
+	// EstimateBounds returns the certain range [low, high] bracketing the
+	// true count of [lo, hi].
+	EstimateBounds(lo, hi uint64) (low, high uint64)
+	// HotRanges returns the maximal tracked ranges holding at least
+	// theta·N() of the stream, most loaded first.
+	HotRanges(theta float64) []HotRange
+	// Stats summarizes tree size and maintenance counters.
+	Stats() Stats
+	// Finalize runs a last merge pass and returns the final Stats.
+	Finalize() Stats
+}
+
+// Compile-time checks that every engine satisfies Profiler (repeated in
+// rap_test.go where they gate the test build).
+var (
+	_ Profiler = (*Tree)(nil)
+	_ Profiler = (*ConcurrentTree)(nil)
+	_ Profiler = (*SampledTree)(nil)
+	_ Profiler = (*Sharded)(nil)
+)
