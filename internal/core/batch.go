@@ -1,0 +1,90 @@
+package core
+
+// Batched ingest fast path. The paper's workloads (gzip, gcc value and
+// address streams, Section 4) are strongly local: consecutive events tend
+// to land in the same leaf range. The batch entry points exploit that with
+// a one-entry last-leaf cache — when the next event is covered by the leaf
+// the previous event landed in, the root-to-leaf descent is skipped
+// entirely. Queue drains (internal/ingest), the concurrent wrapper, and
+// the sharded engine all hand the tree chunks through these entry points
+// instead of one event at a time.
+
+// Sample is one weighted event of a batch: the shape queue drains hand the
+// tree (a trace.Event without the package dependency).
+type Sample struct {
+	Value  uint64
+	Weight uint64
+}
+
+// AddBatch records every point in order. It is equivalent — estimate for
+// estimate and snapshot byte for byte — to calling Add on each point
+// sequentially; the only difference is speed: points covered by the leaf
+// the previous point landed in skip the descent via the last-leaf cache.
+func (t *Tree) AddBatch(points []uint64) {
+	for _, p := range points {
+		t.addCached(p, 1)
+	}
+}
+
+// AddSamples records a chunk of weighted events in order, one AddN-style
+// update per sample. It is equivalent to calling AddN(s.Value, s.Weight)
+// for each sample sequentially, sharing AddBatch's last-leaf cache.
+func (t *Tree) AddSamples(samples []Sample) {
+	for _, s := range samples {
+		if s.Weight == 0 {
+			continue
+		}
+		t.addCached(s.Value, s.Weight)
+	}
+}
+
+// AddSorted records an ascending pre-sorted chunk of points, coalescing
+// each run of equal values into one weighted update. It is equivalent to
+// calling AddN(value, runLength) per distinct value in order — the
+// coalesced-update semantics of the hardware stage-0 buffer — not to
+// per-point Add: a run's whole weight is credited to the range that was
+// smallest when the run began. Sorting a chunk before ingest trades that
+// (bounded, AddN-style) reordering for maximal last-leaf cache locality.
+func (t *Tree) AddSorted(points []uint64) {
+	for i := 0; i < len(points); {
+		j := i + 1
+		for j < len(points) && points[j] == points[i] {
+			j++
+		}
+		t.addCached(points[i], uint64(j-i))
+		i = j
+	}
+}
+
+// addCached is AddN with the last-leaf cache consulted before the descent.
+// The cache is revalidated on every use (still a leaf, still covers p), so
+// a split of the cached leaf simply misses; structural rewrites that can
+// detach the cached node outright (merge batches, Merge, Restore, Clone)
+// must drop the cache instead — see invalidateLeafCache.
+func (t *Tree) addCached(p uint64, weight uint64) {
+	p &= t.mask
+	t.n += weight
+	v := t.lastLeaf
+	if v == nil || v.children != nil || p < v.lo || p > v.hi(t.cfg.UniverseBits) {
+		v = t.root
+		for v.children != nil {
+			c := v.children[t.childIndex(v, p)]
+			if c == nil {
+				break
+			}
+			v = c
+		}
+		if v.children == nil {
+			t.lastLeaf = v
+		}
+	}
+	t.credit(v, weight)
+}
+
+// invalidateLeafCache drops the last-leaf cache. Every operation that can
+// fold the cached leaf away or swap the node store wholesale calls it:
+// merge batches (the leaf may be merged into its parent), Merge (the
+// grafted union re-splits), and snapshot restore (a fresh tree replaces
+// the store). Without this, a stale cache entry would keep crediting a
+// node the tree no longer reaches.
+func (t *Tree) invalidateLeafCache() { t.lastLeaf = nil }

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// control builds the reference tree for a batch test by running the exact
+// same operation sequence through the unbatched entry points.
+func batchTestConfig() Config {
+	cfg := testConfig(16, 4, 0.05)
+	cfg.FirstMerge = 64
+	return cfg
+}
+
+func skewedPoints(seed int64, n int) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 4, 1<<16-1)
+	out := make([]uint64, n)
+	for i := range out {
+		if rng.Intn(5) == 0 {
+			out[i] = rng.Uint64() & 0xFFFF
+		} else {
+			out[i] = zipf.Uint64()
+		}
+	}
+	return out
+}
+
+func TestAddBatchMatchesSequentialAdd(t *testing.T) {
+	cfg := batchTestConfig()
+	points := skewedPoints(1, 120_000)
+	seq := MustNew(cfg)
+	for _, p := range points {
+		seq.Add(p)
+	}
+	bat := MustNew(cfg)
+	for off := 0; off < len(points); off += 777 {
+		end := off + 777
+		if end > len(points) {
+			end = len(points)
+		}
+		bat.AddBatch(points[off:end])
+	}
+	if !bytes.Equal(mustMarshal(t, seq), mustMarshal(t, bat)) {
+		t.Fatal("AddBatch produced a different tree than sequential Add")
+	}
+}
+
+func TestAddSortedCoalescesRuns(t *testing.T) {
+	// AddSorted's contract is AddN-per-run: one weighted update per
+	// distinct value, in ascending order.
+	cfg := batchTestConfig()
+	points := skewedPoints(2, 60_000)
+	sorted := append([]uint64(nil), points...)
+	sortUint64s(sorted)
+
+	viaAddN := MustNew(cfg)
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		viaAddN.AddN(sorted[i], uint64(j-i))
+		i = j
+	}
+	viaSorted := MustNew(cfg)
+	// Ragged chunks, including cuts inside runs of equal values.
+	rng := rand.New(rand.NewSource(3))
+	for off := 0; off < len(sorted); {
+		end := off + 1 + rng.Intn(900)
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		viaSorted.AddSorted(sorted[off:end])
+		off = end
+	}
+	if viaSorted.N() != uint64(len(sorted)) {
+		t.Fatalf("N = %d, want %d", viaSorted.N(), len(sorted))
+	}
+	// Chunk cuts inside an equal-value run split one AddN into two, which
+	// is a different call sequence; totals and estimates must still agree
+	// within the paper's bound, and on run-aligned chunking the trees are
+	// identical.
+	whole := MustNew(cfg)
+	whole.AddSorted(sorted)
+	if !bytes.Equal(mustMarshal(t, viaAddN), mustMarshal(t, whole)) {
+		t.Fatal("AddSorted over one chunk diverged from AddN per run")
+	}
+	if whole.Total() != whole.N() {
+		t.Fatalf("AddSorted lost events: Total=%d N=%d", whole.Total(), whole.N())
+	}
+}
+
+func sortUint64s(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestLeafCacheSurvivesStructuralRewrites is the stale-cache regression
+// suite: each subtest warms the last-leaf cache with a batched run, fires
+// one structural rewrite that detaches or replaces nodes (merge batch,
+// Merge, Restore), then keeps batching and requires the tree to stay
+// byte-identical to a control that never cached. Before cache
+// invalidation was wired into these rewrites, each subtest corrupted
+// counts by crediting a node the tree no longer reaches.
+func TestLeafCacheSurvivesStructuralRewrites(t *testing.T) {
+	cfg := batchTestConfig()
+	warm := skewedPoints(4, 50_000)
+	cont := skewedPoints(5, 50_000)
+
+	run := func(t *testing.T, rewrite func(tr *Tree), controlRewrite func(tr *Tree)) {
+		t.Helper()
+		cached := MustNew(cfg)
+		control := MustNew(cfg)
+		cached.AddBatch(warm) // warms lastLeaf
+		for _, p := range warm {
+			control.Add(p)
+		}
+		rewrite(cached)
+		controlRewrite(control)
+		cached.AddBatch(cont)
+		for _, p := range cont {
+			control.Add(p)
+		}
+		if cached.Total() != cached.N() {
+			t.Fatalf("stale cache lost events: Total=%d N=%d", cached.Total(), cached.N())
+		}
+		if !bytes.Equal(mustMarshal(t, cached), mustMarshal(t, control)) {
+			t.Fatal("batched tree diverged from control after structural rewrite")
+		}
+	}
+
+	t.Run("merge-batch", func(t *testing.T) {
+		run(t, (*Tree).MergeNow, (*Tree).MergeNow)
+	})
+	t.Run("merge", func(t *testing.T) {
+		other := MustNew(cfg)
+		other.AddBatch(skewedPoints(6, 30_000))
+		rewrite := func(tr *Tree) {
+			if err := tr.Merge(other); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run(t, rewrite, rewrite)
+	})
+	t.Run("restore", func(t *testing.T) {
+		donor := MustNew(cfg)
+		donor.AddBatch(skewedPoints(7, 30_000))
+		snap := mustMarshal(t, donor)
+		rewrite := func(tr *Tree) {
+			if err := tr.UnmarshalBinary(snap); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run(t, rewrite, rewrite)
+	})
+}
+
+// TestCloneDoesNotShareLeafCache: a clone taken mid-batch must not carry
+// the donor's cache — batched writes through an aliased cache would land
+// in the donor's nodes.
+func TestCloneDoesNotShareLeafCache(t *testing.T) {
+	cfg := batchTestConfig()
+	donor := MustNew(cfg)
+	donor.AddBatch(skewedPoints(8, 40_000)) // leaves lastLeaf warm
+	before := mustMarshal(t, donor)
+
+	clone := donor.Clone()
+	clone.AddBatch(skewedPoints(9, 40_000))
+
+	if !bytes.Equal(before, mustMarshal(t, donor)) {
+		t.Fatal("mutating a clone changed the donor tree")
+	}
+	if clone.Total() != clone.N() {
+		t.Fatalf("clone lost events: Total=%d N=%d", clone.Total(), clone.N())
+	}
+}
+
+// TestConcurrentRestoreDropsLeafCache covers the wrapper path: a
+// ConcurrentTree that batched before Restore must keep batching correctly
+// after, against a fresh control fed the same way.
+func TestConcurrentRestoreDropsLeafCache(t *testing.T) {
+	cfg := batchTestConfig()
+	donor := MustNew(cfg)
+	donor.AddBatch(skewedPoints(10, 20_000))
+	snap := mustMarshal(t, donor)
+
+	ct, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct.AddBatch(skewedPoints(11, 20_000))
+	if err := ct.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	cont := skewedPoints(12, 20_000)
+	ct.AddBatch(cont)
+
+	control := MustNew(cfg)
+	if err := control.UnmarshalBinary(snap); err != nil {
+		t.Fatal(err)
+	}
+	control.AddBatch(cont)
+
+	snapCT, err := ct.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapCT, mustMarshal(t, control)) {
+		t.Fatal("ConcurrentTree diverged from control after Restore")
+	}
+}

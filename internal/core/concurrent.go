@@ -53,14 +53,22 @@ func (c *ConcurrentTree) AddN(p uint64, weight uint64) {
 
 // AddBatch records a batch of points under one lock acquisition —
 // substantially cheaper than per-event locking for buffered sources. The
-// already-locked tree is fed through AddN directly, skipping the
-// per-point Add indirection.
+// chunk runs through the tree's batched fast path (last-leaf cache), with
+// per-point Add semantics.
 func (c *ConcurrentTree) AddBatch(points []uint64) {
-	c.withLock(func(t *Tree) {
-		for _, p := range points {
-			t.AddN(p, 1)
-		}
-	})
+	c.withLock(func(t *Tree) { t.AddBatch(points) })
+}
+
+// AddSamples records a chunk of weighted events under one lock
+// acquisition, with per-sample AddN semantics (see Tree.AddSamples).
+func (c *ConcurrentTree) AddSamples(samples []Sample) {
+	c.withLock(func(t *Tree) { t.AddSamples(samples) })
+}
+
+// AddSorted records an ascending pre-sorted chunk under one lock
+// acquisition, coalescing equal-value runs (see Tree.AddSorted).
+func (c *ConcurrentTree) AddSorted(points []uint64) {
+	c.withLock(func(t *Tree) { t.AddSorted(points) })
 }
 
 // Merge folds a plain Tree into the profile under the lock (see

@@ -47,6 +47,7 @@ func (t *Tree) Merge(other *Tree) error {
 		return ErrConfigMismatch
 	}
 	t.graft(t.root, other.root)
+	t.invalidateLeafCache()
 	t.n += other.n
 	t.splits += other.splits
 	t.merges += other.merges
@@ -125,6 +126,9 @@ func hasHole(children []*node) bool {
 func (t *Tree) Clone() *Tree {
 	nt := *t
 	nt.hooks = nil
+	// The leaf cache points into t's node store, not the copy's; carrying
+	// it over would make batched updates on the clone write into t.
+	nt.lastLeaf = nil
 	nt.root = cloneNode(t.root)
 	return &nt
 }

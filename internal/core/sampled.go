@@ -42,6 +42,15 @@ func (s *SampledTree) Add(p uint64) {
 	}
 }
 
+// AddBatch records every point in order, equivalent to calling Add on
+// each: the deterministic sampler advances per raw event, so chunking a
+// stream does not change which positions are sampled.
+func (s *SampledTree) AddBatch(points []uint64) {
+	for _, p := range points {
+		s.Add(p)
+	}
+}
+
 // AddN records weight raw occurrences of p in one step. The deterministic
 // sampler state advances exactly as if Add had been called weight times:
 // however the weight is split into calls, the same raw positions are

@@ -32,6 +32,11 @@ type Tree struct {
 	// hooks, when non-nil, receives structural notifications (see
 	// hooks.go). Checked only on cold paths; nil is the fast default.
 	hooks *Hooks
+
+	// lastLeaf is the one-entry leaf cache of the batched ingest path
+	// (batch.go): the leaf the previous batched update landed in. It is
+	// revalidated before every use and dropped by structural rewrites.
+	lastLeaf *node
 }
 
 // Stats is a snapshot of the tree's bookkeeping counters.
@@ -158,6 +163,14 @@ func (t *Tree) AddN(p uint64, weight uint64) {
 		}
 		v = c
 	}
+	t.credit(v, weight)
+}
+
+// credit adds weight to v's counter and runs the split and merge stages of
+// the update pipeline. It is the shared tail of AddN and the batched entry
+// points of batch.go, so every ingest path takes identical split/merge
+// decisions.
+func (t *Tree) credit(v *node, weight uint64) {
 	v.count += weight
 
 	// Stage 4 of the pipeline: compare against the split threshold.
@@ -222,6 +235,7 @@ func (t *Tree) runMergeBatch() {
 	before := t.merges
 	thr := t.mergeThreshold()
 	t.mergeNode(t.root, thr)
+	t.invalidateLeafCache()
 	t.advanceMergeSchedule()
 	if timed {
 		t.hooks.MergeBatch(MergeBatchEvent{

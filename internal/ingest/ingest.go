@@ -454,14 +454,19 @@ func (in *Ingestor) restore(st *checkpointState) error {
 
 // apply folds one batch into the engine under its shard's lock, advancing
 // the source's applied position in the same critical section so
-// checkpoint cuts stay exact.
-func (in *Ingestor) apply(q *shardQueue, b batch) {
+// checkpoint cuts stay exact. The whole chunk is handed to the tree's
+// batched fast path; scratch is the worker-local conversion buffer,
+// returned for reuse so steady-state draining does not allocate.
+func (in *Ingestor) apply(q *shardQueue, b batch, scratch []core.Sample) []core.Sample {
+	scratch = scratch[:0]
+	for _, e := range b.events {
+		scratch = append(scratch, core.Sample{Value: e.Value, Weight: e.Weight})
+	}
 	in.engine.WithShard(q.idx, func(tr *core.Tree) {
-		for _, e := range b.events {
-			tr.AddN(e.Value, e.Weight)
-		}
+		tr.AddSamples(scratch)
 		b.src.applied += uint64(len(b.events))
 	})
+	return scratch
 }
 
 // Run drives the pipeline until every source is drained or ctx is
@@ -475,8 +480,9 @@ func (in *Ingestor) Run(ctx context.Context) error {
 		workers.Add(1)
 		go func(q *shardQueue) {
 			defer workers.Done()
+			scratch := make([]core.Sample, 0, in.opts.BatchLen)
 			for b := range q.ch {
-				in.apply(q, b)
+				scratch = in.apply(q, b, scratch)
 			}
 		}(q)
 	}

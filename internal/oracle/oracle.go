@@ -1,0 +1,61 @@
+// Package oracle is the exact-count reference the differential test
+// suites measure every profiler engine against: a brute-force
+// map[uint64]uint64 of the full stream, no summarization, no error. It is
+// a test helper — memory grows with the number of distinct values — and
+// exists so that correctness of the adaptive tree (and every storage or
+// hot-path rewrite of it) is judged against ground truth rather than
+// against another approximation.
+package oracle
+
+// Oracle counts events exactly.
+type Oracle struct {
+	counts map[uint64]uint64
+	n      uint64
+}
+
+// New returns an empty oracle.
+func New() *Oracle {
+	return &Oracle{counts: make(map[uint64]uint64)}
+}
+
+// Add records one occurrence of p.
+func (o *Oracle) Add(p uint64) { o.AddN(p, 1) }
+
+// AddN records weight occurrences of p.
+func (o *Oracle) AddN(p uint64, weight uint64) {
+	if weight == 0 {
+		return
+	}
+	o.counts[p] += weight
+	o.n += weight
+}
+
+// N returns the total event weight recorded.
+func (o *Oracle) N() uint64 { return o.n }
+
+// Distinct returns the number of distinct values recorded.
+func (o *Oracle) Distinct() int { return len(o.counts) }
+
+// Count returns the exact event weight in [lo, hi] (inclusive).
+func (o *Oracle) Count(lo, hi uint64) uint64 {
+	if lo > hi {
+		return 0
+	}
+	var total uint64
+	for v, c := range o.counts {
+		if v >= lo && v <= hi {
+			total += c
+		}
+	}
+	return total
+}
+
+// Values returns every distinct value recorded, in no particular order.
+// Differential suites use it to derive adversarial query boundaries.
+func (o *Oracle) Values() []uint64 {
+	out := make([]uint64, 0, len(o.counts))
+	for v := range o.counts {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOracleCountsExactly(t *testing.T) {
+	o := New()
+	o.Add(5)
+	o.AddN(5, 3)
+	o.AddN(10, 2)
+	o.AddN(7, 0) // zero weight is a no-op
+	if o.N() != 6 {
+		t.Fatalf("N = %d, want 6", o.N())
+	}
+	if o.Distinct() != 2 {
+		t.Fatalf("Distinct = %d, want 2", o.Distinct())
+	}
+	for _, tc := range []struct {
+		lo, hi, want uint64
+	}{
+		{0, 4, 0},
+		{5, 5, 4},
+		{5, 10, 6},
+		{6, 9, 0},
+		{10, 10, 2},
+		{11, ^uint64(0), 0},
+		{10, 5, 0}, // inverted range
+	} {
+		if got := o.Count(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("Count(%d, %d) = %d, want %d", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestOracleAgainstSlice(t *testing.T) {
+	// Differential check of the differential checker: the map-based count
+	// must agree with a linear scan over the raw stream.
+	rng := rand.New(rand.NewSource(7))
+	o := New()
+	var stream []uint64
+	for i := 0; i < 20_000; i++ {
+		v := uint64(rng.Intn(1 << 12))
+		o.Add(v)
+		stream = append(stream, v)
+	}
+	for q := 0; q < 50; q++ {
+		lo := uint64(rng.Intn(1 << 12))
+		hi := lo + uint64(rng.Intn(1<<12))
+		var want uint64
+		for _, v := range stream {
+			if v >= lo && v <= hi {
+				want++
+			}
+		}
+		if got := o.Count(lo, hi); got != want {
+			t.Fatalf("Count(%#x, %#x) = %d, want %d", lo, hi, got, want)
+		}
+	}
+	if got := len(o.Values()); got != o.Distinct() {
+		t.Fatalf("Values() returned %d values, Distinct() = %d", got, o.Distinct())
+	}
+}

@@ -103,12 +103,28 @@ func (h *Handle) AddN(p uint64, weight uint64) {
 	h.sh.mu.Unlock()
 }
 
-// AddBatch records a run of points under one lock acquisition.
+// AddBatch records a run of points under one lock acquisition, through
+// the tree's batched fast path (last-leaf cache, per-point Add semantics).
 func (h *Handle) AddBatch(points []uint64) {
 	h.sh.mu.Lock()
-	for _, p := range points {
-		h.sh.tree.AddN(p, 1)
-	}
+	h.sh.tree.AddBatch(points)
+	h.sh.mu.Unlock()
+}
+
+// AddSamples records a chunk of weighted events under one lock
+// acquisition, with per-sample AddN semantics. It is the entry point
+// queue drains use to hand a shard whole batches.
+func (h *Handle) AddSamples(samples []core.Sample) {
+	h.sh.mu.Lock()
+	h.sh.tree.AddSamples(samples)
+	h.sh.mu.Unlock()
+}
+
+// AddSorted records an ascending pre-sorted chunk under one lock
+// acquisition, coalescing equal-value runs (see core.Tree.AddSorted).
+func (h *Handle) AddSorted(points []uint64) {
+	h.sh.mu.Lock()
+	h.sh.tree.AddSorted(points)
 	h.sh.mu.Unlock()
 }
 
@@ -128,14 +144,22 @@ func (e *Engine) AddN(p uint64, weight uint64) {
 }
 
 // AddBatch records a batch of points on one round-robin shard under a
-// single lock acquisition.
+// single lock acquisition, through the tree's batched fast path.
 func (e *Engine) AddBatch(points []uint64) {
 	i := e.next.Add(1) - 1
 	sh := e.shards[i%uint64(len(e.shards))]
 	sh.mu.Lock()
-	for _, p := range points {
-		sh.tree.AddN(p, 1)
-	}
+	sh.tree.AddBatch(points)
+	sh.mu.Unlock()
+}
+
+// AddSamples records a chunk of weighted events on one round-robin shard
+// under a single lock acquisition.
+func (e *Engine) AddSamples(samples []core.Sample) {
+	i := e.next.Add(1) - 1
+	sh := e.shards[i%uint64(len(e.shards))]
+	sh.mu.Lock()
+	sh.tree.AddSamples(samples)
 	sh.mu.Unlock()
 }
 

@@ -53,6 +53,10 @@ type HotRange = core.HotRange
 // NodeInfo describes one tracked range during a Tree.Walk.
 type NodeInfo = core.NodeInfo
 
+// Sample is one weighted event of a batch, the unit of the AddSamples
+// bulk-ingest entry points.
+type Sample = core.Sample
+
 // Tree is the core single-goroutine profiler.
 type Tree = core.Tree
 
@@ -119,6 +123,9 @@ type Profiler interface {
 	Add(p uint64)
 	// AddN records weight events at point p.
 	AddN(p uint64, weight uint64)
+	// AddBatch records a chunk of points in order, with per-point Add
+	// semantics; engines run it through their batched fast path.
+	AddBatch(points []uint64)
 	// N returns the total event weight recorded.
 	N() uint64
 	// Estimate returns the lower-bound count for [lo, hi].
