@@ -57,34 +57,32 @@ func (t *Tree) AddSorted(points []uint64) {
 }
 
 // addCached is AddN with the last-leaf cache consulted before the descent.
-// The cache is revalidated on every use (still a leaf, still covers p), so
-// a split of the cached leaf simply misses; structural rewrites that can
-// detach the cached node outright (merge batches, Merge, Restore, Clone)
-// must drop the cache instead — see invalidateLeafCache.
+// The cache is revalidated on every use: the slot must still be live (a
+// freed slot carries the dead mark, see node.go), still a leaf, and still
+// cover p. Any live leaf covering p is the unique smallest live node
+// covering p — its ancestors are live too, so the root descent would reach
+// exactly it — which makes a validated hit always safe to credit.
+// Structural rewrites that detach nodes wholesale (merge batches, Merge,
+// Restore, Clone) additionally drop the cache — see invalidateLeafCache.
 func (t *Tree) addCached(p uint64, weight uint64) {
 	p &= t.mask
 	t.n += weight
-	v := t.lastLeaf
-	if v == nil || v.children != nil || p < v.lo || p > v.hi(t.cfg.UniverseBits) {
-		v = t.root
-		for v.children != nil {
-			c := v.children[t.childIndex(v, p)]
-			if c == nil {
-				break
-			}
-			v = c
-		}
-		if v.children == nil {
-			t.lastLeaf = v
+	vi := t.lastLeaf
+	if arena := t.arena; vi >= uint32(len(arena)) || arena[vi].dead ||
+		arena[vi].childBase != nilIdx || p < arena[vi].lo || p > arena[vi].hi(t.cfg.UniverseBits) {
+		vi = t.descend(p)
+		if t.arena[vi].childBase == nilIdx {
+			t.lastLeaf = vi
 		}
 	}
-	t.credit(v, weight)
+	t.credit(vi, weight)
 }
 
 // invalidateLeafCache drops the last-leaf cache. Every operation that can
 // fold the cached leaf away or swap the node store wholesale calls it:
 // merge batches (the leaf may be merged into its parent), Merge (the
 // grafted union re-splits), and snapshot restore (a fresh tree replaces
-// the store). Without this, a stale cache entry would keep crediting a
-// node the tree no longer reaches.
-func (t *Tree) invalidateLeafCache() { t.lastLeaf = nil }
+// the store). The dead-slot marking already makes a stale index fail
+// validation; dropping the cache keeps those sites from even consulting
+// an entry known to be suspect.
+func (t *Tree) invalidateLeafCache() { t.lastLeaf = nilIdx }

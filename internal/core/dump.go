@@ -18,22 +18,27 @@ import (
 func (t *Tree) WriteASCII(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	n := t.n
-	var write func(v *node, depth int)
-	write = func(v *node, depth int) {
-		sub := subtreeSum(v)
+	var write func(vi uint32, depth int)
+	write = func(vi uint32, depth int) {
+		v := &t.arena[vi]
+		sub := t.subtreeSum(vi)
 		frac := 0.0
 		if n > 0 {
 			frac = 100 * float64(sub) / float64(n)
 		}
 		fmt.Fprintf(bw, "%s[%x, %x] count=%d subtree=%d frac=%.2f%%\n",
 			strings.Repeat("  ", depth), v.lo, v.hi(t.cfg.UniverseBits), v.count, sub, frac)
-		for _, c := range v.children {
-			if c != nil {
-				write(c, depth+1)
+		if v.childBase == nilIdx {
+			return
+		}
+		fan := t.fanout(v.plen)
+		for i := 0; i < fan; i++ {
+			if !t.arena[v.childBase+uint32(i)].dead {
+				write(v.childBase+uint32(i), depth+1)
 			}
 		}
 	}
-	write(t.root, 0)
+	write(0, 0)
 	return bw.Flush()
 }
 
@@ -61,11 +66,12 @@ func (t *Tree) WriteDOT(w io.Writer, theta float64) error {
 	fmt.Fprintln(bw, "digraph rap {")
 	fmt.Fprintln(bw, "  node [shape=box, fontname=\"monospace\"];")
 	id := 0
-	var write func(v *node) int
-	write = func(v *node) int {
+	var write func(vi uint32) int
+	write = func(vi uint32) int {
+		v := &t.arena[vi]
 		my := id
 		id++
-		sub := subtreeSum(v)
+		sub := t.subtreeSum(vi)
 		frac := 0.0
 		if t.n > 0 {
 			frac = 100 * float64(sub) / float64(t.n)
@@ -76,16 +82,21 @@ func (t *Tree) WriteDOT(w io.Writer, theta float64) error {
 		}
 		fmt.Fprintf(bw, "  n%d [label=\"[%x, %x]\\n%.1f%%\"%s];\n",
 			my, v.lo, v.hi(t.cfg.UniverseBits), frac, style)
-		for _, c := range v.children {
-			if c == nil {
+		if v.childBase == nilIdx {
+			return my
+		}
+		fan := t.fanout(v.plen)
+		for i := 0; i < fan; i++ {
+			ci := v.childBase + uint32(i)
+			if t.arena[ci].dead {
 				continue
 			}
-			child := write(c)
+			child := write(ci)
 			fmt.Fprintf(bw, "  n%d -> n%d;\n", my, child)
 		}
 		return my
 	}
-	write(t.root)
+	write(0)
 	fmt.Fprintln(bw, "}")
 	return bw.Flush()
 }

@@ -45,30 +45,37 @@ func (t *Tree) MarshalBinary() ([]byte, error) {
 	writeUvarint(&buf, t.nextMerge)
 	writeUvarint(&buf, t.mergeInterval)
 
-	t.marshalNode(&buf, t.root)
+	t.marshalNode(&buf, 0)
 	return buf.Bytes(), nil
 }
 
-func (t *Tree) marshalNode(buf *bytes.Buffer, v *node) {
+// marshalNode encodes the subtree at slot vi in logical preorder. The
+// encoding walks live slots only, so it is independent of arena layout:
+// two trees that are structurally equal serialize identically however
+// their slabs are fragmented.
+func (t *Tree) marshalNode(buf *bytes.Buffer, vi uint32) {
+	v := &t.arena[vi]
 	writeUvarint(buf, v.lo)
 	buf.WriteByte(v.plen)
 	writeUvarint(buf, v.count)
+	if v.childBase == nilIdx {
+		writeUvarint(buf, 0)
+		return
+	}
+	fan := t.fanout(v.plen)
 	live := 0
-	for _, c := range v.children {
-		if c != nil {
+	for i := 0; i < fan; i++ {
+		if !t.arena[v.childBase+uint32(i)].dead {
 			live++
 		}
 	}
 	writeUvarint(buf, uint64(live))
-	if live == 0 {
-		return
-	}
-	for i, c := range v.children {
-		if c == nil {
+	for i := 0; i < fan; i++ {
+		if t.arena[v.childBase+uint32(i)].dead {
 			continue
 		}
 		writeUvarint(buf, uint64(i))
-		t.marshalNode(buf, c)
+		t.marshalNode(buf, v.childBase+uint32(i))
 	}
 }
 
@@ -120,14 +127,12 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 	}
 
 	nt.nodes = 0
-	root, err := nt.unmarshalNode(r, 0, 0, 0)
-	if err != nil {
+	if err := nt.unmarshalNode(r, 0, 0, 0, 0); err != nil {
 		return err
 	}
 	if r.Len() != 0 {
 		return fmt.Errorf("core: %d trailing bytes after snapshot", r.Len())
 	}
-	nt.root = root
 	if nt.nodes > nt.maxNodes {
 		nt.maxNodes = nt.nodes
 	}
@@ -145,54 +150,58 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 // double-count; and the recursion depth may never exceed the configured
 // tree height, which bounds decoding work even when stride reaches zero at
 // the bottom of the universe.
-func (t *Tree) unmarshalNode(r *bytes.Reader, wantLo uint64, wantPlen uint8, depth int) (*node, error) {
+// unmarshalNode decodes one node and its subtree into the pre-allocated
+// arena slot vi, reviving the slot from its dead (hole) state; slots the
+// snapshot does not mention stay dead, preserving merge holes. Recursion
+// allocates children blocks (which may move the arena), so slots are
+// re-indexed per access rather than held as pointers.
+func (t *Tree) unmarshalNode(r *bytes.Reader, vi uint32, wantLo uint64, wantPlen uint8, depth int) error {
 	if depth > t.height {
-		return nil, fmt.Errorf("core: snapshot nests %d levels, tree height %d", depth, t.height)
+		return fmt.Errorf("core: snapshot nests %d levels, tree height %d", depth, t.height)
 	}
 	var err error
-	v := &node{}
-	v.lo = mustUvarint(r, &err)
+	lo := mustUvarint(r, &err)
 	plen, perr := r.ReadByte()
 	if perr != nil {
 		err = perr
 	}
-	v.plen = plen
-	v.count = mustUvarint(r, &err)
+	count := mustUvarint(r, &err)
 	live := mustUvarint(r, &err)
 	if err != nil {
-		return nil, fmt.Errorf("core: truncated snapshot node: %w", err)
+		return fmt.Errorf("core: truncated snapshot node: %w", err)
 	}
-	if int(v.plen) > t.cfg.UniverseBits {
-		return nil, fmt.Errorf("core: snapshot node plen %d exceeds universe", v.plen)
+	if int(plen) > t.cfg.UniverseBits {
+		return fmt.Errorf("core: snapshot node plen %d exceeds universe", plen)
 	}
-	if v.lo != wantLo || v.plen != wantPlen {
-		return nil, fmt.Errorf("core: snapshot node (%#x, %d) does not match derived bounds (%#x, %d)",
-			v.lo, v.plen, wantLo, wantPlen)
+	if lo != wantLo || plen != wantPlen {
+		return fmt.Errorf("core: snapshot node (%#x, %d) does not match derived bounds (%#x, %d)",
+			lo, plen, wantLo, wantPlen)
 	}
+	t.arena[vi] = node{lo: lo, plen: plen, count: count, childBase: nilIdx}
 	t.nodes++
 	if live == 0 {
-		return v, nil
+		return nil
 	}
-	fan := t.fanout(v.plen)
+	fan := t.fanout(plen)
 	if live > uint64(fan) {
-		return nil, fmt.Errorf("core: snapshot node has %d children, fanout %d", live, fan)
+		return fmt.Errorf("core: snapshot node has %d children, fanout %d", live, fan)
 	}
-	v.children = make([]*node, fan)
+	base := t.allocBlock(fan)
+	t.arena[vi].childBase = base
+	t.setChildGeometry(vi)
 	prev := -1
 	for k := uint64(0); k < live; k++ {
 		idx := mustUvarint(r, &err)
 		if err != nil || idx >= uint64(fan) || int(idx) <= prev {
-			return nil, fmt.Errorf("core: bad snapshot child index")
+			return fmt.Errorf("core: bad snapshot child index")
 		}
 		prev = int(idx)
-		childLo, childPlen := t.childBounds(v, int(idx))
-		c, cerr := t.unmarshalNode(r, childLo, childPlen, depth+1)
-		if cerr != nil {
-			return nil, cerr
+		childLo, childPlen := t.childBounds(lo, plen, int(idx))
+		if cerr := t.unmarshalNode(r, base+uint32(idx), childLo, childPlen, depth+1); cerr != nil {
+			return cerr
 		}
-		v.children[idx] = c
 	}
-	return v, nil
+	return nil
 }
 
 func writeUvarint(buf *bytes.Buffer, x uint64) {

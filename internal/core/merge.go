@@ -46,7 +46,7 @@ func (t *Tree) Merge(other *Tree) error {
 	if t.cfg != other.cfg {
 		return ErrConfigMismatch
 	}
-	t.graft(t.root, other.root)
+	t.graft(0, other, 0)
 	t.invalidateLeafCache()
 	t.n += other.n
 	t.splits += other.splits
@@ -63,34 +63,42 @@ func (t *Tree) Merge(other *Tree) error {
 	if next := t.n + t.mergeInterval; next > t.nextMerge {
 		t.nextMerge = next
 	}
-	t.resplit(t.root)
+	t.resplit(0)
 	return nil
 }
 
-// graft adds src's subtree counts into dst's subtree. dst and src cover
-// the same (lo, plen) range by construction: both trees share a Config, so
-// child slot i of a node at plen covers the same subrange in either tree.
-// Nodes present only in src are deep-copied, never aliased, so the source
-// tree stays independent.
-func (t *Tree) graft(dst, src *node) {
-	dst.count += src.count
-	if src.children == nil {
+// graft adds src's subtree rooted at slot si into t's subtree rooted at
+// slot di. The two slots cover the same (lo, plen) range by construction:
+// both trees share a Config, so child slot i of a node at plen covers the
+// same subrange in either tree. Nodes present only in src are recreated in
+// t's own arena, never aliased, so the source tree stays independent.
+// graft allocates into t's arena (which may move it) but only reads src's,
+// so t's nodes are addressed by slot and re-derived per access while src's
+// header can be held.
+func (t *Tree) graft(di uint32, src *Tree, si uint32) {
+	s := &src.arena[si]
+	t.arena[di].count += s.count
+	if s.childBase == nilIdx {
 		return
 	}
-	if dst.children == nil {
-		dst.children = make([]*node, len(src.children))
+	fan := t.fanout(s.plen)
+	if t.arena[di].childBase == nilIdx {
+		base := t.allocBlock(fan)
+		t.arena[di].childBase = base
+		t.setChildGeometry(di)
 	}
-	for i, sc := range src.children {
-		if sc == nil {
+	for i := 0; i < fan; i++ {
+		if src.arena[s.childBase+uint32(i)].dead {
 			continue
 		}
-		dc := dst.children[i]
-		if dc == nil {
-			dc = &node{lo: sc.lo, plen: sc.plen}
-			dst.children[i] = dc
+		dci := t.arena[di].childBase + uint32(i)
+		if t.arena[dci].dead {
+			d := &t.arena[di]
+			lo, plen := t.childBounds(d.lo, d.plen, i)
+			t.arena[dci] = node{lo: lo, plen: plen, childBase: nilIdx}
 			t.nodes++
 		}
-		t.graft(dc, sc)
+		t.graft(dci, src, s.childBase+uint32(i))
 	}
 }
 
@@ -98,50 +106,38 @@ func (t *Tree) graft(dst, src *node) {
 // now exceeds the split threshold at the combined n, and which could still
 // sprout children (a leaf, or a node with merge holes), splits exactly as
 // it would have on the update path.
-func (t *Tree) resplit(v *node) {
+func (t *Tree) resplit(vi uint32) {
+	v := &t.arena[vi]
 	if float64(v.count) > t.SplitThreshold() && int(v.plen) < t.cfg.UniverseBits {
-		if v.children == nil || hasHole(v.children) {
-			t.split(v)
+		if v.childBase == nilIdx || t.hasHole(vi) {
+			t.split(vi) // may move the arena; v is dead after
 		}
 	}
-	for _, c := range v.children {
-		if c != nil {
-			t.resplit(c)
+	cb := t.arena[vi].childBase
+	if cb == nilIdx {
+		return
+	}
+	fan := t.fanout(t.arena[vi].plen)
+	for i := 0; i < fan; i++ {
+		if !t.arena[cb+uint32(i)].dead {
+			t.resplit(cb + uint32(i))
 		}
 	}
 }
 
-// hasHole reports whether a children slice has a merged-away slot.
-func hasHole(children []*node) bool {
-	for _, c := range children {
-		if c == nil {
-			return true
-		}
-	}
-	return false
-}
-
-// Clone returns a deep copy of the tree sharing no nodes with t. Hooks are
+// Clone returns a deep copy of the tree sharing no storage with t: one
+// slab copy of the arena plus copies of the freelists, preserving the
+// donor's layout (indices mean the same thing in both trees). Hooks are
 // not carried over: a clone is a passive snapshot.
 func (t *Tree) Clone() *Tree {
 	nt := *t
 	nt.hooks = nil
-	// The leaf cache points into t's node store, not the copy's; carrying
-	// it over would make batched updates on the clone write into t.
-	nt.lastLeaf = nil
-	nt.root = cloneNode(t.root)
-	return &nt
-}
-
-func cloneNode(v *node) *node {
-	c := &node{lo: v.lo, plen: v.plen, count: v.count}
-	if v.children != nil {
-		c.children = make([]*node, len(v.children))
-		for i, ch := range v.children {
-			if ch != nil {
-				c.children[i] = cloneNode(ch)
-			}
-		}
+	// Slot indices stay meaningful across the copy, but the clone starts
+	// cold anyway: a snapshot's first batch re-warms the cache in one miss.
+	nt.lastLeaf = nilIdx
+	nt.arena = append([]node(nil), t.arena...)
+	for k, fl := range t.free {
+		nt.free[k] = append([]uint32(nil), fl...)
 	}
-	return c
+	return &nt
 }

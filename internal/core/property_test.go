@@ -59,13 +59,20 @@ func TestPropNodeRangesNested(t *testing.T) {
 			tr.Add(uint64(p))
 		}
 		ok := true
-		var check func(v *node)
-		check = func(v *node) {
+		var check func(vi uint32)
+		check = func(vi uint32) {
+			v := &tr.arena[vi]
 			vhi := v.hi(32)
+			if v.childBase == nilIdx {
+				return
+			}
+			fan := tr.fanout(v.plen)
 			var prevHi uint64
 			first := true
-			for _, c := range v.children {
-				if c == nil {
+			for i := 0; i < fan; i++ {
+				ci := v.childBase + uint32(i)
+				c := &tr.arena[ci]
+				if c.dead {
 					continue
 				}
 				chi := c.hi(32)
@@ -76,10 +83,10 @@ func TestPropNodeRangesNested(t *testing.T) {
 					ok = false // overlap with previous sibling
 				}
 				prevHi, first = chi, false
-				check(c)
+				check(ci)
 			}
 		}
-		check(tr.root)
+		check(0)
 		return ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
@@ -150,11 +157,12 @@ func TestPropChildGeometry(t *testing.T) {
 		if plen >= 64 {
 			plen = 64 - stride
 		}
-		v := &node{lo: p &^ suffixMask(64-plen), plen: uint8(plen)}
-		idx := tr.childIndex(v, p)
-		lo, cplen := tr.childBounds(v, idx)
+		vlo := p &^ suffixMask(64-plen)
+		vhi := vlo | suffixMask(64-plen)
+		idx := tr.childIndex(uint8(plen), p)
+		lo, cplen := tr.childBounds(vlo, uint8(plen), idx)
 		chi := lo | suffixMask(64-int(cplen))
-		return lo <= p && p <= chi && lo >= v.lo && chi <= v.hi(64)
+		return lo <= p && p <= chi && lo >= vlo && chi <= vhi
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
@@ -172,5 +180,78 @@ func TestSuffixMask(t *testing.T) {
 		if got := suffixMask(tc.k); got != tc.want {
 			t.Errorf("suffixMask(%d) = %x, want %x", tc.k, got, tc.want)
 		}
+	}
+}
+
+func TestPropArenaAccounting(t *testing.T) {
+	// Arena bookkeeping invariant: every slot of the slab except the root
+	// belongs to exactly one children block, and every block is either
+	// attached to exactly one live node or sits (all slots dead) on the
+	// freelist for its size. The live-node count reached by traversal must
+	// match the nodes counter, and no live node may carry the dead mark.
+	f := func(points []uint16, extra []uint16) bool {
+		cfg := testConfig(16, 4, 0.05)
+		cfg.FirstMerge = 16
+		tr := MustNew(cfg)
+		for _, p := range points {
+			tr.Add(uint64(p))
+		}
+		// A merge plus continued ingest exercises block free and reuse.
+		tr.MergeNow()
+		for _, p := range extra {
+			tr.Add(uint64(p))
+		}
+
+		live := 0
+		claimed := make(map[uint32]int) // block base -> fan
+		ok := true
+		var visit func(vi uint32)
+		visit = func(vi uint32) {
+			v := &tr.arena[vi]
+			if v.dead {
+				ok = false
+				return
+			}
+			live++
+			if v.childBase == nilIdx {
+				return
+			}
+			fan := tr.fanout(v.plen)
+			if _, dup := claimed[v.childBase]; dup {
+				ok = false // two nodes share a children block
+				return
+			}
+			claimed[v.childBase] = fan
+			for i := 0; i < fan; i++ {
+				if !tr.arena[v.childBase+uint32(i)].dead {
+					visit(v.childBase + uint32(i))
+				}
+			}
+		}
+		visit(0)
+		if !ok || live != tr.nodes {
+			return false
+		}
+		for k, fl := range tr.free {
+			for _, base := range fl {
+				if _, dup := claimed[base]; dup {
+					return false // freelist block still attached to a node
+				}
+				claimed[base] = 1 << k
+				for i := 0; i < 1<<k; i++ {
+					if !tr.arena[base+uint32(i)].dead {
+						return false // freed block holds a live slot
+					}
+				}
+			}
+		}
+		slots := 1 // root
+		for _, fan := range claimed {
+			slots += fan
+		}
+		return slots == len(tr.arena)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
 	}
 }

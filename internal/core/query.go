@@ -5,6 +5,10 @@ import (
 	"time"
 )
 
+// Query paths are read-only: the arena cannot move under them, so holding
+// a *node across recursion is safe here (unlike the mutation paths, which
+// must re-derive pointers after any allocation).
+
 // NodeInfo describes one live node of the tree to external observers.
 type NodeInfo struct {
 	Lo, Hi uint64 // inclusive range covered
@@ -17,25 +21,32 @@ type NodeInfo struct {
 // children in range order), calling fn for each. Walk stops early if fn
 // returns false.
 func (t *Tree) Walk(fn func(NodeInfo) bool) {
-	t.walk(t.root, 0, fn)
+	t.walk(0, 0, fn)
 }
 
-func (t *Tree) walk(v *node, depth int, fn func(NodeInfo) bool) bool {
-	if !fn(t.info(v, depth)) {
+func (t *Tree) walk(vi uint32, depth int, fn func(NodeInfo) bool) bool {
+	if !fn(t.info(vi, depth)) {
 		return false
 	}
-	for _, c := range v.children {
-		if c == nil {
+	v := &t.arena[vi]
+	if v.childBase == nilIdx {
+		return true
+	}
+	fan := t.fanout(v.plen)
+	for i := 0; i < fan; i++ {
+		ci := v.childBase + uint32(i)
+		if t.arena[ci].dead {
 			continue
 		}
-		if !t.walk(c, depth+1, fn) {
+		if !t.walk(ci, depth+1, fn) {
 			return false
 		}
 	}
 	return true
 }
 
-func (t *Tree) info(v *node, depth int) NodeInfo {
+func (t *Tree) info(vi uint32, depth int) NodeInfo {
+	v := &t.arena[vi]
 	return NodeInfo{
 		Lo:    v.lo,
 		Hi:    v.hi(t.cfg.UniverseBits),
@@ -45,13 +56,19 @@ func (t *Tree) info(v *node, depth int) NodeInfo {
 	}
 }
 
-// subtreeSum returns the total count stored in v's subtree: the tree's
-// estimate for the number of events that fell in v's range.
-func subtreeSum(v *node) uint64 {
+// subtreeSum returns the total count stored in the subtree at slot vi: the
+// tree's estimate for the number of events that fell in its range.
+func (t *Tree) subtreeSum(vi uint32) uint64 {
+	v := &t.arena[vi]
 	s := v.count
-	for _, c := range v.children {
-		if c != nil {
-			s += subtreeSum(c)
+	if v.childBase == nilIdx {
+		return s
+	}
+	fan := t.fanout(v.plen)
+	for i := 0; i < fan; i++ {
+		ci := v.childBase + uint32(i)
+		if !t.arena[ci].dead {
+			s += t.subtreeSum(ci)
 		}
 	}
 	return s
@@ -67,7 +84,7 @@ func (t *Tree) Estimate(lo, hi uint64) uint64 {
 		return 0
 	}
 	done := t.estimateTimer()
-	low, _ := t.estimate(t.root, lo&t.mask, hi&t.mask)
+	low, _ := t.estimate(0, lo&t.mask, hi&t.mask)
 	done()
 	return low
 }
@@ -91,29 +108,35 @@ func (t *Tree) EstimateBounds(lo, hi uint64) (low, high uint64) {
 		return 0, 0
 	}
 	done := t.estimateTimer()
-	low, high = t.estimate(t.root, lo&t.mask, hi&t.mask)
+	low, high = t.estimate(0, lo&t.mask, hi&t.mask)
 	done()
 	return low, high
 }
 
-func (t *Tree) estimate(v *node, lo, hi uint64) (low, high uint64) {
+func (t *Tree) estimate(vi uint32, lo, hi uint64) (low, high uint64) {
+	v := &t.arena[vi]
 	vhi := v.hi(t.cfg.UniverseBits)
 	if v.lo > hi || vhi < lo {
 		return 0, 0
 	}
 	if lo <= v.lo && vhi <= hi {
-		s := subtreeSum(v)
+		s := t.subtreeSum(vi)
 		return s, s
 	}
 	// Partial overlap: v's own count is ambiguous — those events landed
 	// somewhere in v's range but we cannot tell which side of the query
 	// boundary. Exclude from the lower bound, include in the upper.
 	low, high = 0, v.count
-	for _, c := range v.children {
-		if c == nil {
+	if v.childBase == nilIdx {
+		return low, high
+	}
+	fan := t.fanout(v.plen)
+	for i := 0; i < fan; i++ {
+		ci := v.childBase + uint32(i)
+		if t.arena[ci].dead {
 			continue
 		}
-		cl, ch := t.estimate(c, lo, hi)
+		cl, ch := t.estimate(ci, lo, hi)
 		low += cl
 		high += ch
 	}
@@ -146,7 +169,7 @@ func (t *Tree) HotRanges(theta float64) []HotRange {
 	}
 	cut := theta * float64(t.n)
 	var out []HotRange
-	t.hot(t.root, 0, cut, &out)
+	t.hot(0, 0, cut, &out)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Lo != out[j].Lo {
 			return out[i].Lo < out[j].Lo
@@ -156,13 +179,18 @@ func (t *Tree) HotRanges(theta float64) []HotRange {
 	return out
 }
 
-// hot returns the residual (non-hot) weight of v's subtree, appending hot
-// ranges found within to out.
-func (t *Tree) hot(v *node, depth int, cut float64, out *[]HotRange) uint64 {
+// hot returns the residual (non-hot) weight of the subtree at slot vi,
+// appending hot ranges found within to out.
+func (t *Tree) hot(vi uint32, depth int, cut float64, out *[]HotRange) uint64 {
+	v := &t.arena[vi]
 	w := v.count
-	for _, c := range v.children {
-		if c != nil {
-			w += t.hot(c, depth+1, cut, out)
+	if v.childBase != nilIdx {
+		fan := t.fanout(v.plen)
+		for i := 0; i < fan; i++ {
+			ci := v.childBase + uint32(i)
+			if !t.arena[ci].dead {
+				w += t.hot(ci, depth+1, cut, out)
+			}
 		}
 	}
 	if float64(w) >= cut {
@@ -180,4 +208,4 @@ func (t *Tree) hot(v *node, depth int, cut float64, out *[]HotRange) uint64 {
 
 // Total returns the summed counts over the whole tree, which always equals
 // N: RAP merges data rather than sampling it, so no event is ever lost.
-func (t *Tree) Total() uint64 { return subtreeSum(t.root) }
+func (t *Tree) Total() uint64 { return t.subtreeSum(0) }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 	"time"
+	"unsafe"
 )
 
 // Tree is a Range Adaptive Profiling tree: a one-pass, bounded-memory
@@ -15,8 +16,12 @@ type Tree struct {
 	height int // H = max split steps root -> singleton
 	mask   uint64
 
-	root *node
-	n    uint64 // events (total weight) processed
+	// arena is the node slab: slot 0 is the root, children occupy
+	// contiguous blocks (see node.go). free holds recycled children
+	// blocks keyed by log2 of their size.
+	arena []node
+	free  [maxFreeLists][]uint32
+	n     uint64 // events (total weight) processed
 
 	nodes    int
 	maxNodes int
@@ -34,9 +39,10 @@ type Tree struct {
 	hooks *Hooks
 
 	// lastLeaf is the one-entry leaf cache of the batched ingest path
-	// (batch.go): the leaf the previous batched update landed in. It is
-	// revalidated before every use and dropped by structural rewrites.
-	lastLeaf *node
+	// (batch.go): the arena slot the previous batched update landed in,
+	// nilIdx when empty. It is revalidated before every use and dropped
+	// by structural rewrites.
+	lastLeaf uint32
 }
 
 // Stats is a snapshot of the tree's bookkeeping counters.
@@ -60,12 +66,13 @@ func New(cfg Config) (*Tree, error) {
 		return nil, err
 	}
 	t := &Tree{
-		cfg:    cfg,
-		shift:  bits.TrailingZeros(uint(cfg.Branch)),
-		height: cfg.Height(),
-		mask:   suffixMask(cfg.UniverseBits),
-		root:   &node{},
-		nodes:  1,
+		cfg:      cfg,
+		shift:    bits.TrailingZeros(uint(cfg.Branch)),
+		height:   cfg.Height(),
+		mask:     suffixMask(cfg.UniverseBits),
+		arena:    []node{{childBase: nilIdx}},
+		nodes:    1,
+		lastLeaf: nilIdx,
 	}
 	t.maxNodes = 1
 	if cfg.MergeEvery != 0 {
@@ -102,6 +109,11 @@ func (t *Tree) MaxNodeCount() int { return t.maxNodes }
 // MemoryBytes returns the current memory footprint charged at the paper's
 // 128 bits per node.
 func (t *Tree) MemoryBytes() int { return t.nodes * NodeBytes }
+
+// ArenaBytes returns the actual backing-store footprint of the node arena,
+// including slab slack and freed blocks awaiting reuse. It differs from
+// MemoryBytes, which charges live nodes at the paper's accounting rate.
+func (t *Tree) ArenaBytes() int { return cap(t.arena) * int(unsafe.Sizeof(node{})) }
 
 // Stats returns a snapshot of the tree's counters.
 func (t *Tree) Stats() Stats {
@@ -155,27 +167,43 @@ func (t *Tree) AddN(p uint64, weight uint64) {
 
 	// Find the smallest live range covering p: descend while a covering
 	// child exists. Holes left by merges credit the parent (Section 3.3).
-	v := t.root
-	for v.children != nil {
-		c := v.children[t.childIndex(v, p)]
-		if c == nil {
-			break
-		}
-		v = c
-	}
-	t.credit(v, weight)
+	t.credit(t.descend(p), weight)
 }
 
-// credit adds weight to v's counter and runs the split and merge stages of
-// the update pipeline. It is the shared tail of AddN and the batched entry
-// points of batch.go, so every ingest path takes identical split/merge
-// decisions.
-func (t *Tree) credit(v *node, weight uint64) {
+// descend returns the slot of the smallest live node covering p.
+func (t *Tree) descend(p uint64) uint32 {
+	arena := t.arena
+	vi := uint32(0)
+	v := &arena[0]
+	for {
+		cb := v.childBase
+		if cb == nilIdx {
+			return vi
+		}
+		ci := cb + uint32((p>>v.cshift)&uint64(v.cmask))
+		c := &arena[ci]
+		// The liveness flag shares an 8-byte word with childBase/cshift/
+		// cmask, so carrying c into the next iteration means one load per
+		// level instead of a re-index on every field.
+		if c.dead {
+			return vi
+		}
+		vi, v = ci, c
+	}
+}
+
+// credit adds weight to slot vi's counter and runs the split and merge
+// stages of the update pipeline. It is the shared tail of AddN and the
+// batched entry points of batch.go, so every ingest path takes identical
+// split/merge decisions.
+func (t *Tree) credit(vi uint32, weight uint64) {
+	v := &t.arena[vi]
 	v.count += weight
 
-	// Stage 4 of the pipeline: compare against the split threshold.
+	// Stage 4 of the pipeline: compare against the split threshold. split
+	// may grow the arena, so v is dead after this point.
 	if float64(v.count) > t.SplitThreshold() && int(v.plen) < t.cfg.UniverseBits {
-		t.split(v)
+		t.split(vi)
 	}
 
 	if t.n >= t.nextMerge {
@@ -187,18 +215,22 @@ func (t *Tree) credit(v *node, weight uint64) {
 // node keeps its counter; children start at zero (Section 2.2). For a node
 // with merge holes, only the missing children are created (the "extra
 // operation" split case of Section 3.3).
-func (t *Tree) split(v *node) {
-	fan := t.fanout(v.plen)
-	if v.children == nil {
-		v.children = make([]*node, fan)
+func (t *Tree) split(vi uint32) {
+	fan := t.fanout(t.arena[vi].plen)
+	if t.arena[vi].childBase == nilIdx {
+		base := t.allocBlock(fan) // may move the arena
+		t.arena[vi].childBase = base
+		t.setChildGeometry(vi)
 	}
+	v := &t.arena[vi] // stable: split allocates nothing past this point
 	created := 0
-	for i := range v.children {
-		if v.children[i] != nil {
+	for i := 0; i < fan; i++ {
+		c := &t.arena[v.childBase+uint32(i)]
+		if !c.dead {
 			continue
 		}
-		lo, plen := t.childBounds(v, i)
-		v.children[i] = &node{lo: lo, plen: plen}
+		lo, plen := t.childBounds(v.lo, v.plen, i)
+		*c = node{lo: lo, plen: plen, childBase: nilIdx}
 		t.nodes++
 		created++
 	}
@@ -234,7 +266,8 @@ func (t *Tree) runMergeBatch() {
 	t.mergeBatches++
 	before := t.merges
 	thr := t.mergeThreshold()
-	t.mergeNode(t.root, thr)
+	t.mergeNode(0, thr)
+	t.compact()
 	t.invalidateLeafCache()
 	t.advanceMergeSchedule()
 	if timed {
@@ -244,6 +277,47 @@ func (t *Tree) runMergeBatch() {
 			Nodes:    t.nodes,
 			Duration: time.Since(start),
 		})
+	}
+}
+
+// compact rebuilds the arena in depth-first order, dropping freed blocks
+// and the holes between them. Running it at the tail of every merge batch
+// keeps two promises cheap: the slab's footprint tracks the live tree (a
+// merge batch genuinely releases memory instead of parking blocks on
+// freelists), and a root-to-leaf descent path lands on consecutive blocks
+// of the slab, which is what makes the index-linked layout faster than
+// pointer chasing on skewed streams — the hot chain occupies a handful of
+// cache lines laid out in walk order. Cost is one O(slots) copy per merge
+// batch, amortized by the geometric merge schedule exactly like the merge
+// walk itself.
+func (t *Tree) compact() {
+	// The new slab needs 1 + sum(attached block sizes) slots, which the old
+	// length bounds (it additionally counts freed blocks), so the appends
+	// below never reallocate. na is distinct storage from t.arena, so
+	// pointers into the old slab remain valid throughout.
+	na := make([]node, 1, len(t.arena))
+	na[0] = t.arena[0]
+	t.compactInto(&na, 0, 0)
+	t.arena = na
+	t.free = [maxFreeLists][]uint32{}
+}
+
+// compactInto copies the children block of old slot ovi (already copied to
+// new slot nvi) into the new slab and recurses. Dead holes are copied
+// verbatim: they stay revivable split targets at the same offset.
+func (t *Tree) compactInto(na *[]node, ovi, nvi uint32) {
+	ov := &t.arena[ovi]
+	if ov.childBase == nilIdx {
+		return
+	}
+	fan := uint32(t.fanout(ov.plen))
+	base := uint32(len(*na))
+	*na = append(*na, t.arena[ov.childBase:ov.childBase+fan]...)
+	(*na)[nvi].childBase = base
+	for i := uint32(0); i < fan; i++ {
+		if !t.arena[ov.childBase+i].dead {
+			t.compactInto(na, ov.childBase+i, base+i)
+		}
 	}
 }
 
@@ -272,16 +346,22 @@ func (t *Tree) advanceMergeSchedule() {
 // lower-bound property of every estimate; since at most one threshold of
 // count can move up per level, the ε·n error bound is preserved
 // (Section 2.2).
-func (t *Tree) mergeNode(v *node, thr float64) {
-	if v.children == nil {
+// The merge path never allocates (freeBlock only pushes to a freelist),
+// so the arena is stable and node pointers may be held across recursion.
+func (t *Tree) mergeNode(vi uint32, thr float64) {
+	v := &t.arena[vi]
+	if v.childBase == nilIdx {
 		return
 	}
-	for i, c := range v.children {
-		if c == nil {
+	fan := t.fanout(v.plen)
+	for i := 0; i < fan; i++ {
+		ci := v.childBase + uint32(i)
+		c := &t.arena[ci]
+		if c.dead {
 			continue
 		}
-		t.mergeNode(c, thr)
-		if c.children == nil && float64(c.count) <= thr {
+		t.mergeNode(ci, thr)
+		if c.childBase == nilIdx && float64(c.count) <= thr {
 			if t.hooks != nil && t.hooks.Merge != nil {
 				t.hooks.Merge(MergeEvent{
 					Lo:        c.lo,
@@ -293,12 +373,12 @@ func (t *Tree) mergeNode(v *node, thr float64) {
 				})
 			}
 			v.count += c.count
-			v.children[i] = nil
+			c.dead = true
 			t.nodes--
 			t.merges++
 		}
 	}
-	v.normalize()
+	t.normalize(vi)
 }
 
 // Finalize compacts the tree with one last merge batch and returns its

@@ -359,24 +359,25 @@ func TestHoleUpdatesCreditParent(t *testing.T) {
 	}
 	partial := false
 	tr.Walk(func(n NodeInfo) bool { return true })
-	// Inspect internals directly for partial cover.
-	var scan func(v *node)
-	scan = func(v *node) {
-		if v.children != nil {
-			nils := 0
-			for _, c := range v.children {
-				if c == nil {
-					nils++
-				} else {
-					scan(c)
-				}
-			}
-			if nils > 0 {
+	// Inspect the arena directly for partial cover: a live node whose
+	// children block has dead (merged-away) slots.
+	var scan func(vi uint32)
+	scan = func(vi uint32) {
+		v := &tr.arena[vi]
+		if v.childBase == nilIdx {
+			return
+		}
+		fan := tr.fanout(v.plen)
+		for i := 0; i < fan; i++ {
+			ci := v.childBase + uint32(i)
+			if tr.arena[ci].dead {
 				partial = true
+			} else {
+				scan(ci)
 			}
 		}
 	}
-	scan(tr.root)
+	scan(0)
 	if !partial {
 		t.Log("no partial-cover nodes observed on this stream (merge folded whole subtrees)")
 	}
