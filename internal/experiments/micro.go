@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"rap/internal/core"
+	"rap/internal/stats"
+)
+
+// Micro measures the per-update cost of each core ingest entry point on
+// the workload shapes the root bench_test.go micro-benchmarks use, so the
+// same numbers are available as a machine-readable rapbench envelope. CI's
+// perf gate records one run per PR as BENCH_<n>.json and fails when the
+// skewed single-point path (the paper's hot-code-region case) regresses
+// against the committed baseline.
+
+// MicroRow is one ingest path measured on one workload shape.
+type MicroRow struct {
+	Op             string  // entry point / workload, e.g. "add/zipf"
+	Updates        uint64  // timed update operations
+	NsPerOp        float64 // wall nanoseconds per update
+	MUpdatesPerSec float64
+	Nodes          int // live nodes when the run finished
+	ArenaBytes     int // actual node-slab footprint when the run finished
+}
+
+// MicroResult is the full ingest-path cost table.
+type MicroResult struct {
+	Events uint64 // updates per row
+	Rows   []MicroRow
+}
+
+// microChunk is the batch size the chunked entry points are fed with,
+// matching the default ingest queue drain size order of magnitude.
+const microChunk = 4096
+
+// Micro runs every ingest entry point for o.Events updates each and
+// returns the cost table. Workload shapes mirror the root benchmarks:
+// Zipf(2^20, s=1.2) for the skewed paths, uniform 64-bit for the
+// cache-hostile path, and Zipf(2^12, s=1.3) with weight 16 for the
+// hardware-style coalesced path. Point tables are precomputed so the
+// timed region is tree work only.
+func Micro(o Options) (MicroResult, error) {
+	const tableBits = 16
+	const mask = 1<<tableBits - 1
+	rng := stats.NewSplitMix64(o.Seed)
+	zipf := stats.NewZipf(rng, 1<<20, 1.2)
+	zpoints := make([]uint64, 1<<tableBits)
+	for i := range zpoints {
+		zpoints[i] = uint64(zipf.Rank())
+	}
+	upoints := make([]uint64, 1<<tableBits)
+	for i := range upoints {
+		upoints[i] = rng.Uint64()
+	}
+	z12 := stats.NewZipf(rng, 1<<12, 1.3)
+	cpoints := make([]uint64, 1<<tableBits)
+	for i := range cpoints {
+		cpoints[i] = uint64(z12.Rank())
+	}
+	// Pre-sorted chunks for AddSorted: sorting is the caller's cost, not
+	// the tree's, so it happens outside the timed region.
+	schunks := make([][]uint64, (1<<tableBits)/microChunk)
+	for i := range schunks {
+		c := append([]uint64(nil), zpoints[i*microChunk:(i+1)*microChunk]...)
+		sort.Slice(c, func(a, b int) bool { return c[a] < c[b] })
+		schunks[i] = c
+	}
+
+	n := o.Events
+	r := MicroResult{Events: n}
+	measure := func(op string, ingest func(t *core.Tree)) error {
+		t, err := core.New(core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		ingest(t)
+		elapsed := time.Since(start)
+		row := MicroRow{
+			Op:         op,
+			Updates:    n,
+			NsPerOp:    float64(elapsed.Nanoseconds()) / float64(n),
+			Nodes:      t.NodeCount(),
+			ArenaBytes: t.ArenaBytes(),
+		}
+		if s := elapsed.Seconds(); s > 0 {
+			row.MUpdatesPerSec = float64(n) / s / 1e6
+		}
+		r.Rows = append(r.Rows, row)
+		return nil
+	}
+
+	steps := []struct {
+		op     string
+		ingest func(t *core.Tree)
+	}{
+		{"add/zipf", func(t *core.Tree) {
+			for i := uint64(0); i < n; i++ {
+				t.Add(zpoints[i&mask])
+			}
+		}},
+		{"add/uniform", func(t *core.Tree) {
+			for i := uint64(0); i < n; i++ {
+				t.Add(upoints[i&mask])
+			}
+		}},
+		{"addn/coalesced", func(t *core.Tree) {
+			for i := uint64(0); i < n; i++ {
+				t.AddN(cpoints[i&mask], 16)
+			}
+		}},
+		{"addbatch/zipf", func(t *core.Tree) {
+			for fed := uint64(0); fed < n; fed += microChunk {
+				off := fed & mask
+				t.AddBatch(zpoints[off : off+microChunk])
+			}
+		}},
+		{"addsorted/zipf", func(t *core.Tree) {
+			k := 0
+			for fed := uint64(0); fed < n; fed += microChunk {
+				t.AddSorted(schunks[k])
+				k = (k + 1) % len(schunks)
+			}
+		}},
+	}
+	for _, s := range steps {
+		if err := measure(s.op, s.ingest); err != nil {
+			return MicroResult{}, err
+		}
+	}
+	return r, nil
+}
+
+// Print renders the ingest-path cost table.
+func (r MicroResult) Print(w io.Writer) {
+	header(w, "Micro: per-update ingest cost by entry point")
+	fmt.Fprintf(w, "updates per run: %d\n\n", r.Events)
+	fmt.Fprintf(w, "%-16s %10s %12s %8s %12s\n", "op", "ns/op", "Mupdates/s", "nodes", "arena bytes")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %10.1f %12.2f %8d %12d\n",
+			row.Op, row.NsPerOp, row.MUpdatesPerSec, row.Nodes, row.ArenaBytes)
+	}
+}

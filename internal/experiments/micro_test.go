@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMicroCoversEveryIngestPath(t *testing.T) {
+	r, err := Micro(Options{Events: 20_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"add/zipf", "add/uniform", "addn/coalesced", "addbatch/zipf", "addsorted/zipf"}
+	if len(r.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), len(want))
+	}
+	for i, row := range r.Rows {
+		if row.Op != want[i] {
+			t.Errorf("row %d op = %q, want %q", i, row.Op, want[i])
+		}
+		if row.Updates != 20_000 {
+			t.Errorf("%s updates = %d, want 20000", row.Op, row.Updates)
+		}
+		if row.NsPerOp <= 0 || row.MUpdatesPerSec <= 0 {
+			t.Errorf("%s has non-positive rate (%f ns/op, %f M/s)", row.Op, row.NsPerOp, row.MUpdatesPerSec)
+		}
+		if row.Nodes <= 1 {
+			t.Errorf("%s grew no tree (nodes = %d)", row.Op, row.Nodes)
+		}
+		if row.ArenaBytes <= 0 {
+			t.Errorf("%s arena bytes = %d", row.Op, row.ArenaBytes)
+		}
+	}
+	var sb strings.Builder
+	r.Print(&sb)
+	for _, op := range want {
+		if !strings.Contains(sb.String(), op) {
+			t.Errorf("printed table missing %q", op)
+		}
+	}
+}
