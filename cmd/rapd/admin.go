@@ -9,19 +9,22 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"rap/internal/audit"
 	"rap/internal/ingest"
 	"rap/internal/obs"
 )
 
 // admin is the opt-in operator surface of rapd: metrics exposition,
-// liveness/readiness, the structural trace, and pprof. It is read-only —
-// nothing here mutates the pipeline — so binding it to a trusted
-// interface is the only access control it needs.
+// liveness/readiness, the structural trace, the accuracy audit, and
+// pprof. Nothing here mutates the data plane (/audit runs an extra audit
+// pass, which only touches the audit's own shadow state), so binding it
+// to a trusted interface is the only access control it needs.
 type admin struct {
 	in      *ingest.Ingestor
 	reg     *obs.Registry
 	strace  *obs.StructuralTrace
-	ckEvery time.Duration // checkpoint cadence; freshness is judged against it
+	aud     *audit.Auditor // nil unless -audit
+	ckEvery time.Duration  // checkpoint cadence; freshness is judged against it
 	start   time.Time
 }
 
@@ -32,6 +35,7 @@ type admin struct {
 //	/healthz       process liveness (always 200 while serving)
 //	/readyz        200 only while the pipeline can still make progress
 //	/trace         sampled structural events as JSONL
+//	/audit         a fresh accuracy-audit pass as JSON (404 without -audit)
 //	/debug/pprof/  the standard Go profiler endpoints
 func (a *admin) handler() http.Handler {
 	mux := http.NewServeMux()
@@ -62,6 +66,27 @@ func (a *admin) handler() http.Handler {
 	if a.strace != nil {
 		mux.Handle("/trace", a.strace)
 	}
+	mux.HandleFunc("/audit", func(w http.ResponseWriter, _ *http.Request) {
+		if a.aud == nil {
+			writeStatus(w, http.StatusNotFound, map[string]any{
+				"status": "disabled", "reason": "audit not enabled (-audit)",
+			})
+			return
+		}
+		// A fresh pass, not the last cached report: the operator asking is
+		// exactly the moment the answer should be current.
+		rep, err := a.aud.Audit()
+		if err != nil {
+			writeStatus(w, http.StatusInternalServerError, map[string]any{
+				"status": "error", "reason": err.Error(),
+			})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

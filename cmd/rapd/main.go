@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"rap/internal/audit"
 	"rap/internal/core"
 	"rap/internal/ingest"
 	"rap/internal/obs"
@@ -68,6 +69,12 @@ type cliConfig struct {
 	admin       string // admin HTTP address, "" = disabled
 	traceSample uint64 // structural trace sampling: keep 1 in N decisions
 	traceCap    int    // structural trace ring capacity
+
+	audit         bool          // run the online accuracy self-audit
+	auditEvery    time.Duration // audit pass cadence
+	auditRanges   int           // max sampled ranges audited at once
+	auditSpanBits int           // minimum audited range width, in bits
+	auditSample   uint64        // adoption gate: 1 in N hash values
 }
 
 func main() {
@@ -104,6 +111,11 @@ func parseFlags(args []string, errOut io.Writer) cliConfig {
 	fs.StringVar(&c.admin, "admin", "", "admin HTTP address serving /metrics, /healthz, /readyz, /trace, pprof (empty: disabled)")
 	fs.Uint64Var(&c.traceSample, "trace-sample", 64, "structural trace sampling: record 1 in N split/merge decisions")
 	fs.IntVar(&c.traceCap, "trace-cap", 4096, "structural trace ring capacity, in events")
+	fs.BoolVar(&c.audit, "audit", false, "run the online accuracy self-audit (exact shadow counts vs estimates)")
+	fs.DurationVar(&c.auditEvery, "audit-every", 10*time.Second, "audit pass cadence")
+	fs.IntVar(&c.auditRanges, "audit-ranges", audit.DefaultMaxRanges, "maximum sampled ranges audited at once")
+	fs.IntVar(&c.auditSpanBits, "audit-span-bits", audit.DefaultSpanBits, "minimum audited range width, in bits")
+	fs.Uint64Var(&c.auditSample, "audit-sample", audit.DefaultSamplePeriod, "range adoption gate: 1 in N of the hash space seeds a new audited range")
 	fs.Parse(args)
 	c.traces = fs.Args()
 	return c
@@ -132,6 +144,15 @@ func (c cliConfig) options(logger *slog.Logger) (ingest.Options, error) {
 		opts.Drop = ingest.DropNewest
 	default:
 		return opts, fmt.Errorf("unknown drop policy %q (want block or newest)", c.drop)
+	}
+	if c.audit {
+		opts.Audit = &audit.Options{
+			MaxRanges:    c.auditRanges,
+			SpanBits:     c.auditSpanBits,
+			SamplePeriod: c.auditSample,
+			Seed:         c.seed,
+		}
+		opts.AuditEvery = c.auditEvery
 	}
 	return opts, nil
 }
@@ -194,6 +215,7 @@ func run(ctx context.Context, c cliConfig, out io.Writer) error {
 	var strace *obs.StructuralTrace
 	if c.admin != "" {
 		opts.Metrics = obs.NewRegistry()
+		obs.RegisterRuntime(opts.Metrics)
 		strace = obs.NewStructuralTrace(c.traceSample, c.traceCap)
 		opts.StructuralTrace = strace
 	}
@@ -211,6 +233,7 @@ func run(ctx context.Context, c cliConfig, out io.Writer) error {
 			in:      in,
 			reg:     opts.Metrics,
 			strace:  strace,
+			aud:     in.Auditor(),
 			start:   time.Now(),
 			ckEvery: c.checkpointEvery,
 		}

@@ -67,6 +67,9 @@ func (t *Tree) AddSorted(points []uint64) {
 func (t *Tree) addCached(p uint64, weight uint64) {
 	p &= t.mask
 	t.n += weight
+	if t.tap != nil {
+		t.tap.Tap(p, weight)
+	}
 	vi := t.lastLeaf
 	if arena := t.arena; vi >= uint32(len(arena)) || arena[vi].dead ||
 		arena[vi].childBase != nilIdx || p < arena[vi].lo || p > arena[vi].hi(t.cfg.UniverseBits) {

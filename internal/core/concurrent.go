@@ -13,6 +13,7 @@ type ConcurrentTree struct {
 	mu    sync.Mutex
 	tree  *Tree
 	hooks *Hooks // survives Restore; reinstalled on the fresh tree
+	tap   Tap    // survives Restore like hooks; see SetTap
 }
 
 // NewConcurrent builds a mutex-guarded RAP tree.
@@ -32,6 +33,31 @@ func (c *ConcurrentTree) SetHooks(h *Hooks) {
 	defer c.mu.Unlock()
 	c.hooks = h
 	c.tree.SetHooks(h)
+}
+
+// SetTap installs (or with nil removes) the event tap on the wrapped
+// tree. Like hooks, the tap survives Restore: it is reinstalled on the
+// fresh tree and notified via TreeReplaced. The tap is invoked with the
+// tree lock held and must not call back into the ConcurrentTree.
+func (c *ConcurrentTree) SetTap(tap Tap) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tap = tap
+	c.tree.SetTap(tap)
+}
+
+// CloneCut returns a deep copy of the wrapped tree taken under the lock,
+// after running capture (which may be nil) while the lock is still held.
+// The audit uses capture to read its shadow truth at the same instant the
+// clone is cut, so truth and estimates describe one consistent state.
+func (c *ConcurrentTree) CloneCut(capture func(t *Tree)) *Tree {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nt := c.tree.Clone()
+	if capture != nil {
+		capture(nt)
+	}
+	return nt
 }
 
 // withLock runs fn on the wrapped tree with the mutex held. Every public
@@ -72,10 +98,16 @@ func (c *ConcurrentTree) AddSorted(points []uint64) {
 }
 
 // Merge folds a plain Tree into the profile under the lock (see
-// Tree.Merge). other is only read.
+// Tree.Merge). other is only read. A successful merge adds mass the tap
+// never observed, so the tap (if any) is notified via TreeReplaced.
 func (c *ConcurrentTree) Merge(other *Tree) error {
 	var err error
-	c.withLock(func(t *Tree) { err = t.Merge(other) })
+	c.withLock(func(t *Tree) {
+		err = t.Merge(other)
+		if err == nil && c.tap != nil {
+			c.tap.TreeReplaced()
+		}
+	})
 	return err
 }
 
@@ -133,6 +165,10 @@ func (c *ConcurrentTree) Restore(data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	nt.SetHooks(c.hooks)
+	nt.SetTap(c.tap)
 	c.tree = &nt
+	if c.tap != nil {
+		c.tap.TreeReplaced()
+	}
 	return nil
 }

@@ -32,8 +32,12 @@ func TestMarshalRoundTrip(t *testing.T) {
 		t.Fatalf("round trip changed totals: N %d->%d nodes %d->%d total %d->%d",
 			tr.N(), back.N(), tr.NodeCount(), back.NodeCount(), tr.Total(), back.Total())
 	}
-	if back.Stats() != tr.Stats() {
-		t.Fatalf("round trip changed stats:\n%+v\n%+v", tr.Stats(), back.Stats())
+	// ArenaBytes tracks physical slab capacity (growth slack included) and
+	// is legitimately smaller after a restore; all logical state must match.
+	got, want := back.Stats(), tr.Stats()
+	got.ArenaBytes, want.ArenaBytes = 0, 0
+	if got != want {
+		t.Fatalf("round trip changed stats:\n%+v\n%+v", want, got)
 	}
 	var a, b strings.Builder
 	if err := tr.WriteASCII(&a); err != nil {

@@ -127,11 +127,12 @@ func (t *Tree) resplit(vi uint32) {
 
 // Clone returns a deep copy of the tree sharing no storage with t: one
 // slab copy of the arena plus copies of the freelists, preserving the
-// donor's layout (indices mean the same thing in both trees). Hooks are
-// not carried over: a clone is a passive snapshot.
+// donor's layout (indices mean the same thing in both trees). Hooks and
+// the event tap are not carried over: a clone is a passive snapshot.
 func (t *Tree) Clone() *Tree {
 	nt := *t
 	nt.hooks = nil
+	nt.tap = nil
 	// Slot indices stay meaningful across the copy, but the clone starts
 	// cold anyway: a snapshot's first batch re-warms the cache in one miss.
 	nt.lastLeaf = nilIdx

@@ -137,7 +137,13 @@ func TestPropMarshalRoundTrip(t *testing.T) {
 		if err := back.UnmarshalBinary(data); err != nil {
 			return false
 		}
-		return back.Stats() == tr.Stats() && back.Total() == tr.Total()
+		// ArenaBytes is physical slab capacity, not logical state: a
+		// restored tree allocates exactly what it needs while the live
+		// tree carries growth slack, so it is excluded from round-trip
+		// equality.
+		want, got := tr.Stats(), back.Stats()
+		want.ArenaBytes, got.ArenaBytes = 0, 0
+		return got == want && back.Total() == tr.Total()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)

@@ -38,6 +38,10 @@ type Tree struct {
 	// hooks.go). Checked only on cold paths; nil is the fast default.
 	hooks *Hooks
 
+	// tap, when non-nil, observes every event applied to the tree (see
+	// tap.go). One nil check per update when absent.
+	tap Tap
+
 	// lastLeaf is the one-entry leaf cache of the batched ingest path
 	// (batch.go): the arena slot the previous batched update landed in,
 	// nilIdx when empty. It is revalidated before every use and dropped
@@ -50,7 +54,8 @@ type Stats struct {
 	N            uint64 // total event weight processed
 	Nodes        int    // live nodes (including the root)
 	MaxNodes     int    // high-water mark of live nodes
-	MemoryBytes  int    // Nodes * NodeBytes
+	MemoryBytes  int    // Nodes * NodeBytes (the paper's 16 B/node model)
+	ArenaBytes   int    // actual node-slab footprint (see Tree.ArenaBytes)
 	Splits       uint64 // split operations performed
 	Merges       uint64 // nodes folded into their parents
 	MergeBatches uint64 // batched merge passes run
@@ -122,6 +127,7 @@ func (t *Tree) Stats() Stats {
 		Nodes:        t.nodes,
 		MaxNodes:     t.maxNodes,
 		MemoryBytes:  t.nodes * NodeBytes,
+		ArenaBytes:   t.ArenaBytes(),
 		Splits:       t.splits,
 		Merges:       t.merges,
 		MergeBatches: t.mergeBatches,
@@ -164,6 +170,9 @@ func (t *Tree) AddN(p uint64, weight uint64) {
 	}
 	p &= t.mask
 	t.n += weight
+	if t.tap != nil {
+		t.tap.Tap(p, weight)
+	}
 
 	// Find the smallest live range covering p: descend while a covering
 	// child exists. Holes left by merges credit the parent (Section 3.3).

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"rap/internal/audit"
 	"rap/internal/core"
 	"rap/internal/stats"
 )
@@ -72,10 +73,15 @@ func Micro(o Options) (MicroResult, error) {
 
 	n := o.Events
 	r := MicroResult{Events: n}
-	measure := func(op string, ingest func(t *core.Tree)) error {
+	measure := func(op string, setup func(t *core.Tree) error, ingest func(t *core.Tree)) error {
 		t, err := core.New(core.DefaultConfig())
 		if err != nil {
 			return err
+		}
+		if setup != nil {
+			if err := setup(t); err != nil {
+				return err
+			}
 		}
 		start := time.Now()
 		ingest(t)
@@ -94,32 +100,51 @@ func Micro(o Options) (MicroResult, error) {
 		return nil
 	}
 
+	// auditTap installs a warmed accuracy-audit tap (see internal/audit),
+	// so the add/zipf/audit row measures the steady-state shadow cost: one
+	// atomic add plus a binary search over the adopted range set per event.
+	auditTap := func(t *core.Tree) error {
+		a := audit.New(audit.Options{SamplePeriod: 1024})
+		taps, err := a.Attach(core.DefaultConfig(), t, 1)
+		if err != nil {
+			return err
+		}
+		t.SetTap(taps[0])
+		return nil
+	}
+
 	steps := []struct {
 		op     string
+		setup  func(t *core.Tree) error
 		ingest func(t *core.Tree)
 	}{
-		{"add/zipf", func(t *core.Tree) {
+		{"add/zipf", nil, func(t *core.Tree) {
 			for i := uint64(0); i < n; i++ {
 				t.Add(zpoints[i&mask])
 			}
 		}},
-		{"add/uniform", func(t *core.Tree) {
+		{"add/zipf/audit", auditTap, func(t *core.Tree) {
+			for i := uint64(0); i < n; i++ {
+				t.Add(zpoints[i&mask])
+			}
+		}},
+		{"add/uniform", nil, func(t *core.Tree) {
 			for i := uint64(0); i < n; i++ {
 				t.Add(upoints[i&mask])
 			}
 		}},
-		{"addn/coalesced", func(t *core.Tree) {
+		{"addn/coalesced", nil, func(t *core.Tree) {
 			for i := uint64(0); i < n; i++ {
 				t.AddN(cpoints[i&mask], 16)
 			}
 		}},
-		{"addbatch/zipf", func(t *core.Tree) {
+		{"addbatch/zipf", nil, func(t *core.Tree) {
 			for fed := uint64(0); fed < n; fed += microChunk {
 				off := fed & mask
 				t.AddBatch(zpoints[off : off+microChunk])
 			}
 		}},
-		{"addsorted/zipf", func(t *core.Tree) {
+		{"addsorted/zipf", nil, func(t *core.Tree) {
 			k := 0
 			for fed := uint64(0); fed < n; fed += microChunk {
 				t.AddSorted(schunks[k])
@@ -128,7 +153,7 @@ func Micro(o Options) (MicroResult, error) {
 		}},
 	}
 	for _, s := range steps {
-		if err := measure(s.op, s.ingest); err != nil {
+		if err := measure(s.op, s.setup, s.ingest); err != nil {
 			return MicroResult{}, err
 		}
 	}

@@ -76,6 +76,7 @@ func (in *Ingestor) Checkpoint() error {
 }
 
 func (in *Ingestor) checkpoint() (size int, err error) {
+	cutStart := time.Now()
 	var positions []sourcePos
 	snaps, err := in.engine.SnapshotShards(func() {
 		// Runs with every shard lock held: applied counters are exactly
@@ -92,7 +93,15 @@ func (in *Ingestor) checkpoint() (size int, err error) {
 	if err != nil {
 		return 0, err
 	}
-	return writeCheckpoint(in.opts.CheckpointDir, snaps, positions)
+	if in.ckCutDur != nil {
+		in.ckCutDur.ObserveSince(cutStart)
+	}
+	writeStart := time.Now()
+	size, err = writeCheckpoint(in.opts.CheckpointDir, snaps, positions)
+	if err == nil && in.ckWriteDur != nil {
+		in.ckWriteDur.ObserveSince(writeStart)
+	}
+	return size, err
 }
 
 func encodeCheckpoint(snaps [][]byte, positions []sourcePos) []byte {

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rap/internal/audit"
 	"rap/internal/core"
 	"rap/internal/obs"
 	"rap/internal/shard"
@@ -133,6 +134,19 @@ type Options struct {
 	// StructuralTrace, when set (together with Metrics), records sampled
 	// split/merge decisions from every shard tree.
 	StructuralTrace *obs.StructuralTrace
+
+	// Audit, when set, runs the online accuracy self-audit over this
+	// pipeline: per-shard taps shadow the stream, and periodic passes
+	// compare the engine's estimates against exact counts for the sampled
+	// ranges. The auditor attaches after checkpoint recovery, so restored
+	// mass is pre-audit slack, never fabricated truth. Audit metrics and
+	// violation trace events land on Metrics / StructuralTrace when those
+	// are set.
+	Audit *audit.Options
+
+	// AuditEvery is the cadence of periodic audit passes in Run (default
+	// 10s). A final pass always runs after the queues drain.
+	AuditEvery time.Duration
 }
 
 // logfHandler is a minimal slog.Handler that renders records through a
@@ -194,6 +208,9 @@ func (o Options) withDefaults() Options {
 	if o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = 10 * time.Second
 	}
+	if o.AuditEvery <= 0 {
+		o.AuditEvery = 10 * time.Second
+	}
 	if o.Logger == nil {
 		logf := o.Logf
 		if logf == nil {
@@ -208,6 +225,11 @@ func (o Options) withDefaults() Options {
 type batch struct {
 	src    *sourceState
 	events []trace.Event
+
+	// enqueuedAt is stamped by enqueue when latency metrics are enabled,
+	// so the drain can observe the queue-wait stage. Zero when metrics are
+	// off: the hot path then pays nothing for the instrumentation.
+	enqueuedAt time.Time
 }
 
 // shardQueue is the bounded queue feeding one shard of the engine. The
@@ -281,6 +303,11 @@ type Ingestor struct {
 	queues  []*shardQueue
 	sources []*sourceState
 	log     *slog.Logger
+	aud     *audit.Auditor
+
+	// Per-stage latency histograms, nil unless Metrics is configured.
+	hQueueWait *obs.Histogram   // enqueue → drain wait per batch
+	hApply     []*obs.Histogram // drain → applied, per shard
 
 	// Checkpoint bookkeeping, updated by Checkpoint/loadCheckpoint and
 	// exported through Stats and the rap_checkpoint_* metrics.
@@ -291,6 +318,8 @@ type Ingestor struct {
 	ckLastSize    atomic.Int64 // bytes of the last successful write
 	ckLastDur     atomic.Int64 // wall nanos of the last successful write
 	ckDur         *obs.Histogram
+	ckCutDur      *obs.Histogram // shard-lock cut stage of a checkpoint
+	ckWriteDur    *obs.Histogram // encode+write+fsync+rename stage
 }
 
 // Open builds an ingestor over the given sources and, when a checkpoint
@@ -342,11 +371,30 @@ func Open(opts Options, specs []SourceSpec) (*Ingestor, error) {
 			}
 		}
 	}
+	// Attach the audit after restore so recovered mass is counted as
+	// pre-audit slack (baseN), not as stream the taps should have seen.
+	if opts.Audit != nil {
+		aud := audit.New(*opts.Audit)
+		taps, err := aud.Attach(engine.Config(), engine, engine.Shards())
+		if err != nil {
+			return nil, err
+		}
+		engine.SetShardTaps(func(i int) core.Tap { return taps[i] })
+		aud.Register(opts.Metrics, opts.StructuralTrace)
+		in.aud = aud
+	}
 	// Register metrics after restore so hooks land on the live trees.
 	if opts.Metrics != nil {
 		in.registerMetrics()
 	}
 	return in, nil
+}
+
+// Auditor returns the accuracy auditor wired into this pipeline, or nil
+// when Options.Audit was not set. Callers may run extra Audit passes (the
+// rapd /audit endpoint does); passes serialize with the periodic ones.
+func (in *Ingestor) Auditor() *audit.Auditor {
+	return in.aud
 }
 
 // registerMetrics wires the three instrumentation surfaces onto
@@ -373,8 +421,10 @@ func (in *Ingestor) registerMetrics() {
 			treeStat(func(st core.Stats) float64 { return float64(st.Nodes) }), labels...)
 		reg.GaugeFunc("rap_tree_nodes_max", "High-water mark of live nodes in the shard tree.",
 			treeStat(func(st core.Stats) float64 { return float64(st.MaxNodes) }), labels...)
-		reg.GaugeFunc("rap_tree_memory_bytes", "Shard tree memory at the paper's 16 B/node.",
+		reg.GaugeFunc("rap_tree_memory_bytes", "Shard tree memory under the paper's 16 B/node cost model.",
 			treeStat(func(st core.Stats) float64 { return float64(st.MemoryBytes) }), labels...)
+		reg.GaugeFunc("rap_tree_arena_bytes", "Physical node-arena footprint of the shard tree, including growth slack.",
+			treeStat(func(st core.Stats) float64 { return float64(st.ArenaBytes) }), labels...)
 		reg.GaugeFunc("rap_tree_error_budget", "Current ε·n error budget of the shard tree, in events.",
 			treeStat(func(st core.Stats) float64 { return eps * float64(st.N) }), labels...)
 	}
@@ -422,6 +472,18 @@ func (in *Ingestor) registerMetrics() {
 			return time.Since(time.Unix(0, last)).Seconds()
 		})
 	in.ckDur = reg.Histogram("rap_checkpoint_seconds", "Wall time of one checkpoint write.", obs.DurationBuckets())
+	in.ckCutDur = reg.Duration("rap_checkpoint_cut_seconds",
+		"Checkpoint cut stage: wall time holding every shard lock to snapshot trees and positions.")
+	in.ckWriteDur = reg.Duration("rap_checkpoint_write_seconds",
+		"Checkpoint persist stage: encode, write, fsync, and rename of the checkpoint file.")
+	in.hQueueWait = reg.Duration("rap_ingest_queue_wait_seconds",
+		"Time a batch spends in its shard queue between enqueue and drain.")
+	in.hApply = make([]*obs.Histogram, in.engine.Shards())
+	for i := range in.hApply {
+		in.hApply[i] = reg.Duration("rap_ingest_apply_seconds",
+			"Time to fold one drained batch into the shard tree, including the shard lock wait.",
+			obs.L("shard", strconv.Itoa(i)))
+	}
 }
 
 func (in *Ingestor) restore(st *checkpointState) error {
@@ -458,6 +520,13 @@ func (in *Ingestor) restore(st *checkpointState) error {
 // batched fast path; scratch is the worker-local conversion buffer,
 // returned for reuse so steady-state draining does not allocate.
 func (in *Ingestor) apply(q *shardQueue, b batch, scratch []core.Sample) []core.Sample {
+	var start time.Time
+	if in.hApply != nil {
+		if in.hQueueWait != nil && !b.enqueuedAt.IsZero() {
+			in.hQueueWait.ObserveSince(b.enqueuedAt)
+		}
+		start = time.Now()
+	}
 	scratch = scratch[:0]
 	for _, e := range b.events {
 		scratch = append(scratch, core.Sample{Value: e.Value, Weight: e.Weight})
@@ -466,6 +535,9 @@ func (in *Ingestor) apply(q *shardQueue, b batch, scratch []core.Sample) []core.
 		tr.AddSamples(scratch)
 		b.src.applied += uint64(len(b.events))
 	})
+	if in.hApply != nil {
+		in.hApply[q.idx].ObserveSince(start)
+	}
 	return scratch
 }
 
@@ -517,6 +589,25 @@ func (in *Ingestor) Run(ctx context.Context) error {
 		}()
 	}
 
+	stopAudit := make(chan struct{})
+	var audWg sync.WaitGroup
+	if in.aud != nil {
+		audWg.Add(1)
+		go func() {
+			defer audWg.Done()
+			tick := time.NewTicker(in.opts.AuditEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					in.auditPass()
+				case <-stopAudit:
+					return
+				}
+			}
+		}()
+	}
+
 	readers.Wait()
 	close(stopCk)
 	ckWg.Wait()
@@ -526,6 +617,13 @@ func (in *Ingestor) Run(ctx context.Context) error {
 		close(q.ch)
 	}
 	workers.Wait()
+	close(stopAudit)
+	audWg.Wait()
+	if in.aud != nil {
+		// One final pass over the fully drained stream, so even a short
+		// run gets at least one complete accuracy verdict.
+		in.auditPass()
+	}
 
 	var errs []error
 	for _, ss := range in.sources {
@@ -540,6 +638,23 @@ func (in *Ingestor) Run(ctx context.Context) error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// auditPass runs one audit pass and logs its outcome; a violation is an
+// operational emergency (the engine broke its accuracy contract), so it
+// logs at error level with the verdict attached.
+func (in *Ingestor) auditPass() {
+	rep, err := in.aud.Audit()
+	if err != nil {
+		in.log.Error("ingest: audit pass failed", "err", err)
+		return
+	}
+	if rep.PassViolations > 0 {
+		in.log.Error("ingest: accuracy contract violated",
+			"violations", rep.PassViolations,
+			"max_underestimate", rep.MaxUnderestimate,
+			"worst_ratio", rep.WorstRatio)
+	}
 }
 
 // backoff returns the jittered exponential delay before retry attempt
@@ -718,6 +833,9 @@ func (in *Ingestor) pump(ctx context.Context, ss *sourceState, src trace.Source)
 // are replayed on the next run).
 func (in *Ingestor) enqueue(ctx context.Context, ss *sourceState, evs []trace.Event) bool {
 	b := batch{src: ss, events: evs}
+	if in.hQueueWait != nil {
+		b.enqueuedAt = time.Now()
+	}
 	n := uint64(len(evs))
 	if in.opts.Drop == DropNewest {
 		select {
@@ -820,6 +938,7 @@ type Stats struct {
 	Nodes        int    // live tree nodes across shards
 	MaxNodes     int    // summed per-shard node high-water marks
 	MemoryBytes  int    // charged at core.NodeBytes per node
+	ArenaBytes   int    // physical node-arena footprint across shards
 	Splits       uint64 // split operations across shards
 	Merges       uint64 // nodes folded away across shards
 	MergeBatches uint64 // batched merge passes across shards
@@ -839,6 +958,7 @@ func (in *Ingestor) Stats() Stats {
 		st.Nodes += ts.Nodes
 		st.MaxNodes += ts.MaxNodes
 		st.MemoryBytes += ts.MemoryBytes
+		st.ArenaBytes += ts.ArenaBytes
 		st.Splits += ts.Splits
 		st.Merges += ts.Merges
 		st.MergeBatches += ts.MergeBatches

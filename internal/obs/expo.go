@@ -91,6 +91,32 @@ func escapeValue(s string) string {
 	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
+// jsonFloat is a float64 that survives encoding/json when non-finite:
+// NaN and ±Inf render as strings ("NaN", "+Inf", "-Inf") instead of
+// aborting the whole exposition document.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return json.Marshal(formatFloat(v))
+	}
+	return json.Marshal(v)
+}
+
+// MarshalJSON shields the JSON exposition from non-finite series values: a
+// GaugeFunc is free to report NaN (e.g. a ratio with a zero denominator)
+// and the scrape document must still encode.
+func (s SeriesSnapshot) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Labels  map[string]string `json:"labels,omitempty"`
+		Value   jsonFloat         `json:"value"`
+		Count   uint64            `json:"count,omitempty"`
+		Sum     jsonFloat         `json:"sum,omitempty"`
+		Buckets []BucketCount     `json:"buckets,omitempty"`
+	}{s.Labels, jsonFloat(s.Value), s.Count, jsonFloat(s.Sum), s.Buckets})
+}
+
 // MarshalJSON renders the bucket bound as a string so the +Inf bucket
 // survives encoding/json, which rejects non-finite float64s.
 func (b BucketCount) MarshalJSON() ([]byte, error) {

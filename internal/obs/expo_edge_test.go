@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// checkPromParses walks a text exposition line by line and fails on
+// anything that is not a comment or a `name{labels} value` sample with a
+// ParseFloat-able value — the format contract scrapers depend on.
+func checkPromParses(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	scanner := bufio.NewScanner(strings.NewReader(body))
+	for scanner.Scan() {
+		line := scanner.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("sample %q has unparseable value: %v", line, err)
+		}
+		samples[line[:sp]] = v
+	}
+	return samples
+}
+
+// TestNonFiniteGaugeExposition feeds NaN and ±Inf through Func
+// instruments: both expositions must stay parseable — the text format
+// renders Prometheus' spec spellings, and the JSON document must encode
+// despite encoding/json rejecting non-finite float64.
+func TestNonFiniteGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("bad_ratio", "0/0 ratio.", func() float64 { return math.NaN() })
+	r.GaugeFunc("overflowed", "h", func() float64 { return math.Inf(1) })
+	r.GaugeFunc("underflowed", "h", func() float64 { return math.Inf(-1) })
+	r.CounterFunc("nan_total", "h", func() float64 { return math.NaN() })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := checkPromParses(t, sb.String())
+	if v := samples["bad_ratio"]; !math.IsNaN(v) {
+		t.Fatalf("bad_ratio = %v, want NaN", v)
+	}
+	if v := samples["overflowed"]; !math.IsInf(v, 1) {
+		t.Fatalf("overflowed = %v, want +Inf", v)
+	}
+	if v := samples["underflowed"]; !math.IsInf(v, -1) {
+		t.Fatalf("underflowed = %v, want -Inf", v)
+	}
+
+	sb.Reset()
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name   string `json:"name"`
+			Series []struct {
+				Value any `json:"value"`
+			} `json:"series"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("JSON exposition with non-finite values invalid: %v\n%s", err, sb.String())
+	}
+	got := map[string]any{}
+	for _, m := range doc.Metrics {
+		got[m.Name] = m.Series[0].Value
+	}
+	for name, want := range map[string]string{
+		"bad_ratio": "NaN", "overflowed": "+Inf", "underflowed": "-Inf", "nan_total": "NaN",
+	} {
+		if got[name] != want {
+			t.Fatalf("JSON %s = %v (%T), want %q", name, got[name], got[name], want)
+		}
+	}
+}
+
+// TestEmptyHistogramExposition: a registered histogram with zero
+// observations must still emit a complete family — every bucket, _sum,
+// and _count at 0 — so dashboards see the series exists before traffic.
+func TestEmptyHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("idle_seconds", "h", []float64{0.1, 1})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := checkPromParses(t, sb.String())
+	for _, name := range []string{
+		`idle_seconds_bucket{le="0.1"}`,
+		`idle_seconds_bucket{le="1"}`,
+		`idle_seconds_bucket{le="+Inf"}`,
+		"idle_seconds_sum",
+		"idle_seconds_count",
+	} {
+		v, ok := samples[name]
+		if !ok {
+			t.Fatalf("empty histogram missing sample %s:\n%s", name, sb.String())
+		}
+		if v != 0 {
+			t.Fatalf("%s = %v, want 0", name, v)
+		}
+	}
+
+	sb.Reset()
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(sb.String())) {
+		t.Fatalf("empty-histogram JSON exposition invalid:\n%s", sb.String())
+	}
+}
+
+// TestInvalidNamesPanic: a bad metric or label name is a programming
+// error that would corrupt the exposition for every scraper, so the
+// registry refuses it at registration time rather than at scrape time.
+func TestInvalidNamesPanic(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("metric name with dash", func() {
+		NewRegistry().Counter("bad-name_total", "h")
+	})
+	mustPanic("metric name starting with digit", func() {
+		NewRegistry().Gauge("9lives", "h")
+	})
+	mustPanic("empty metric name", func() {
+		NewRegistry().Gauge("", "h")
+	})
+	mustPanic("label name with dot", func() {
+		NewRegistry().Counter("ok_total", "h", L("bad.key", "v"))
+	})
+	mustPanic("label name starting with digit", func() {
+		NewRegistry().Counter("ok_total", "h", L("0shard", "v"))
+	})
+
+	// The happy path sanity check: colon and underscore are legal in
+	// metric names, and values are unrestricted.
+	r := NewRegistry()
+	r.Counter("ns:ok_total", "h", L("source", `any "value" at all`)).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkPromParses(t, sb.String())
+}

@@ -100,6 +100,11 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveSince records the seconds elapsed since start — the one-liner for
+// stage latencies: stamp time.Now() entering the stage, ObserveSince
+// leaving it.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.total.Load() }
 
@@ -121,6 +126,18 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 // DurationBuckets spans 1µs..~8.4s in octaves, a fit for both merge-batch
 // and checkpoint latencies.
 func DurationBuckets() []float64 { return ExpBuckets(1e-6, 2, 24) }
+
+// LatencyBuckets is the default ladder for pipeline stage latencies:
+// 100ns..~6.7s in octaves. The lower start (vs DurationBuckets) resolves
+// queue-wait and batch-apply times that sit well under a microsecond.
+func LatencyBuckets() []float64 { return ExpBuckets(1e-7, 2, 26) }
+
+// Duration returns the histogram name{labels} on the default latency
+// ladder, creating it on first use — the standard way to register a
+// pipeline stage latency without hand-rolling buckets at the call site.
+func (r *Registry) Duration(name, help string, labels ...Label) *Histogram {
+	return r.Histogram(name, help, LatencyBuckets(), labels...)
+}
 
 // series is one labeled instance within a family.
 type series struct {
@@ -169,13 +186,55 @@ func sortLabels(labels []Label) []Label {
 	return out
 }
 
+// validMetricName reports whether name matches the Prometheus metric name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c == '_' || c == ':',
+			c >= 'a' && c <= 'z',
+			c >= 'A' && c <= 'Z',
+			i > 0 && c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches the Prometheus label name
+// grammar [a-zA-Z_][a-zA-Z0-9_]* and is not reserved (the __ prefix).
+func validLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c == '_',
+			c >= 'a' && c <= 'z',
+			c >= 'A' && c <= 'Z',
+			i > 0 && c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // lookup returns the series for name+labels, creating family and series
-// as needed. The caller must hold r.mu. It panics on a kind mismatch: two
-// packages disagreeing about what a metric name means is a programming
-// error, not a runtime condition.
+// as needed. The caller must hold r.mu. It panics on a kind mismatch or an
+// invalid metric/label name: two packages disagreeing about what a metric
+// name means — or registering a name the text exposition could not render
+// parseably — is a programming error, not a runtime condition.
 func (r *Registry) lookup(name, help string, kind Kind, labels []Label) *series {
 	f, ok := r.families[name]
 	if !ok {
+		if !validMetricName(name) {
+			panic(fmt.Sprintf("obs: invalid metric name %q", name))
+		}
 		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
 		r.families[name] = f
 	}
@@ -186,6 +245,11 @@ func (r *Registry) lookup(name, help string, kind Kind, labels []Label) *series 
 	key := labelKey(labels)
 	s, ok := f.series[key]
 	if !ok {
+		for _, l := range labels {
+			if !validLabelName(l.Key) {
+				panic(fmt.Sprintf("obs: metric %q: invalid label name %q", name, l.Key))
+			}
+		}
 		s = &series{labels: labels}
 		f.series[key] = s
 	}

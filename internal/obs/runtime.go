@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+// Go runtime bridge: a small fixed set of runtime/metrics samples exposed
+// as rap_runtime_* Func instruments, so a dashboard can correlate tree
+// behaviour (splits, arena growth) with the process it runs in (heap, GC,
+// goroutines) from one scrape. Values are read at exposition time only;
+// an idle registry costs nothing.
+
+// Runtime metric names.
+const (
+	MetricRuntimeHeapBytes    = "rap_runtime_heap_bytes"
+	MetricRuntimeTotalBytes   = "rap_runtime_memory_bytes"
+	MetricRuntimeGoroutines   = "rap_runtime_goroutines"
+	MetricRuntimeGCCycles     = "rap_runtime_gc_cycles_total"
+	MetricRuntimeGCPauseTotal = "rap_runtime_gc_pause_seconds_total"
+)
+
+// runtimeSample reads one runtime/metrics sample at scrape time, returning
+// 0 when the running toolchain does not export the name (KindBad).
+func runtimeSample(name string) func() float64 {
+	return func() float64 {
+		s := []metrics.Sample{{Name: name}}
+		metrics.Read(s)
+		switch s[0].Value.Kind() {
+		case metrics.KindUint64:
+			return float64(s[0].Value.Uint64())
+		case metrics.KindFloat64:
+			return s[0].Value.Float64()
+		}
+		return 0
+	}
+}
+
+// RegisterRuntime registers the Go runtime metric family on r: live heap
+// bytes, total mapped memory, goroutine count, completed GC cycles, and
+// cumulative GC stop-the-world pause seconds. The pause total comes from
+// runtime.ReadMemStats, which briefly stops the world — it runs only when
+// an exposition is actually written, never on the ingest path.
+func RegisterRuntime(r *Registry) {
+	r.GaugeFunc(MetricRuntimeHeapBytes,
+		"Live heap bytes (runtime/metrics /memory/classes/heap/objects:bytes).",
+		runtimeSample("/memory/classes/heap/objects:bytes"))
+	r.GaugeFunc(MetricRuntimeTotalBytes,
+		"Total memory mapped by the Go runtime (/memory/classes/total:bytes).",
+		runtimeSample("/memory/classes/total:bytes"))
+	r.GaugeFunc(MetricRuntimeGoroutines,
+		"Live goroutines (/sched/goroutines:goroutines).",
+		runtimeSample("/sched/goroutines:goroutines"))
+	r.CounterFunc(MetricRuntimeGCCycles,
+		"Completed GC cycles (/gc/cycles/total:gc-cycles).",
+		runtimeSample("/gc/cycles/total:gc-cycles"))
+	r.CounterFunc(MetricRuntimeGCPauseTotal,
+		"Cumulative GC stop-the-world pause time in seconds.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+}

@@ -18,7 +18,7 @@ import (
 type StructuralEvent struct {
 	Seq       uint64  `json:"seq"`             // decision sequence number (pre-sampling)
 	UnixNano  int64   `json:"time_unix_nano"`  // wall clock at record time
-	Op        string  `json:"op"`              // "split" | "merge"
+	Op        string  `json:"op"`              // "split" | "merge" | "audit_violation" | "audit_near_bound"
 	Shard     string  `json:"shard,omitempty"` // owning shard, when sharded
 	Lo        uint64  `json:"lo"`              // inclusive range low end
 	Hi        uint64  `json:"hi"`              // inclusive range high end
@@ -62,6 +62,18 @@ func (st *StructuralTrace) Record(ev StructuralEvent) {
 	if (seq-1)%st.sample != 0 {
 		return
 	}
+	st.keep(ev, seq)
+}
+
+// RecordAlways stamps and appends ev, bypassing the sampling decision.
+// It exists for rare events that must never be sampled away — the audit's
+// accuracy violations: a trace configured to keep 1-in-1000 splits still
+// retains every violation.
+func (st *StructuralTrace) RecordAlways(ev StructuralEvent) {
+	st.keep(ev, st.seq.Add(1))
+}
+
+func (st *StructuralTrace) keep(ev StructuralEvent, seq uint64) {
 	ev.Seq = seq
 	ev.UnixNano = time.Now().UnixNano()
 	st.mu.Lock()

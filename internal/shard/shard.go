@@ -49,6 +49,7 @@ type treeShard struct {
 	mu    sync.Mutex
 	tree  *core.Tree
 	hooks *core.Hooks // reinstalled when Restore swaps the tree
+	tap   core.Tap    // reinstalled like hooks; see SetShardTaps
 }
 
 // New builds an engine with k shards over cfg. k <= 0 selects
@@ -240,6 +241,7 @@ func (e *Engine) Stats() core.Stats {
 		agg.Nodes += st.Nodes
 		agg.MaxNodes += st.MaxNodes
 		agg.MemoryBytes += st.MemoryBytes
+		agg.ArenaBytes += st.ArenaBytes
 		agg.Splits += st.Splits
 		agg.Merges += st.Merges
 		agg.MergeBatches += st.MergeBatches
@@ -289,6 +291,50 @@ func (e *Engine) SetShardHooks(make func(shard int) *core.Hooks) {
 		sh.tree.SetHooks(h)
 		sh.mu.Unlock()
 	}
+}
+
+// SetShardTaps installs per-shard event taps built by make (called once
+// per shard index; a nil result leaves that shard untapped). Taps fire
+// with the shard lock held on the ingesting goroutine, so they must not
+// call back into the engine; they survive Restore and AdoptShard the same
+// way hooks do, with TreeReplaced fired when the tree is swapped.
+func (e *Engine) SetShardTaps(make func(shard int) core.Tap) {
+	for i, sh := range e.shards {
+		tap := make(i)
+		sh.mu.Lock()
+		sh.tap = tap
+		sh.tree.SetTap(tap)
+		sh.mu.Unlock()
+	}
+}
+
+// MergedTreeCut builds the union of all shard trees under a full cut: all
+// shard locks are held (in index order) while the shards are merged and
+// capture — when non-nil — runs on the merged result. Unlike MergedTree,
+// whose per-shard locking lets concurrent ingest skew the view between
+// shards, the cut is exactly consistent: state read by capture and the
+// merged tree describe the same instant. The audit subsystem compares its
+// shadow truth against estimates on this primitive, so a mid-flight event
+// can never surface as a spurious accuracy violation.
+func (e *Engine) MergedTreeCut(capture func(m *core.Tree)) *core.Tree {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for i := len(e.shards) - 1; i >= 0; i-- {
+			e.shards[i].mu.Unlock()
+		}
+	}()
+	m := core.MustNew(e.cfg)
+	for _, sh := range e.shards {
+		if err := m.Merge(sh.tree); err != nil {
+			panic(err) // shard trees share the engine config by construction
+		}
+	}
+	if capture != nil {
+		capture(m)
+	}
+	return m
 }
 
 // Snapshot format: "RAPS" | version | uvarint shard count | per shard a
@@ -398,7 +444,11 @@ func (e *Engine) Restore(data []byte) error {
 	for i, sh := range e.shards {
 		sh.mu.Lock()
 		trees[i].SetHooks(sh.hooks)
+		trees[i].SetTap(sh.tap)
 		sh.tree = trees[i]
+		if sh.tap != nil {
+			sh.tap.TreeReplaced()
+		}
 		sh.mu.Unlock()
 	}
 	return nil
@@ -406,12 +456,16 @@ func (e *Engine) Restore(data []byte) error {
 
 // AdoptShard replaces shard i's tree wholesale (the ingest recovery path,
 // which decodes trees from its own checkpoint format). Installed hooks
-// are re-applied to the adopted tree.
+// and taps are re-applied to the adopted tree.
 func (e *Engine) AdoptShard(i int, t *core.Tree) {
 	sh := e.shards[i]
 	sh.mu.Lock()
 	t.SetHooks(sh.hooks)
+	t.SetTap(sh.tap)
 	sh.tree = t
+	if sh.tap != nil {
+		sh.tap.TreeReplaced()
+	}
 	sh.mu.Unlock()
 }
 

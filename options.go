@@ -15,6 +15,7 @@ type builder struct {
 	shards     int
 	concurrent bool
 	sampleK    uint64
+	audit      *Auditor
 	errs       []error
 }
 
@@ -100,6 +101,22 @@ func WithSampling(k uint64) Option {
 	}
 }
 
+// WithAudit wires the online accuracy self-audit into the engine New
+// builds: the auditor taps every event, shadows a sampled set of ranges
+// with exact counts, and checks the engine's answers against them on each
+// Auditor.Audit pass. Incompatible with WithSampling — the audit compares
+// exact tapped truth against estimates, and a sampling engine's scaled
+// estimates are not bound to the tapped stream.
+func WithAudit(a *Auditor) Option {
+	return func(b *builder) {
+		if a == nil {
+			b.errs = append(b.errs, errors.New("rap: WithAudit(nil): auditor must be non-nil"))
+			return
+		}
+		b.audit = a
+	}
+}
+
 // apply folds the options over the default config.
 func apply(opts []Option) (*builder, error) {
 	b := &builder{cfg: DefaultConfig()}
@@ -148,14 +165,27 @@ func New(opts ...Option) (Profiler, error) {
 		return nil, fmt.Errorf("rap: options select %d engines (sharding=%v concurrent=%v sampling=%v); pick one",
 			modes, b.shards > 0, b.concurrent, sampling)
 	}
+	if b.audit != nil && sampling {
+		return nil, errors.New("rap: WithAudit cannot combine with WithSampling: scaled estimates are not bound to the tapped stream")
+	}
+	var p Profiler
 	switch {
 	case b.shards > 0:
-		return NewSharded(cfg, b.shards)
+		p, err = NewSharded(cfg, b.shards)
 	case b.concurrent:
-		return NewConcurrent(cfg)
+		p, err = NewConcurrent(cfg)
 	case sampling:
-		return NewSampled(cfg, b.sampleK)
+		p, err = NewSampled(cfg, b.sampleK)
 	default:
-		return NewTree(cfg)
+		p, err = NewTree(cfg)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if b.audit != nil {
+		if err := attachAudit(b.audit, p, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
 }

@@ -34,6 +34,9 @@
 package rap
 
 import (
+	"fmt"
+
+	"rap/internal/audit"
 	"rap/internal/core"
 	"rap/internal/shard"
 )
@@ -81,6 +84,53 @@ type (
 	MergeEvent      = core.MergeEvent
 	MergeBatchEvent = core.MergeBatchEvent
 )
+
+// The online accuracy self-audit: an Auditor taps the event stream,
+// keeps exact counts for a sampled set of ranges, and periodically checks
+// the engine's Estimate/EstimateBounds answers against that ground truth.
+// Build one with NewAuditor, wire it at construction with WithAudit, then
+// drive passes with Auditor.Audit and read Auditor.Report.
+type (
+	Auditor          = audit.Auditor
+	AuditOptions     = audit.Options
+	AuditReport      = audit.Report
+	AuditRangeReport = audit.RangeReport
+)
+
+// NewAuditor builds an accuracy auditor from options (the zero value
+// selects all defaults). Pass it to New via WithAudit; an auditor wires to
+// exactly one engine.
+func NewAuditor(opts AuditOptions) *Auditor { return audit.New(opts) }
+
+// attachAudit taps a freshly built engine for the auditor: one tap per
+// shard on the sharded engine, a single tap otherwise. Only engines whose
+// estimates should equal the tapped stream can be audited — the sampling
+// engine is rejected earlier, in New.
+func attachAudit(a *Auditor, p Profiler, cfg Config) error {
+	switch e := p.(type) {
+	case *Sharded:
+		taps, err := a.Attach(cfg, e, e.Shards())
+		if err != nil {
+			return err
+		}
+		e.SetShardTaps(func(i int) core.Tap { return taps[i] })
+	case *ConcurrentTree:
+		taps, err := a.Attach(cfg, e, 1)
+		if err != nil {
+			return err
+		}
+		e.SetTap(taps[0])
+	case *Tree:
+		taps, err := a.Attach(cfg, e, 1)
+		if err != nil {
+			return err
+		}
+		e.SetTap(taps[0])
+	default:
+		return fmt.Errorf("rap: WithAudit: engine %T cannot be audited", p)
+	}
+	return nil
+}
 
 // Errors surfaced by the facade's constructors and Merge/Restore paths.
 var (
