@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"rap/internal/admit"
 	"rap/internal/audit"
 	"rap/internal/core"
 	"rap/internal/ingest"
@@ -75,6 +76,18 @@ type cliConfig struct {
 	auditRanges   int           // max sampled ranges audited at once
 	auditSpanBits int           // minimum audited range width, in bits
 	auditSample   uint64        // adoption gate: 1 in N hash values
+
+	admit          bool   // run the randomized admission frontend
+	admitPeriod    uint64 // base coin period at Normal
+	admitArenaSoft uint64 // watchdog soft arena threshold, bytes
+	admitArenaHard uint64 // watchdog hard arena threshold, bytes
+
+	floodFrac float64 // -kind flood: flood share of the mixed stream
+	floodN    uint64  // -kind flood: burst length (0: steady mix)
+
+	// setFlags records which flags were given explicitly, so validate can
+	// reject sub-flags whose master switch is off.
+	setFlags map[string]bool
 }
 
 func main() {
@@ -93,7 +106,7 @@ func parseFlags(args []string, errOut io.Writer) cliConfig {
 	fs.SetOutput(errOut)
 	fs.BoolVar(&c.stdin, "stdin", false, "ingest a binary trace stream from stdin")
 	fs.StringVar(&c.bench, "bench", "", "add a generated source: modeled benchmark (gcc gzip mcf parser vortex vpr bzip2)")
-	fs.StringVar(&c.kind, "kind", "value", "generated stream kind: code | value | address | zeroload")
+	fs.StringVar(&c.kind, "kind", "value", "generated stream kind: code | value | address | zeroload | flood (adversarial key flood mixed over the benchmark's value stream)")
 	fs.Uint64Var(&c.genN, "gen-n", 10_000_000, "events for the generated source")
 	fs.Uint64Var(&c.seed, "seed", 1, "seed for the generated source")
 	fs.IntVar(&c.shards, "shards", 4, "tree shards")
@@ -116,9 +129,55 @@ func parseFlags(args []string, errOut io.Writer) cliConfig {
 	fs.IntVar(&c.auditRanges, "audit-ranges", audit.DefaultMaxRanges, "maximum sampled ranges audited at once")
 	fs.IntVar(&c.auditSpanBits, "audit-span-bits", audit.DefaultSpanBits, "minimum audited range width, in bits")
 	fs.Uint64Var(&c.auditSample, "audit-sample", audit.DefaultSamplePeriod, "range adoption gate: 1 in N of the hash space seeds a new audited range")
+	fs.BoolVar(&c.admit, "admit", false, "run the randomized admission frontend (cold points pay a coin toll; refused mass is ledgered into bounds)")
+	fs.Uint64Var(&c.admitPeriod, "admit-period", 8, "admission coin period at Normal (cold point passes with probability 1/period)")
+	fs.Uint64Var(&c.admitArenaSoft, "admit-arena-soft", 8<<20, "watchdog arena bytes that escalate admission to Defensive")
+	fs.Uint64Var(&c.admitArenaHard, "admit-arena-hard", 32<<20, "watchdog arena bytes that escalate admission to Siege")
+	fs.Float64Var(&c.floodFrac, "flood-frac", 1.0, "for -kind flood: flood share of the mixed stream, in [0,1]")
+	fs.Uint64Var(&c.floodN, "flood-n", 0, "for -kind flood: front-load a pure-flood burst of this many events, then switch to the benign carrier (0: steady mix)")
 	fs.Parse(args)
 	c.traces = fs.Args()
+	c.setFlags = make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { c.setFlags[f.Name] = true })
 	return c
+}
+
+// validate rejects flag combinations that would silently do something
+// other than what the operator asked for: tuning knobs for a subsystem
+// that is switched off, thresholds in the wrong order, and fractions out
+// of range.
+func (c cliConfig) validate() error {
+	if !c.audit {
+		for _, name := range []string{"audit-every", "audit-ranges", "audit-span-bits", "audit-sample"} {
+			if c.setFlags[name] {
+				return fmt.Errorf("-%s requires -audit", name)
+			}
+		}
+	}
+	if !c.admit {
+		for _, name := range []string{"admit-period", "admit-arena-soft", "admit-arena-hard"} {
+			if c.setFlags[name] {
+				return fmt.Errorf("-%s requires -admit", name)
+			}
+		}
+	}
+	if c.admit && c.admitPeriod < 1 {
+		return fmt.Errorf("-admit-period %d: period must be >= 1", c.admitPeriod)
+	}
+	if c.admit && c.admitArenaSoft > c.admitArenaHard {
+		return fmt.Errorf("-admit-arena-soft %d exceeds -admit-arena-hard %d", c.admitArenaSoft, c.admitArenaHard)
+	}
+	if c.kind != "flood" {
+		for _, name := range []string{"flood-frac", "flood-n"} {
+			if c.setFlags[name] {
+				return fmt.Errorf("-%s requires -kind flood", name)
+			}
+		}
+	}
+	if c.floodFrac < 0 || c.floodFrac > 1 {
+		return fmt.Errorf("-flood-frac %v: fraction must be in [0,1]", c.floodFrac)
+	}
+	return nil
 }
 
 func (c cliConfig) options(logger *slog.Logger) (ingest.Options, error) {
@@ -154,6 +213,14 @@ func (c cliConfig) options(logger *slog.Logger) (ingest.Options, error) {
 		}
 		opts.AuditEvery = c.auditEvery
 	}
+	if c.admit {
+		opts.Admission = &admit.Options{
+			BasePeriod:     c.admitPeriod,
+			ArenaSoftBytes: int64(c.admitArenaSoft),
+			ArenaHardBytes: int64(c.admitArenaHard),
+			Seed:           c.seed,
+		}
+	}
 	return opts, nil
 }
 
@@ -171,6 +238,7 @@ func (c cliConfig) specs(stdin io.Reader) ([]ingest.SourceSpec, error) {
 			return nil, err
 		}
 		kind, n, seed := c.kind, c.genN, c.seed
+		floodFrac, floodN := c.floodFrac, c.floodN
 		open := func() trace.Source {
 			switch kind {
 			case "code":
@@ -184,6 +252,16 @@ func (c cliConfig) specs(stdin io.Reader) ([]ingest.SourceSpec, error) {
 				return trace.Limit(trace.FuncSource(func() (uint64, bool) {
 					return loads.Next().Addr, true
 				}), n)
+			case "flood":
+				// Adversarial stream over the benchmark's value stream as
+				// the benign carrier: a front-loaded burst when -flood-n is
+				// set (the escalate-then-recover scenario), a steady mix at
+				// -flood-frac otherwise.
+				carrier := b.Values(seed, n)
+				if floodN > 0 {
+					return trace.Limit(workload.FloodBurst(seed, floodN, carrier), n)
+				}
+				return trace.Limit(workload.FloodMix(seed, floodFrac, carrier), n)
 			}
 			return nil
 		}
@@ -201,6 +279,9 @@ func (c cliConfig) specs(stdin io.Reader) ([]ingest.SourceSpec, error) {
 
 func run(ctx context.Context, c cliConfig, out io.Writer) error {
 	logger := slog.New(slog.NewTextHandler(out, nil)).With("app", "rapd")
+	if err := c.validate(); err != nil {
+		return err
+	}
 	opts, err := c.options(logger)
 	if err != nil {
 		return err
@@ -284,6 +365,9 @@ func logStats(logger *slog.Logger, st ingest.Stats) {
 		"n", st.N, "nodes", st.Nodes, "mem_bytes", st.MemoryBytes,
 		"splits", st.Splits, "merges", st.Merges,
 		"dropped", st.Dropped, "sources", len(st.Sources),
+	}
+	if st.Unadmitted > 0 {
+		args = append(args, "unadmitted", st.Unadmitted)
 	}
 	if st.Checkpoint.Enabled {
 		args = append(args,

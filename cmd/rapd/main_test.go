@@ -177,3 +177,43 @@ func TestRunSignalStyleCancel(t *testing.T) {
 		t.Fatal("final checkpoint holds no events")
 	}
 }
+
+func TestValidateFlagCombos(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring, "" for valid
+	}{
+		{"bare", []string{"-stdin"}, ""},
+		{"audit with tuning", []string{"-audit", "-audit-ranges", "8"}, ""},
+		{"audit tuning without audit", []string{"-audit-ranges", "8"}, "requires -audit"},
+		{"audit cadence without audit", []string{"-audit-every", "1s"}, "requires -audit"},
+		{"admit with tuning", []string{"-admit", "-admit-period", "16"}, ""},
+		{"admit period without admit", []string{"-admit-period", "16"}, "requires -admit"},
+		{"admit arena without admit", []string{"-admit-arena-hard", "1048576"}, "requires -admit"},
+		{"admit period zero", []string{"-admit", "-admit-period", "0"}, "period must be >= 1"},
+		{"arena thresholds inverted", []string{"-admit", "-admit-arena-soft", "64", "-admit-arena-hard", "32"}, "exceeds"},
+		{"arena thresholds ordered", []string{"-admit", "-admit-arena-soft", "32", "-admit-arena-hard", "64"}, ""},
+		{"flood with knobs", []string{"-bench", "gzip", "-kind", "flood", "-flood-frac", "0.9", "-flood-n", "1000"}, ""},
+		{"flood frac without flood kind", []string{"-bench", "gzip", "-flood-frac", "0.9"}, "requires -kind flood"},
+		{"flood burst without flood kind", []string{"-bench", "gzip", "-flood-n", "1000"}, "requires -kind flood"},
+		{"flood frac out of range", []string{"-bench", "gzip", "-kind", "flood", "-flood-frac", "1.5"}, "must be in [0,1]"},
+		{"flood frac negative", []string{"-bench", "gzip", "-kind", "flood", "-flood-frac", "-0.1"}, "must be in [0,1]"},
+		{"full hardened stack", []string{"-bench", "gzip", "-kind", "flood", "-admit", "-audit"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := parseFlags(tc.args, io.Discard)
+			err := c.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid combo rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

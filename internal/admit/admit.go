@@ -1,0 +1,625 @@
+// Package admit is the randomized admission frontend: the deliberate
+// graceful-degradation subsystem that protects the RAP tree from
+// adversarial cardinality. A flood of never-repeating keys (scrapers,
+// spoofed users, randomized attack traffic) forces splits and merge churn
+// for mass that never becomes hot, burning arena memory and merge CPU the
+// paper's adaptive-range machinery assumes is spent on genuinely skewed
+// traffic.
+//
+// The defense follows the Randomized Admission Policy of Ben Basat et al.
+// (arXiv 1612.02962), adapted to the RAP tree's b-adic geometry: an event
+// whose exact leaf already exists, or whose b-adic prefix is "warm" per a
+// tiny admission sketch, passes straight through; a cold event must win a
+// geometric coin flip (1-in-period) before it may create new structure.
+// Losers are counted into the tree's unadmitted ledger (core.Tree
+// UnadmittedN), which the tree charges to every upper bound and the online
+// audit (internal/audit) folds into its certified budget — so the system
+// degrades gracefully *and verifiably* under attack instead of melting.
+//
+// The coin period is not fixed. A watchdog over arena footprint and
+// split+merge churn escalates it through explicit degradation levels —
+// Normal -> Defensive -> Siege — and doubles it further under sustained
+// arena pressure at Siege ("period doubling under pressure"), then
+// de-escalates one level at a time with hysteresis once the signals stay
+// calm. Level transitions are logged, recorded in the structural trace
+// ring, and exported as rap_admit_* metrics.
+//
+// Concurrency contract: per-shard Gates run under their shard's lock and
+// never take another lock unconditionally (the controller mutex is only
+// TryLock'd from the hot path). The controller never touches a gate's
+// sketch — sketch maintenance happens gate-side, keyed off a level epoch
+// counter — so there is no lock-order or data-race hazard between the
+// ingest path and the watchdog.
+package admit
+
+import (
+	"log/slog"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"rap/internal/core"
+	"rap/internal/obs"
+)
+
+// Level is a degradation level of the admission frontend.
+type Level int32
+
+const (
+	// Normal: baseline admission. Cold points face the base coin period;
+	// warm traffic is untouched.
+	Normal Level = iota
+	// Defensive: sustained churn or arena growth detected; the coin period
+	// is raised so cold points must be markedly more persistent to create
+	// structure.
+	Defensive
+	// Siege: the tree is under structural attack (or memory ceiling
+	// pressure); the coin period is raised steeply and doubles further
+	// while arena pressure persists.
+	Siege
+)
+
+// String names the level for logs and traces.
+func (l Level) String() string {
+	switch l {
+	case Normal:
+		return "normal"
+	case Defensive:
+		return "defensive"
+	case Siege:
+		return "siege"
+	default:
+		return "invalid"
+	}
+}
+
+// Options parameterize a Frontend. The zero value selects all defaults.
+type Options struct {
+	// BasePeriod is the geometric coin period at Normal: a cold point is
+	// admitted with probability 1/BasePeriod. Rounded up to a power of two.
+	// Default 8.
+	BasePeriod uint64
+	// MaxPeriod caps period doubling under pressure at Siege. Rounded up
+	// to a power of two. Default 8192.
+	MaxPeriod uint64
+
+	// WarmBits sizes the admission sketch: one saturating byte per
+	// WarmBits-bit b-adic prefix of the universe (clamped to the universe
+	// width). Default 14 (a 16 KiB sketch per shard).
+	WarmBits int
+	// WarmThreshold is the sketch count at which a prefix is considered
+	// warm and its traffic bypasses the coin. Default 4.
+	WarmThreshold uint8
+	// DecayEvery halves the sketch every DecayEvery events seen by a gate,
+	// so warmth earned long ago expires. Default 1<<20.
+	DecayEvery uint64
+
+	// EvalEvery is how many events a gate sees between watchdog
+	// evaluations it triggers. Default 8192.
+	EvalEvery uint64
+	// WindowOffered is the decision window: the controller judges churn
+	// rate over at least this much offered weight. Default 16384.
+	WindowOffered uint64
+	// StartupGraceN suppresses the churn signal (not the arena signal)
+	// until this much weight has been offered: early-stream splitting is
+	// the adaptive machinery finding the distribution, not an attack.
+	// Default 1<<17.
+	StartupGraceN uint64
+
+	// ArenaSoftBytes and ArenaHardBytes are the watchdog's memory
+	// thresholds over the engine's total arena footprint: soft escalates
+	// to Defensive, hard to Siege. Defaults 8 MiB and 32 MiB.
+	ArenaSoftBytes int64
+	ArenaHardBytes int64
+	// ChurnSoft and ChurnHard are the watchdog's churn thresholds in
+	// split operations plus merge passes per 1000 ADMITTED weight (merge
+	// passes, not folded nodes — batches fold many nodes at one instant
+	// by design, which would spike a per-node signal on benign streams). Admitted, not
+	// offered, keeps the signal control-invariant: refusing more cold mass
+	// must not flatter the rate, or the watchdog settles into a limit
+	// cycle (escalate, look calm because the denominator includes the
+	// refused flood, de-escalate, flood again). Per admitted weight the
+	// rate only falls when the stream itself turns benign. Defaults 25
+	// and 100.
+	ChurnSoft float64
+	ChurnHard float64
+	// DeescalateRatio scales the escalation thresholds down for the calm
+	// test: to leave a level, signals must sit below ratio x the
+	// thresholds that entered it. Default 0.5.
+	DeescalateRatio float64
+	// ColdCalmFrac is the de-escalation gate on stream composition: a
+	// window only counts as calm if less than this fraction of its offered
+	// weight was cold (missed the warm-prefix/leaf bypass). A persistent
+	// never-repeating flood keeps the cold fraction near 1 regardless of
+	// the admission period — churn and arena go quiet at Siege precisely
+	// because the gate is refusing the flood, and de-escalating on those
+	// signals alone just re-admits it (a limit cycle). Cold fraction is
+	// the control-invariant attack signature. Benign phase shifts push it
+	// up only until the new hot regions warm. Default 0.5.
+	ColdCalmFrac float64
+	// ColdSiegeFrac is the composition escalation threshold: a decision
+	// window (past ColdGraceN) whose cold fraction is at least this goes
+	// straight to Siege without waiting for churn or arena damage — a
+	// stream that is mostly never-seen-before mass after the sketch has
+	// had time to warm is a cardinality attack by definition. Default
+	// 0.75.
+	ColdSiegeFrac float64
+	// ColdGraceN arms the composition signals once this much weight has
+	// been offered. It is much shorter than StartupGraceN because warmth
+	// is observable almost immediately — a benign stream's hot prefixes
+	// collect coin wins within the first window — while benign churn
+	// takes far longer to settle. Default 1<<14 (one decision window).
+	ColdGraceN uint64
+	// CalmStreak is how many consecutive calm decision windows are needed
+	// before de-escalating one level (hysteresis). Default 3.
+	CalmStreak int
+
+	// Seed derives the per-gate coin RNG streams, so a run is
+	// reproducible. Default a fixed published constant.
+	Seed uint64
+
+	// Logger, when set, receives level-transition logs.
+	Logger *slog.Logger
+	// Trace, when set, records level transitions with RecordAlways (they
+	// must never be sampled away). See the field mapping on recordLevel.
+	Trace *obs.StructuralTrace
+}
+
+func (o Options) withDefaults() Options {
+	if o.BasePeriod == 0 {
+		o.BasePeriod = 8
+	}
+	o.BasePeriod = ceilPow2(o.BasePeriod)
+	if o.MaxPeriod == 0 {
+		o.MaxPeriod = 8192
+	}
+	o.MaxPeriod = ceilPow2(o.MaxPeriod)
+	if siege := o.BasePeriod << siegeShift; o.MaxPeriod < siege {
+		o.MaxPeriod = siege
+	}
+	if o.WarmBits == 0 {
+		o.WarmBits = 14
+	}
+	if o.WarmThreshold == 0 {
+		o.WarmThreshold = 4
+	}
+	if o.DecayEvery == 0 {
+		o.DecayEvery = 1 << 20
+	}
+	if o.EvalEvery == 0 {
+		o.EvalEvery = 8192
+	}
+	if o.WindowOffered == 0 {
+		o.WindowOffered = 16384
+	}
+	if o.StartupGraceN == 0 {
+		o.StartupGraceN = 1 << 17
+	}
+	if o.ArenaSoftBytes == 0 {
+		o.ArenaSoftBytes = 8 << 20
+	}
+	if o.ArenaHardBytes == 0 {
+		o.ArenaHardBytes = 32 << 20
+	}
+	if o.ChurnSoft == 0 {
+		o.ChurnSoft = 25
+	}
+	if o.ChurnHard == 0 {
+		o.ChurnHard = 100
+	}
+	if o.ColdCalmFrac == 0 {
+		o.ColdCalmFrac = 0.5
+	}
+	if o.ColdSiegeFrac == 0 {
+		o.ColdSiegeFrac = 0.75
+	}
+	if o.ColdGraceN == 0 {
+		o.ColdGraceN = 1 << 14
+	}
+	if o.DeescalateRatio == 0 {
+		o.DeescalateRatio = 0.5
+	}
+	if o.CalmStreak == 0 {
+		o.CalmStreak = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x9e3779b97f4a7c15
+	}
+	return o
+}
+
+// debugEscalate, when non-nil (tests only), observes escalation decisions.
+var debugEscalate func(from, to Level, arena int64, rate, coldFrac float64, offered uint64)
+
+// debugWindow, when non-nil (tests only), observes every judged window.
+var debugWindow func(offered, admDelta, churnDelta uint64, rate, coldFrac float64)
+
+// Escalation multiplies the base period by 2^shift per level.
+const (
+	defensiveShift = 3 // Defensive period = BasePeriod * 8
+	siegeShift     = 6 // Siege period = BasePeriod * 64 (before doubling)
+)
+
+func ceilPow2(x uint64) uint64 {
+	if x <= 1 {
+		return 1
+	}
+	return 1 << bits.Len64(x-1)
+}
+
+// Frontend is the shared controller of a set of per-shard admission
+// Gates: it owns the degradation level, the current coin period, and the
+// watchdog that moves between them. One Frontend wires to exactly one
+// engine (one Gates call).
+type Frontend struct {
+	opts Options
+
+	// level, period and levelEpoch are the control outputs the gates read
+	// on their hot path; the controller is their only writer.
+	level      atomic.Int32
+	period     atomic.Uint64
+	levelEpoch atomic.Uint64 // bumped on escalation: gates halve their sketch
+
+	levelChanges atomic.Uint64
+	levelMax     atomic.Int32
+
+	// ctrlMu serializes watchdog evaluations. Gates only TryLock it (an
+	// evaluation already in flight serves them too); Observe locks it
+	// plainly, which is safe because external callers hold no shard lock.
+	ctrlMu       sync.Mutex
+	gates        []*Gate
+	lastOffered  uint64
+	lastAdmitted uint64
+	lastCold     uint64
+	lastChurn    uint64
+	lastBatches  uint64
+	// cooldown skips judgment for one window after a level transition:
+	// the transition itself perturbs the signals (an escalation halves the
+	// warm sketches, cratering the admitted rate), and judging that
+	// transient re-escalates on self-inflicted noise.
+	cooldown bool
+	// churnWindows counts consecutive windows with an over-threshold
+	// churn rate. Benign streams spike churn for one window around each
+	// geometric merge pass (threshold-hovering nodes fold and immediately
+	// re-split), so churn only escalates when sustained; arena and cold
+	// fraction remain immediate.
+	churnWindows int
+	calmWindows  int
+}
+
+// New builds a Frontend from options. Mint its per-shard gates with Gates
+// and install them on the engine; drive the watchdog's out-of-band signal
+// with Observe.
+func New(opts Options) *Frontend {
+	f := &Frontend{opts: opts.withDefaults()}
+	f.period.Store(f.opts.BasePeriod)
+	return f
+}
+
+// Options returns the normalized options the frontend runs with.
+func (f *Frontend) Options() Options { return f.opts }
+
+// Level returns the current degradation level.
+func (f *Frontend) Level() Level { return Level(f.level.Load()) }
+
+// Period returns the current coin period for cold points.
+func (f *Frontend) Period() uint64 { return f.period.Load() }
+
+// periodFor is the base period of a level, before pressure doubling.
+func (f *Frontend) periodFor(l Level) uint64 {
+	switch l {
+	case Defensive:
+		return f.opts.BasePeriod << defensiveShift
+	case Siege:
+		return f.opts.BasePeriod << siegeShift
+	default:
+		return f.opts.BasePeriod
+	}
+}
+
+// Gates mints n per-shard admission gates for a tree universe of
+// universeBits. Each gate implements core.Admitter; install gate i on
+// shard i (or the single gate on a lone tree). A Frontend wires to exactly
+// one engine: a second call returns nil.
+func (f *Frontend) Gates(universeBits, n int) []*Gate {
+	f.ctrlMu.Lock()
+	defer f.ctrlMu.Unlock()
+	if f.gates != nil || n <= 0 || universeBits <= 0 || universeBits > 64 {
+		return nil
+	}
+	warmBits := f.opts.WarmBits
+	if warmBits > universeBits {
+		warmBits = universeBits
+	}
+	gates := make([]*Gate, n)
+	for i := range gates {
+		gates[i] = &Gate{
+			f:            f,
+			universeBits: universeBits,
+			shift:        uint(universeBits - warmBits),
+			warm:         make([]uint8, 1<<warmBits),
+			rng:          newGateRNG(f.opts.Seed, uint64(i)),
+		}
+	}
+	f.gates = gates
+	return gates
+}
+
+// Observe feeds the watchdog an engine-wide stats snapshot taken outside
+// any shard lock (e.g. from a periodic ticker). It exists because the
+// gate-side signal only fires while events flow: after a flood stops,
+// Observe is what lets the frontend notice the calm and de-escalate, and
+// its arena reading is authoritative where a gate's is a per-shard sample
+// from the last structural change.
+func (f *Frontend) Observe(st core.Stats) {
+	f.ctrlMu.Lock()
+	defer f.ctrlMu.Unlock()
+	var offered, admitted, cold uint64
+	for _, g := range f.gates {
+		offered += g.offered.Load()
+		admitted += g.admitted.Load()
+		cold += g.cold.Load()
+	}
+	f.evaluateLocked(int64(st.ArenaBytes), st.Splits+st.MergeBatches, st.MergeBatches, offered, admitted, cold, true)
+}
+
+// tryEvaluate is the gate-side watchdog trigger: sum the per-gate signals
+// and evaluate, unless another evaluation is already in flight.
+func (f *Frontend) tryEvaluate() {
+	if !f.ctrlMu.TryLock() {
+		return
+	}
+	defer f.ctrlMu.Unlock()
+	var offered, admitted, cold, churn, batches uint64
+	var arena int64
+	for _, g := range f.gates {
+		offered += g.offered.Load()
+		admitted += g.admitted.Load()
+		cold += g.cold.Load()
+		churn += g.churn.Load()
+		batches += g.batches.Load()
+		arena += g.arenaBytes.Load()
+	}
+	f.evaluateLocked(arena, churn, batches, offered, admitted, cold, false)
+}
+
+// evaluateLocked is the degradation state machine. Escalation is
+// immediate and jumps straight to the level the signals demand;
+// de-escalation steps one level at a time and only after CalmStreak
+// consecutive windows below DeescalateRatio x the entry thresholds
+// (hysteresis, so a flood that pulses cannot make the frontend thrash).
+// force causes a decision even before a full offered window has
+// accumulated (the Observe path, so calm is noticed on an idle stream).
+func (f *Frontend) evaluateLocked(arena int64, churnTotal, batchesTotal, offeredTotal, admittedTotal, coldTotal uint64, force bool) {
+	// A snapshot restore can move the engine's cumulative counters
+	// backward; clamp rather than let the unsigned deltas wrap.
+	if churnTotal < f.lastChurn {
+		f.lastChurn = churnTotal
+	}
+	if offeredTotal < f.lastOffered {
+		f.lastOffered = offeredTotal
+	}
+	if admittedTotal < f.lastAdmitted {
+		f.lastAdmitted = admittedTotal
+	}
+	if coldTotal < f.lastCold {
+		f.lastCold = coldTotal
+	}
+	if batchesTotal < f.lastBatches {
+		f.lastBatches = batchesTotal
+	}
+	offDelta := offeredTotal - f.lastOffered
+	if !force && offDelta < f.opts.WindowOffered {
+		return
+	}
+	churnDelta := churnTotal - f.lastChurn
+	admDelta := admittedTotal - f.lastAdmitted
+	coldDelta := coldTotal - f.lastCold
+	batchesDelta := batchesTotal - f.lastBatches
+	f.lastOffered, f.lastChurn = offeredTotal, churnTotal
+	f.lastAdmitted, f.lastCold = admittedTotal, coldTotal
+	f.lastBatches = batchesTotal
+
+	// Churn per 1000 ADMITTED weight: structure only changes on credited
+	// mass, so this measures how adversarial the mass getting through
+	// still is — a rate that refusing more cold points cannot flatter.
+	// (admDelta == 0 implies churnDelta == 0: no credit, no splits.)
+	var rate float64
+	if admDelta > 0 && offeredTotal >= f.opts.StartupGraceN {
+		rate = float64(churnDelta) * 1000 / float64(admDelta)
+	}
+
+	if f.cooldown {
+		// First full window after a transition: refresh the baselines
+		// (done above), judge nothing.
+		f.cooldown = false
+		return
+	}
+
+	// Cold fraction of the window's offered weight — the composition
+	// signal. Armed after the short ColdGraceN, long before the churn
+	// signal: benign hot prefixes warm within the first few windows, so a
+	// window that is still mostly cold past that point is flood mass.
+	var coldFrac float64
+	if offDelta > 0 && offeredTotal >= f.opts.ColdGraceN {
+		coldFrac = float64(coldDelta) / float64(offDelta)
+	}
+
+	churnTarget := Normal
+	switch {
+	case rate >= f.opts.ChurnHard:
+		churnTarget = Siege
+	case rate >= f.opts.ChurnSoft:
+		churnTarget = Defensive
+	}
+	// A window containing a geometric merge pass is structurally noisy by
+	// design: the pass folds threshold-hovering nodes that immediately
+	// re-split, a transient the tree's own maintenance schedule inflicts
+	// on perfectly benign streams. Such windows reset the streak; only
+	// churn sustained across merge-free windows escalates.
+	if batchesDelta > 0 {
+		f.churnWindows = 0
+	} else if churnTarget > Normal {
+		f.churnWindows++
+	} else {
+		f.churnWindows = 0
+	}
+	if f.churnWindows < 3 {
+		churnTarget = Normal
+	}
+
+	if debugWindow != nil {
+		debugWindow(offeredTotal, admDelta, churnDelta, rate, coldFrac)
+	}
+	target := churnTarget
+	switch {
+	case arena >= f.opts.ArenaHardBytes || coldFrac >= f.opts.ColdSiegeFrac:
+		target = Siege
+	case arena >= f.opts.ArenaSoftBytes:
+		if target < Defensive {
+			target = Defensive
+		}
+	}
+
+	cur := Level(f.level.Load())
+	switch {
+	case target > cur:
+		if debugEscalate != nil {
+			debugEscalate(cur, target, arena, rate, coldFrac, offeredTotal)
+		}
+		f.calmWindows = 0
+		f.cooldown = true
+		f.setLevelLocked(target, arena, rate, offeredTotal)
+	case target < cur:
+		ratio := f.opts.DeescalateRatio
+		var calm bool
+		if cur == Siege {
+			calm = arena < int64(ratio*float64(f.opts.ArenaHardBytes)) && rate < ratio*f.opts.ChurnHard
+		} else {
+			calm = arena < int64(ratio*float64(f.opts.ArenaSoftBytes)) && rate < ratio*f.opts.ChurnSoft
+		}
+		// Composition gate: quiet churn at a high level means the gate is
+		// working, not that the attack stopped. Only a window whose offered
+		// mass is mostly warm again is evidence the stream turned benign.
+		if offDelta > 0 && float64(coldDelta) >= f.opts.ColdCalmFrac*float64(offDelta) {
+			calm = false
+		}
+		if !calm {
+			f.calmWindows = 0
+			return
+		}
+		f.calmWindows++
+		if f.calmWindows >= f.opts.CalmStreak {
+			f.calmWindows = 0
+			f.cooldown = true
+			f.setLevelLocked(cur-1, arena, rate, offeredTotal)
+		}
+	default:
+		f.calmWindows = 0
+		// Period doubling under pressure: Siege's base period is not
+		// containing arena growth, so make cold admission geometrically
+		// rarer still.
+		if cur == Siege && arena >= f.opts.ArenaHardBytes {
+			if p := f.period.Load(); p < f.opts.MaxPeriod {
+				f.period.Store(p << 1)
+				f.recordLevel(cur, arena, rate, offeredTotal, "admit_period_double")
+			}
+		}
+	}
+}
+
+// setLevelLocked commits a level transition: period reset to the new
+// level's base, escalations bump the sketch epoch (gates halve the warmth
+// a flood may have accumulated), and the transition is logged, traced,
+// and counted.
+func (f *Frontend) setLevelLocked(to Level, arena int64, rate float64, offered uint64) {
+	from := Level(f.level.Load())
+	f.level.Store(int32(to))
+	f.period.Store(f.periodFor(to))
+	f.levelChanges.Add(1)
+	if int32(to) > f.levelMax.Load() {
+		f.levelMax.Store(int32(to))
+	}
+	if to > from {
+		f.levelEpoch.Add(1)
+	}
+	if f.opts.Logger != nil {
+		f.opts.Logger.Info("admission level transition",
+			"from", from.String(), "to", to.String(),
+			"period", f.period.Load(),
+			"arena_bytes", arena, "churn_per_1k", rate, "offered", offered)
+	}
+	f.recordLevel(to, arena, rate, offered, "admit_level")
+}
+
+// recordLevel writes a level event into the structural trace ring,
+// reusing the split/merge event fields: Count carries the new level, Lo
+// the arena bytes, Threshold the churn rate per 1000, N the offered
+// weight at decision time.
+func (f *Frontend) recordLevel(to Level, arena int64, rate float64, offered uint64, op string) {
+	if f.opts.Trace == nil {
+		return
+	}
+	f.opts.Trace.RecordAlways(obs.StructuralEvent{
+		Op:        op,
+		Count:     uint64(to),
+		Lo:        uint64(arena),
+		Threshold: rate,
+		N:         offered,
+	})
+}
+
+// Stats is a point-in-time summary of the frontend.
+type Stats struct {
+	Offered      uint64 // weight seen by the gates
+	Admitted     uint64 // weight passed through to the tree
+	Unadmitted   uint64 // weight refused (the ledger's gate-side mirror)
+	Level        Level
+	Period       uint64
+	LevelChanges uint64
+	LevelMax     Level
+}
+
+// Stats sums the per-gate counters and samples the control state.
+func (f *Frontend) Stats() Stats {
+	f.ctrlMu.Lock()
+	gates := f.gates
+	f.ctrlMu.Unlock()
+	st := Stats{
+		Level:        Level(f.level.Load()),
+		Period:       f.period.Load(),
+		LevelChanges: f.levelChanges.Load(),
+		LevelMax:     Level(f.levelMax.Load()),
+	}
+	for _, g := range gates {
+		st.Offered += g.offered.Load()
+		st.Admitted += g.admitted.Load()
+		st.Unadmitted += g.unadmitted.Load()
+	}
+	return st
+}
+
+// Register exports the frontend's state as rap_admit_* metrics.
+func (f *Frontend) Register(reg *obs.Registry) {
+	reg.CounterFunc("rap_admit_offered_total",
+		"Event weight seen by the admission gates.",
+		func() float64 { return float64(f.Stats().Offered) })
+	reg.CounterFunc("rap_admit_admitted_total",
+		"Event weight admitted to the tree.",
+		func() float64 { return float64(f.Stats().Admitted) })
+	reg.CounterFunc("rap_admit_unadmitted_total",
+		"Event weight refused by the admission gates.",
+		func() float64 { return float64(f.Stats().Unadmitted) })
+	reg.GaugeFunc("rap_admit_level",
+		"Current degradation level (0 normal, 1 defensive, 2 siege).",
+		func() float64 { return float64(f.level.Load()) })
+	reg.GaugeFunc("rap_admit_level_max",
+		"Highest degradation level reached since start.",
+		func() float64 { return float64(f.levelMax.Load()) })
+	reg.GaugeFunc("rap_admit_period",
+		"Current geometric coin period for cold points.",
+		func() float64 { return float64(f.period.Load()) })
+	reg.CounterFunc("rap_admit_level_changes_total",
+		"Degradation level transitions since start.",
+		func() float64 { return float64(f.levelChanges.Load()) })
+}

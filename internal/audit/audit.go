@@ -137,6 +137,24 @@ type Estimator interface {
 	EstimateBounds(lo, hi uint64) (low, high uint64)
 }
 
+// unadmittedEstimator is optionally implemented by engines carrying an
+// admission gate's refused-weight ledger (core.Tree, core.ConcurrentTree,
+// shard.Engine). The taps observe the offered stream — including weight
+// the gate refuses — so the audit's mass accounting must add the ledger
+// to the tree's credited mass wherever the two are compared.
+type unadmittedEstimator interface {
+	UnadmittedN() uint64
+}
+
+// unadmittedOf reads the estimator's refused-weight ledger, zero when the
+// engine has no admission gate.
+func unadmittedOf(est Estimator) uint64 {
+	if u, ok := est.(unadmittedEstimator); ok {
+		return u.UnadmittedN()
+	}
+	return 0
+}
+
 // Errors returned by Attach and Audit.
 var (
 	ErrAttached     = errors.New("audit: auditor already attached")
@@ -278,7 +296,10 @@ func (a *Auditor) Attach(cfg core.Config, est Estimator, shards int) ([]core.Tap
 	a.mask = suffixMask(norm.UniverseBits)
 	a.span = a.spanFor(norm)
 	a.hashSeed = a.opts.Seed ^ 0x9e3779b97f4a7c15
-	a.baseN = est.N()
+	// Pre-attach mass the taps never saw includes weight an admission gate
+	// had already refused: it is part of the offered stream the invariant
+	// baseN + tapN == n + unadmitted reconciles against.
+	a.baseN = est.N() + unadmittedOf(est)
 	a.taps = make([]*tapState, shards)
 	taps := make([]core.Tap, shards)
 	for i := range a.taps {

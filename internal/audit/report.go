@@ -60,16 +60,24 @@ type RangeReport struct {
 // Zero violations is the expected steady state; any violation means the
 // engine broke the paper's accuracy contract (or its implementation).
 type Report struct {
-	N        uint64  `json:"n"`        // stream mass at the cut
-	TapN     uint64  `json:"tap_n"`    // mass observed by the taps
-	BaseN    uint64  `json:"base_n"`   // pre-attach (or pre-rebase) mass
-	Coverage float64 `json:"coverage"` // fraction of mass inside audited ranges
-	Epsilon  float64 `json:"epsilon"`
-	EpsN     float64 `json:"eps_n"` // the paper's worst-case underestimate, ε·n
+	N uint64 `json:"n"` // mass credited to the tree at the cut
+	// UnadmittedN is the weight the admission gate refused: observed by
+	// the taps (so part of truth) but never credited to any node. Zero
+	// when no admission frontend is wired.
+	UnadmittedN uint64  `json:"unadmitted_n"`
+	TapN        uint64  `json:"tap_n"`    // mass observed by the taps
+	BaseN       uint64  `json:"base_n"`   // pre-attach (or pre-rebase) mass
+	Coverage    float64 `json:"coverage"` // fraction of offered mass inside audited ranges
+	Epsilon     float64 `json:"epsilon"`
+	EpsN        float64 `json:"eps_n"` // the paper's worst-case underestimate, ε·n
 	// Budget is the certified underestimate bound the violation check
-	// enforces: ε·n + shards·H·(MinSplitCount + max tapped weight). It
-	// converges to EpsN where the paper's claim applies (weight-1
-	// streams, n large against the cold-start guard).
+	// enforces: ε·n + shards·H·(MinSplitCount + max tapped weight) +
+	// unadmitted. Refused weight was never credited anywhere, so all of it
+	// may be missing from any range's estimate — the admission-adjusted
+	// budget charges it in full, which is exactly what lets the audit keep
+	// certifying while the frontend degrades under attack. It converges to
+	// EpsN where the paper's claim applies (weight-1 streams, no admission
+	// pressure, n large against the cold-start guard).
 	Budget float64 `json:"budget"`
 
 	Ranges           []RangeReport `json:"ranges"`
@@ -196,23 +204,34 @@ func (a *Auditor) Audit() (Report, error) {
 	capture := func(m *core.Tree) {
 		a.adoptMu.Lock()
 		defer a.adoptMu.Unlock()
-		var n uint64
+		var n, unadm uint64
 		if m != nil {
+			// A merged or cloned cut tree carries the summed unadmitted
+			// ledger of the trees it was cut from (Merge adds it, Clone
+			// copies it), so both reads describe one instant.
 			n = m.N()
+			unadm = m.UnadmittedN()
 		} else {
 			n = a.est.N()
+			unadm = unadmittedOf(a.est)
 		}
 		rep.N = n
+		rep.UnadmittedN = unadm
+		offered := satAdd(n, unadm)
 		var tapN uint64
 		for _, t := range a.taps {
 			tapN += t.n.Load()
 		}
-		// Mass the taps never saw plus mass they did must equal the
-		// tree exactly; anything else means the tree was swapped or
-		// merged out from under the audit (Restore, AdoptShard, Merge)
-		// — rebase rather than compare truth against a different stream.
-		if a.resetPending.Load() || a.baseN+tapN != n {
-			a.rebaseLocked(n)
+		// Mass the taps never saw plus mass they did must equal the tree's
+		// credited mass plus the admission gate's refused mass exactly;
+		// anything else means the tree was swapped or merged out from
+		// under the audit (Restore, AdoptShard, Merge) — rebase rather
+		// than compare truth against a different stream. This is also the
+		// check that catches a broken admission counter: weight that the
+		// gate refused but failed to ledger (or vice versa) breaks the
+		// equality permanently.
+		if a.resetPending.Load() || a.baseN+tapN != offered {
+			a.rebaseLocked(offered)
 			rebased = true
 			return
 		}
@@ -224,22 +243,27 @@ func (a *Auditor) Audit() (Report, error) {
 				maxW = t.maxW
 			}
 		}
+		// The admission-adjusted certified budget: every refused event is
+		// missing from exactly the ranges it would have landed in, so the
+		// whole ledger is charged on top of the structural bound.
 		rep.Budget = a.cfg.Epsilon*float64(n) +
-			float64(len(a.taps))*float64(a.cfg.Height())*float64(a.cfg.MinSplitCount+maxW)
+			float64(len(a.taps))*float64(a.cfg.Height())*float64(a.cfg.MinSplitCount+maxW) +
+			float64(unadm)
 		var covered uint64
 		for _, t := range a.taps {
 			covered += t.truth.N()
 			rep.TruthValues += t.truth.Distinct()
 		}
-		if n > 0 {
-			rep.Coverage = float64(covered) / float64(n)
+		if offered > 0 {
+			rep.Coverage = float64(covered) / float64(offered)
 		}
 		rs := a.ranges.Load()
 		rep.Ranges = make([]RangeReport, 0, len(rs.ranges)+1)
 		// The universe row's truth is exact by the equality just checked:
-		// every event is in the universe, so truth = baseN + tapN = n.
+		// every offered event is in the universe, so truth = baseN + tapN
+		// = n + unadmitted.
 		rep.Ranges = append(rep.Ranges, RangeReport{
-			Lo: 0, Hi: a.mask, Kind: "universe", Truth: n,
+			Lo: 0, Hi: a.mask, Kind: "universe", Truth: offered,
 		})
 		for _, r := range rs.ranges {
 			var truth uint64

@@ -66,7 +66,6 @@ func (t *Tree) AddSorted(points []uint64) {
 // Restore, Clone) additionally drop the cache — see invalidateLeafCache.
 func (t *Tree) addCached(p uint64, weight uint64) {
 	p &= t.mask
-	t.n += weight
 	if t.tap != nil {
 		t.tap.Tap(p, weight)
 	}
@@ -78,6 +77,11 @@ func (t *Tree) addCached(p uint64, weight uint64) {
 			t.lastLeaf = vi
 		}
 	}
+	if t.adm != nil && !t.adm.Admit(p, weight, int(t.arena[vi].plen)) {
+		t.unadmitted += weight
+		return
+	}
+	t.n += weight
 	t.credit(vi, weight)
 }
 

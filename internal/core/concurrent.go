@@ -12,8 +12,9 @@ import "sync"
 type ConcurrentTree struct {
 	mu    sync.Mutex
 	tree  *Tree
-	hooks *Hooks // survives Restore; reinstalled on the fresh tree
-	tap   Tap    // survives Restore like hooks; see SetTap
+	hooks *Hooks   // survives Restore; reinstalled on the fresh tree
+	tap   Tap      // survives Restore like hooks; see SetTap
+	adm   Admitter // survives Restore like the tap; see SetAdmitter
 }
 
 // NewConcurrent builds a mutex-guarded RAP tree.
@@ -44,6 +45,24 @@ func (c *ConcurrentTree) SetTap(tap Tap) {
 	defer c.mu.Unlock()
 	c.tap = tap
 	c.tree.SetTap(tap)
+}
+
+// SetAdmitter installs (or with nil removes) the admission gate on the
+// wrapped tree. Like the tap, the admitter survives Restore: it is
+// reinstalled on the fresh tree and notified via TreeReplaced. The gate is
+// invoked with the tree lock held and must not call back into the
+// ConcurrentTree.
+func (c *ConcurrentTree) SetAdmitter(a Admitter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.adm = a
+	c.tree.SetAdmitter(a)
+}
+
+// UnadmittedN returns the weight refused by the admission gate.
+func (c *ConcurrentTree) UnadmittedN() (u uint64) {
+	c.withLock(func(t *Tree) { u = t.UnadmittedN() })
+	return u
 }
 
 // CloneCut returns a deep copy of the wrapped tree taken under the lock,
@@ -166,9 +185,13 @@ func (c *ConcurrentTree) Restore(data []byte) error {
 	defer c.mu.Unlock()
 	nt.SetHooks(c.hooks)
 	nt.SetTap(c.tap)
+	nt.SetAdmitter(c.adm)
 	c.tree = &nt
 	if c.tap != nil {
 		c.tap.TreeReplaced()
+	}
+	if c.adm != nil {
+		c.adm.TreeReplaced()
 	}
 	return nil
 }

@@ -15,10 +15,14 @@ import (
 // Version history: v1 omitted MinSplitCount, so a round-trip silently
 // reset the cold-start split guard to its default (and made restored
 // trees un-mergeable with their originals). v2 carries the full Config.
-// v1 snapshots are still read, with the guard defaulted.
+// v3 appends the unadmitted ledger (weight refused by the admission gate)
+// after the merge schedule, so a restored tree's upper bounds still charge
+// mass that was refused before the snapshot. v1 and v2 snapshots are still
+// read, with the missing fields defaulted (guard to its default, ledger
+// to zero).
 const (
 	marshalMagic   = "RAPT"
-	marshalVersion = 2
+	marshalVersion = 3
 )
 
 // MarshalBinary encodes the tree (configuration, schedule state, and all
@@ -44,6 +48,7 @@ func (t *Tree) MarshalBinary() ([]byte, error) {
 	writeUvarint(&buf, t.mergeBatches)
 	writeUvarint(&buf, t.nextMerge)
 	writeUvarint(&buf, t.mergeInterval)
+	writeUvarint(&buf, t.unadmitted)
 
 	t.marshalNode(&buf, 0)
 	return buf.Bytes(), nil
@@ -88,7 +93,7 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("core: bad snapshot magic")
 	}
 	ver, err := r.ReadByte()
-	if err != nil || (ver != 1 && ver != marshalVersion) {
+	if err != nil || ver < 1 || ver > marshalVersion {
 		return fmt.Errorf("core: unsupported snapshot version %d", ver)
 	}
 
@@ -118,6 +123,9 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 	nt.mergeBatches = mustUvarint(r, &err)
 	nt.nextMerge = mustUvarint(r, &err)
 	nt.mergeInterval = mustUvarint(r, &err)
+	if ver >= 3 {
+		nt.unadmitted = mustUvarint(r, &err)
+	}
 	if err != nil {
 		return fmt.Errorf("core: truncated snapshot state: %w", err)
 	}

@@ -49,6 +49,7 @@ func (t *Tree) Merge(other *Tree) error {
 	t.graft(0, other, 0)
 	t.invalidateLeafCache()
 	t.n += other.n
+	t.unadmitted += other.unadmitted
 	t.splits += other.splits
 	t.merges += other.merges
 	t.mergeBatches += other.mergeBatches
@@ -133,6 +134,7 @@ func (t *Tree) Clone() *Tree {
 	nt := *t
 	nt.hooks = nil
 	nt.tap = nil
+	nt.adm = nil // the clone is a passive snapshot; it keeps the unadmitted ledger
 	// Slot indices stay meaningful across the copy, but the clone starts
 	// cold anyway: a snapshot's first batch re-warms the cache in one miss.
 	nt.lastLeaf = nilIdx

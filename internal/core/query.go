@@ -102,7 +102,10 @@ func (t *Tree) estimateTimer() func() {
 // EstimateBounds returns both the lower-bound estimate for [lo, hi] and an
 // upper bound obtained by additionally charging the counts of every node
 // that merely overlaps the query (those events may or may not have fallen
-// inside). The true count always lies in [low, high].
+// inside). Weight the admission gate refused was never credited anywhere,
+// so any of it could have fallen inside the query: the whole unadmitted
+// ledger is charged to the upper bound as well. The true count always lies
+// in [low, high].
 func (t *Tree) EstimateBounds(lo, hi uint64) (low, high uint64) {
 	if lo > hi {
 		return 0, 0
@@ -110,7 +113,7 @@ func (t *Tree) EstimateBounds(lo, hi uint64) (low, high uint64) {
 	done := t.estimateTimer()
 	low, high = t.estimate(0, lo&t.mask, hi&t.mask)
 	done()
-	return low, high
+	return low, high + t.unadmitted
 }
 
 func (t *Tree) estimate(vi uint32, lo, hi uint64) (low, high uint64) {

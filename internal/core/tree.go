@@ -42,6 +42,11 @@ type Tree struct {
 	// tap.go). One nil check per update when absent.
 	tap Tap
 
+	// adm, when non-nil, gates events before they are credited (see
+	// admitter.go). Refused weight accumulates in unadmitted instead of n.
+	adm        Admitter
+	unadmitted uint64
+
 	// lastLeaf is the one-entry leaf cache of the batched ingest path
 	// (batch.go): the arena slot the previous batched update landed in,
 	// nilIdx when empty. It is revalidated before every use and dropped
@@ -51,7 +56,8 @@ type Tree struct {
 
 // Stats is a snapshot of the tree's bookkeeping counters.
 type Stats struct {
-	N            uint64 // total event weight processed
+	N            uint64 // total event weight credited to the tree
+	UnadmittedN  uint64 // event weight refused by the admission gate
 	Nodes        int    // live nodes (including the root)
 	MaxNodes     int    // high-water mark of live nodes
 	MemoryBytes  int    // Nodes * NodeBytes (the paper's 16 B/node model)
@@ -124,6 +130,7 @@ func (t *Tree) ArenaBytes() int { return cap(t.arena) * int(unsafe.Sizeof(node{}
 func (t *Tree) Stats() Stats {
 	return Stats{
 		N:            t.n,
+		UnadmittedN:  t.unadmitted,
 		Nodes:        t.nodes,
 		MaxNodes:     t.maxNodes,
 		MemoryBytes:  t.nodes * NodeBytes,
@@ -169,14 +176,21 @@ func (t *Tree) AddN(p uint64, weight uint64) {
 		return
 	}
 	p &= t.mask
-	t.n += weight
+	// The tap observes the offered stream — including weight the admission
+	// gate will refuse — so audit truth brackets everything the caller sent.
 	if t.tap != nil {
 		t.tap.Tap(p, weight)
 	}
 
 	// Find the smallest live range covering p: descend while a covering
 	// child exists. Holes left by merges credit the parent (Section 3.3).
-	t.credit(t.descend(p), weight)
+	vi := t.descend(p)
+	if t.adm != nil && !t.adm.Admit(p, weight, int(t.arena[vi].plen)) {
+		t.unadmitted += weight
+		return
+	}
+	t.n += weight
+	t.credit(vi, weight)
 }
 
 // descend returns the slot of the smallest live node covering p.
@@ -258,6 +272,9 @@ func (t *Tree) split(vi uint32) {
 			NewChildren: created,
 		})
 	}
+	if t.adm != nil {
+		t.adm.Pulse(t.Stats())
+	}
 }
 
 // runMergeBatch walks the whole tree once and folds every cold childless
@@ -286,6 +303,9 @@ func (t *Tree) runMergeBatch() {
 			Nodes:    t.nodes,
 			Duration: time.Since(start),
 		})
+	}
+	if t.adm != nil {
+		t.adm.Pulse(t.Stats())
 	}
 }
 

@@ -15,13 +15,19 @@ import (
 	"rap/internal/core"
 )
 
-// Checkpoint file format (version 1):
+// Checkpoint file format (version 2):
 //
 //	"RAPC" | version byte |
 //	uvarint nShards | per shard: uvarint len, tree snapshot (core format) |
 //	uvarint nSources | per source: uvarint len, name bytes,
-//	                               uvarint applied, uvarint dropped |
+//	                               uvarint applied, uvarint dropped,
+//	                               uvarint unadmitted |
 //	4-byte little-endian CRC32 (IEEE) of everything before it
+//
+// Version history: v1 had no per-source unadmitted counter; v1 files are
+// still read with it defaulted to zero (the shard trees' own ledgers —
+// carried inside the tree snapshots — remain intact either way; only the
+// per-source attribution starts over).
 //
 // Durability protocol: write to a temp file in the same directory, fsync,
 // close, rotate the current checkpoint to the .prev name, rename the temp
@@ -31,7 +37,7 @@ import (
 
 const (
 	ckMagic   = "RAPC"
-	ckVersion = 1
+	ckVersion = 2
 
 	ckName = "checkpoint.rapc"
 	ckPrev = "checkpoint.prev.rapc"
@@ -39,9 +45,10 @@ const (
 )
 
 type sourcePos struct {
-	name    string
-	applied uint64
-	dropped uint64
+	name       string
+	applied    uint64
+	dropped    uint64
+	unadmitted uint64
 }
 
 type checkpointState struct {
@@ -84,9 +91,10 @@ func (in *Ingestor) checkpoint() (size int, err error) {
 		positions = make([]sourcePos, 0, len(in.sources))
 		for _, ss := range in.sources {
 			positions = append(positions, sourcePos{
-				name:    ss.spec.Name,
-				applied: ss.applied,
-				dropped: ss.dropped.Load(),
+				name:       ss.spec.Name,
+				applied:    ss.applied,
+				dropped:    ss.dropped.Load(),
+				unadmitted: ss.unadmitted,
 			})
 		}
 	})
@@ -119,6 +127,7 @@ func encodeCheckpoint(snaps [][]byte, positions []sourcePos) []byte {
 		buf.WriteString(sp.name)
 		putUvarint(&buf, sp.applied)
 		putUvarint(&buf, sp.dropped)
+		putUvarint(&buf, sp.unadmitted)
 	}
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf.Bytes()))
@@ -221,7 +230,7 @@ func decodeCheckpoint(data []byte) (*checkpointState, error) {
 		return nil, errors.New("bad checkpoint magic")
 	}
 	ver, err := r.ReadByte()
-	if err != nil || ver != ckVersion {
+	if err != nil || ver < 1 || ver > ckVersion {
 		return nil, fmt.Errorf("unsupported checkpoint version %d", ver)
 	}
 
@@ -257,6 +266,11 @@ func decodeCheckpoint(data []byte) (*checkpointState, error) {
 		}
 		if sp.dropped, err = binary.ReadUvarint(r); err != nil {
 			return nil, fmt.Errorf("source %q position: %w", sp.name, err)
+		}
+		if ver >= 2 {
+			if sp.unadmitted, err = binary.ReadUvarint(r); err != nil {
+				return nil, fmt.Errorf("source %q position: %w", sp.name, err)
+			}
 		}
 		st.sources = append(st.sources, sp)
 	}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rap/internal/admit"
 	"rap/internal/audit"
 	"rap/internal/core"
 	"rap/internal/obs"
@@ -147,6 +148,23 @@ type Options struct {
 	// AuditEvery is the cadence of periodic audit passes in Run (default
 	// 10s). A final pass always runs after the queues drain.
 	AuditEvery time.Duration
+
+	// Admission, when set, wires the randomized admission frontend in
+	// front of every shard tree: cold points must win a geometric coin
+	// flip before they may create structure, and an overload watchdog
+	// escalates the odds under arena or churn pressure. Refused weight
+	// lands in the trees' unadmitted ledgers (reconciled per source in
+	// Stats and preserved across checkpoints) and is folded into the
+	// audit's certified budget, so Audit+Admission still verifies the
+	// end-to-end bound. The frontend's Logger/Trace default to this
+	// Options' Logger and StructuralTrace when unset.
+	Admission *admit.Options
+
+	// AdmissionObserveEvery is the cadence at which Run feeds the
+	// admission watchdog an engine-wide stats snapshot (default 1s), so
+	// it can escalate on arena pressure and — crucially — notice calm and
+	// de-escalate even when the gates see no traffic.
+	AdmissionObserveEvery time.Duration
 }
 
 // logfHandler is a minimal slog.Handler that renders records through a
@@ -211,6 +229,9 @@ func (o Options) withDefaults() Options {
 	if o.AuditEvery <= 0 {
 		o.AuditEvery = 10 * time.Second
 	}
+	if o.AdmissionObserveEvery <= 0 {
+		o.AdmissionObserveEvery = time.Second
+	}
 	if o.Logger == nil {
 		logf := o.Logf
 		if logf == nil {
@@ -254,8 +275,15 @@ type sourceState struct {
 	consumed uint64
 
 	// applied counts events of this source applied to the shard tree;
-	// guarded by the engine's lock on this source's shard.
+	// guarded by the engine's lock on this source's shard. Events the
+	// admission gate refuses still count as applied — they advanced the
+	// stream position — and are additionally counted in unadmitted.
 	applied uint64
+
+	// unadmitted counts events of this source the admission gate refused;
+	// guarded like applied, and checkpointed with it so recovery preserves
+	// the per-source ledger.
+	unadmitted uint64
 
 	dropped atomic.Uint64
 	retries atomic.Uint64
@@ -304,6 +332,7 @@ type Ingestor struct {
 	sources []*sourceState
 	log     *slog.Logger
 	aud     *audit.Auditor
+	adm     *admit.Frontend
 
 	// Per-stage latency histograms, nil unless Metrics is configured.
 	hQueueWait *obs.Histogram   // enqueue → drain wait per batch
@@ -371,6 +400,24 @@ func Open(opts Options, specs []SourceSpec) (*Ingestor, error) {
 			}
 		}
 	}
+	// Install the admission frontend before the audit attaches: the gates
+	// must already be in place when the auditor reads its baseline, so the
+	// mass accounting (baseN + tapN == n + unadmitted) starts consistent.
+	if opts.Admission != nil {
+		admOpts := *opts.Admission
+		if admOpts.Logger == nil {
+			admOpts.Logger = opts.Logger
+		}
+		if admOpts.Trace == nil {
+			admOpts.Trace = opts.StructuralTrace
+		}
+		in.adm = admit.New(admOpts)
+		gates := in.adm.Gates(engine.Config().UniverseBits, engine.Shards())
+		engine.SetShardAdmitters(func(i int) core.Admitter { return gates[i] })
+		if opts.Metrics != nil {
+			in.adm.Register(opts.Metrics)
+		}
+	}
 	// Attach the audit after restore so recovered mass is counted as
 	// pre-audit slack (baseN), not as stream the taps should have seen.
 	if opts.Audit != nil {
@@ -395,6 +442,12 @@ func Open(opts Options, specs []SourceSpec) (*Ingestor, error) {
 // rapd /audit endpoint does); passes serialize with the periodic ones.
 func (in *Ingestor) Auditor() *audit.Auditor {
 	return in.aud
+}
+
+// Admission returns the admission frontend wired into this pipeline, or
+// nil when Options.Admission was not set.
+func (in *Ingestor) Admission() *admit.Frontend {
+	return in.adm
 }
 
 // registerMetrics wires the three instrumentation surfaces onto
@@ -440,6 +493,12 @@ func (in *Ingestor) registerMetrics() {
 				var applied uint64
 				in.engine.WithShard(ss.queue.idx, func(*core.Tree) { applied = ss.applied })
 				return float64(applied)
+			}, labels...)
+		reg.CounterFunc("rap_ingest_unadmitted_total", "Events from this source refused by the admission gate.",
+			func() float64 {
+				var u uint64
+				in.engine.WithShard(ss.queue.idx, func(*core.Tree) { u = ss.unadmitted })
+				return float64(u)
 			}, labels...)
 		reg.CounterFunc("rap_ingest_dropped_total", "Events shed under DropNewest from this source.",
 			func() float64 { return float64(ss.dropped.Load()) }, labels...)
@@ -505,6 +564,7 @@ func (in *Ingestor) restore(st *checkpointState) error {
 		}
 		ss.applied = sp.applied
 		ss.dropped.Store(sp.dropped)
+		ss.unadmitted = sp.unadmitted
 		ss.consumed = sp.applied + sp.dropped
 		delete(byName, ss.spec.Name)
 	}
@@ -532,8 +592,13 @@ func (in *Ingestor) apply(q *shardQueue, b batch, scratch []core.Sample) []core.
 		scratch = append(scratch, core.Sample{Value: e.Value, Weight: e.Weight})
 	}
 	in.engine.WithShard(q.idx, func(tr *core.Tree) {
+		// The tree's ledger delta across this batch is exactly the weight
+		// the admission gate refused from it — both reads happen under the
+		// same shard lock as the gate, so the attribution is exact.
+		before := tr.UnadmittedN()
 		tr.AddSamples(scratch)
 		b.src.applied += uint64(len(b.events))
+		b.src.unadmitted += tr.UnadmittedN() - before
 	})
 	if in.hApply != nil {
 		in.hApply[q.idx].ObserveSince(start)
@@ -589,6 +654,25 @@ func (in *Ingestor) Run(ctx context.Context) error {
 		}()
 	}
 
+	stopAdm := make(chan struct{})
+	var admWg sync.WaitGroup
+	if in.adm != nil {
+		admWg.Add(1)
+		go func() {
+			defer admWg.Done()
+			tick := time.NewTicker(in.opts.AdmissionObserveEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					in.adm.Observe(in.engine.Stats())
+				case <-stopAdm:
+					return
+				}
+			}
+		}()
+	}
+
 	stopAudit := make(chan struct{})
 	var audWg sync.WaitGroup
 	if in.aud != nil {
@@ -617,6 +701,8 @@ func (in *Ingestor) Run(ctx context.Context) error {
 		close(q.ch)
 	}
 	workers.Wait()
+	close(stopAdm)
+	admWg.Wait()
 	close(stopAudit)
 	audWg.Wait()
 	if in.aud != nil {
@@ -899,10 +985,19 @@ func (in *Ingestor) Dropped() uint64 {
 	return total
 }
 
-// SourceStats reports one source's supervision state.
+// SourceStats reports one source's supervision state. The drop and
+// admission ledgers partition the offered stream exactly:
+//
+//	Admitted + Unadmitted + Dropped == Offered
+//
+// (the built-in sources emit weight-1 events, so event counts and weights
+// coincide; Unadmitted is in weight units for weighted sources).
 type SourceStats struct {
 	Name       string
-	Applied    uint64        // events applied to its shard tree
+	Offered    uint64        // events the reader handed off: Applied + Dropped
+	Applied    uint64        // events applied to its shard tree (incl. unadmitted)
+	Admitted   uint64        // events credited to the tree: Applied − Unadmitted
+	Unadmitted uint64        // weight refused by the admission gate
 	Dropped    uint64        // events shed under DropNewest
 	Retries    uint64        // reopen attempts
 	Failed     bool          // permanently failed
@@ -934,7 +1029,8 @@ func (c CheckpointStats) Age(now time.Time) time.Duration {
 
 // Stats is a point-in-time view of the whole pipeline.
 type Stats struct {
-	N            uint64 // total event weight applied
+	N            uint64 // total event weight credited to the trees
+	Unadmitted   uint64 // weight refused by the admission gates (tree ledgers)
 	Nodes        int    // live tree nodes across shards
 	MaxNodes     int    // summed per-shard node high-water marks
 	MemoryBytes  int    // charged at core.NodeBytes per node
@@ -955,6 +1051,7 @@ func (in *Ingestor) Stats() Stats {
 	for i := 0; i < in.engine.Shards(); i++ {
 		ts := in.engine.ShardStats(i)
 		st.N += ts.N
+		st.Unadmitted += ts.UnadmittedN
 		st.Nodes += ts.Nodes
 		st.MaxNodes += ts.MaxNodes
 		st.MemoryBytes += ts.MemoryBytes
@@ -974,7 +1071,12 @@ func (in *Ingestor) Stats() Stats {
 			QueueCap:   cap(ss.queue.ch),
 			Backoff:    ss.backoffRemaining(now),
 		}
-		in.engine.WithShard(ss.queue.idx, func(*core.Tree) { s.Applied = ss.applied })
+		in.engine.WithShard(ss.queue.idx, func(*core.Tree) {
+			s.Applied = ss.applied
+			s.Unadmitted = ss.unadmitted
+		})
+		s.Offered = s.Applied + s.Dropped
+		s.Admitted = s.Applied - s.Unadmitted
 		if err := ss.lastError(); err != nil {
 			s.LastErr = err.Error()
 		}

@@ -48,8 +48,9 @@ type Engine struct {
 type treeShard struct {
 	mu    sync.Mutex
 	tree  *core.Tree
-	hooks *core.Hooks // reinstalled when Restore swaps the tree
-	tap   core.Tap    // reinstalled like hooks; see SetShardTaps
+	hooks *core.Hooks   // reinstalled when Restore swaps the tree
+	tap   core.Tap      // reinstalled like hooks; see SetShardTaps
+	adm   core.Admitter // reinstalled like the tap; see SetShardAdmitters
 }
 
 // New builds an engine with k shards over cfg. k <= 0 selects
@@ -238,6 +239,7 @@ func (e *Engine) Stats() core.Stats {
 		st := sh.tree.Stats()
 		sh.mu.Unlock()
 		agg.N += st.N
+		agg.UnadmittedN += st.UnadmittedN
 		agg.Nodes += st.Nodes
 		agg.MaxNodes += st.MaxNodes
 		agg.MemoryBytes += st.MemoryBytes
@@ -306,6 +308,33 @@ func (e *Engine) SetShardTaps(make func(shard int) core.Tap) {
 		sh.tree.SetTap(tap)
 		sh.mu.Unlock()
 	}
+}
+
+// SetShardAdmitters installs per-shard admission gates built by make
+// (called once per shard index; a nil result leaves that shard ungated).
+// Gates run with the shard lock held on the ingesting goroutine, so they
+// must not call back into the engine; they survive Restore and AdoptShard
+// the same way taps do, with TreeReplaced fired when the tree is swapped.
+func (e *Engine) SetShardAdmitters(make func(shard int) core.Admitter) {
+	for i, sh := range e.shards {
+		adm := make(i)
+		sh.mu.Lock()
+		sh.adm = adm
+		sh.tree.SetAdmitter(adm)
+		sh.mu.Unlock()
+	}
+}
+
+// UnadmittedN returns the total weight refused by the shards' admission
+// gates (the sum of the per-shard unadmitted ledgers).
+func (e *Engine) UnadmittedN() uint64 {
+	var u uint64
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		u += sh.tree.UnadmittedN()
+		sh.mu.Unlock()
+	}
+	return u
 }
 
 // MergedTreeCut builds the union of all shard trees under a full cut: all
@@ -445,9 +474,13 @@ func (e *Engine) Restore(data []byte) error {
 		sh.mu.Lock()
 		trees[i].SetHooks(sh.hooks)
 		trees[i].SetTap(sh.tap)
+		trees[i].SetAdmitter(sh.adm)
 		sh.tree = trees[i]
 		if sh.tap != nil {
 			sh.tap.TreeReplaced()
+		}
+		if sh.adm != nil {
+			sh.adm.TreeReplaced()
 		}
 		sh.mu.Unlock()
 	}
@@ -462,9 +495,13 @@ func (e *Engine) AdoptShard(i int, t *core.Tree) {
 	sh.mu.Lock()
 	t.SetHooks(sh.hooks)
 	t.SetTap(sh.tap)
+	t.SetAdmitter(sh.adm)
 	sh.tree = t
 	if sh.tap != nil {
 		sh.tap.TreeReplaced()
+	}
+	if sh.adm != nil {
+		sh.adm.TreeReplaced()
 	}
 	sh.mu.Unlock()
 }

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"rap/internal/stats"
+	"rap/internal/trace"
+)
+
+// This file synthesizes adversarial-cardinality streams: the worst case
+// for an adaptive range profiler is not a skewed distribution but a flood
+// of never-repeating keys, which tries to force one leaf split per event
+// and grow the tree (and its arena) without bound. These generators are
+// deterministic so experiments and CI runs reproduce bit-for-bit.
+
+// mix64 is the splitmix64 finalizer: a bijection on uint64. Applying it
+// to a counter yields a sequence that provably never repeats within 2^64
+// events while looking uniformly random to the profiler.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Flood returns an endless key-flood stream: every event is a fresh,
+// never-before-seen 64-bit value. Because mix64 is a bijection and the
+// counter never repeats, neither does the output — there is no warmth for
+// an admission sketch to find and no skew for the tree to exploit. Wrap
+// with trace.Limit for a finite run.
+func Flood(seed uint64) trace.Source {
+	var ctr uint64
+	return trace.FuncSource(func() (uint64, bool) {
+		v := mix64(ctr ^ seed)
+		ctr++
+		return v, true
+	})
+}
+
+// FloodMix interleaves a key flood with a benign carrier stream: each
+// event is drawn from the flood with probability frac, else from carrier.
+// This models an attacker hiding cardinality chaff inside legitimate
+// traffic — the profiler must keep tracking the carrier's structure while
+// refusing to materialize the flood's. frac is clamped to [0, 1]; the
+// interleave choice is seeded independently of both streams.
+func FloodMix(seed uint64, frac float64, carrier trace.Source) trace.Source {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	flood := Flood(seed)
+	rng := stats.NewSplitMix64(mix64(seed ^ 0xadf0adf0adf0adf0))
+	return trace.FuncSource(func() (uint64, bool) {
+		if rng.Float64() < frac {
+			ev, ok := flood.Next()
+			return ev.Value, ok
+		}
+		ev, ok := carrier.Next()
+		return ev.Value, ok
+	})
+}
+
+// FloodBurst front-loads the attack: the first burstLen events are pure
+// flood, everything after comes from carrier. This is the
+// escalate-then-recover scenario — the admission watchdog should climb
+// under the burst and walk back down once the stream turns benign — used
+// by the CI adversarial smoke job.
+func FloodBurst(seed uint64, burstLen uint64, carrier trace.Source) trace.Source {
+	flood := Flood(seed)
+	var n uint64
+	return trace.FuncSource(func() (uint64, bool) {
+		if n < burstLen {
+			n++
+			ev, ok := flood.Next()
+			return ev.Value, ok
+		}
+		ev, ok := carrier.Next()
+		return ev.Value, ok
+	})
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"testing"
+
+	"rap/internal/trace"
+)
+
+func drain(src trace.Source, n int) []uint64 {
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e.Value)
+	}
+	return out
+}
+
+func TestFloodDeterministicAndDistinct(t *testing.T) {
+	const n = 200_000
+	a := drain(Flood(7), n)
+	b := drain(Flood(7), n)
+	if len(a) != n || len(b) != n {
+		t.Fatalf("flood ended early: %d/%d of %d", len(a), len(b), n)
+	}
+	seen := make(map[uint64]struct{}, n)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %#x vs %#x", i, a[i], b[i])
+		}
+		if _, dup := seen[a[i]]; dup {
+			t.Fatalf("flood repeated key %#x within %d events; the attack relies on every key being cold", a[i], n)
+		}
+		seen[a[i]] = struct{}{}
+	}
+	if c := drain(Flood(8), n); c[0] == a[0] && c[1] == a[1] {
+		t.Fatal("different seeds produced the same stream")
+	}
+}
+
+func TestFloodMixFractionAndDeterminism(t *testing.T) {
+	carrier := func() trace.Source { return trace.FuncSource(func() (uint64, bool) { return 1, true }) }
+	const n = 100_000
+	a := drain(FloodMix(3, 0.75, carrier()), n)
+	b := drain(FloodMix(3, 0.75, carrier()), n)
+	var benign int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if a[i] == 1 {
+			benign++
+		}
+	}
+	// The carrier emits only 1s and the flood (whp) never does, so the
+	// benign share measures the interleave fraction directly.
+	got := float64(n-benign) / float64(n)
+	if got < 0.73 || got > 0.77 {
+		t.Fatalf("flood fraction %.3f, want about 0.75", got)
+	}
+	// Clamping: frac outside [0,1] must not panic or starve the stream.
+	if out := drain(FloodMix(3, 1.5, carrier()), 1000); len(out) != 1000 {
+		t.Fatalf("frac>1 stream ended early at %d", len(out))
+	}
+	if out := drain(FloodMix(3, -0.5, carrier()), 1000); len(out) != 1000 {
+		for _, v := range out {
+			if v != 1 {
+				t.Fatalf("frac<0 should pass the carrier through, got %#x", v)
+			}
+		}
+	}
+}
+
+func TestFloodBurstSwitchesToCarrier(t *testing.T) {
+	carrier := trace.FuncSource(func() (uint64, bool) { return 1, true })
+	const burst = 5_000
+	out := drain(FloodBurst(9, burst, carrier), 2*burst)
+	for i := 0; i < burst; i++ {
+		if out[i] == 1 {
+			t.Fatalf("carrier value leaked into the burst at %d", i)
+		}
+	}
+	for i := burst; i < 2*burst; i++ {
+		if out[i] != 1 {
+			t.Fatalf("flood value %#x after the burst ended at %d", out[i], i)
+		}
+	}
+}

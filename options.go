@@ -16,6 +16,7 @@ type builder struct {
 	concurrent bool
 	sampleK    uint64
 	audit      *Auditor
+	admission  *Admission
 	errs       []error
 }
 
@@ -117,6 +118,22 @@ func WithAudit(a *Auditor) Option {
 	}
 }
 
+// WithAdmission wires the randomized admission frontend into the engine
+// New builds: every cold point must win a coin flip to enter the tree,
+// refused mass is ledgered into upper bounds, and the frontend's watchdog
+// escalates the admission toll under memory or churn pressure.
+// Incompatible with WithSampling — the sampling engine scales estimates
+// up, which would scale the unadmitted ledger's meaning away.
+func WithAdmission(f *Admission) Option {
+	return func(b *builder) {
+		if f == nil {
+			b.errs = append(b.errs, errors.New("rap: WithAdmission(nil): frontend must be non-nil"))
+			return
+		}
+		b.admission = f
+	}
+}
+
 // apply folds the options over the default config.
 func apply(opts []Option) (*builder, error) {
 	b := &builder{cfg: DefaultConfig()}
@@ -168,6 +185,9 @@ func New(opts ...Option) (Profiler, error) {
 	if b.audit != nil && sampling {
 		return nil, errors.New("rap: WithAudit cannot combine with WithSampling: scaled estimates are not bound to the tapped stream")
 	}
+	if b.admission != nil && sampling {
+		return nil, errors.New("rap: WithAdmission cannot combine with WithSampling: scaled estimates cannot absorb the unadmitted ledger")
+	}
 	var p Profiler
 	switch {
 	case b.shards > 0:
@@ -181,6 +201,15 @@ func New(opts ...Option) (Profiler, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if b.admission != nil {
+		nShards := 1
+		if b.shards > 0 {
+			nShards = b.shards
+		}
+		if err := attachAdmission(b.admission, p, cfg, nShards); err != nil {
+			return nil, err
+		}
 	}
 	if b.audit != nil {
 		if err := attachAudit(b.audit, p, cfg); err != nil {

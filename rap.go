@@ -36,6 +36,7 @@ package rap
 import (
 	"fmt"
 
+	"rap/internal/admit"
 	"rap/internal/audit"
 	"rap/internal/core"
 	"rap/internal/shard"
@@ -101,6 +102,47 @@ type (
 // selects all defaults). Pass it to New via WithAudit; an auditor wires to
 // exactly one engine.
 func NewAuditor(opts AuditOptions) *Auditor { return audit.New(opts) }
+
+// The randomized admission frontend: a per-shard coin-flip gate ahead of
+// the tree that makes structure-inflation attacks (floods of
+// never-repeating keys) pay an admission toll, plus an overload watchdog
+// that escalates the toll under memory or churn pressure. Refused mass is
+// counted, folded into every EstimateBounds upper bound, and certified by
+// the audit. Build one with NewAdmission, wire it at construction with
+// WithAdmission, then read Admission.Stats.
+type (
+	Admission        = admit.Frontend
+	AdmissionOptions = admit.Options
+	AdmissionStats   = admit.Stats
+	AdmissionLevel   = admit.Level
+)
+
+// NewAdmission builds an admission frontend from options (the zero value
+// selects all defaults). Pass it to New via WithAdmission; a frontend
+// wires to exactly one engine.
+func NewAdmission(opts AdmissionOptions) *Admission { return admit.New(opts) }
+
+// attachAdmission installs the frontend's per-shard gates on a freshly
+// built engine: one gate per shard on the sharded engine, a single gate
+// otherwise. The sampling engine is rejected earlier, in New — its scaled
+// estimates cannot absorb an unadmitted ledger.
+func attachAdmission(f *Admission, p Profiler, cfg Config, shards int) error {
+	gates := f.Gates(cfg.UniverseBits, shards)
+	if gates == nil {
+		return fmt.Errorf("rap: WithAdmission: frontend already wired to an engine")
+	}
+	switch e := p.(type) {
+	case *Sharded:
+		e.SetShardAdmitters(func(i int) core.Admitter { return gates[i] })
+	case *ConcurrentTree:
+		e.SetAdmitter(gates[0])
+	case *Tree:
+		e.SetAdmitter(gates[0])
+	default:
+		return fmt.Errorf("rap: WithAdmission: engine %T cannot take an admission frontend", p)
+	}
+	return nil
+}
 
 // attachAudit taps a freshly built engine for the auditor: one tap per
 // shard on the sharded engine, a single tap otherwise. Only engines whose
