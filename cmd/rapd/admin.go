@@ -10,12 +10,14 @@ import (
 	"time"
 
 	"rap/internal/audit"
+	"rap/internal/flight"
 	"rap/internal/ingest"
 	"rap/internal/obs"
 )
 
 // admin is the opt-in operator surface of rapd: metrics exposition,
-// liveness/readiness, the structural trace, the accuracy audit, and
+// liveness/readiness, the structural trace, the accuracy audit, the
+// flight recorder (history, alerts, statusz, diagnostic bundles), and
 // pprof. Nothing here mutates the data plane (/audit runs an extra audit
 // pass, which only touches the audit's own shadow state), so binding it
 // to a trusted interface is the only access control it needs.
@@ -23,8 +25,11 @@ type admin struct {
 	in      *ingest.Ingestor
 	reg     *obs.Registry
 	strace  *obs.StructuralTrace
-	aud     *audit.Auditor // nil unless -audit
-	ckEvery time.Duration  // checkpoint cadence; freshness is judged against it
+	aud     *audit.Auditor   // nil unless -audit
+	rec     *flight.Recorder // nil unless the flight recorder is wired
+	eng     *flight.Engine   // nil unless the flight recorder is wired
+	effCfg  any              // resolved configuration, captured in bundles
+	ckEvery time.Duration    // checkpoint cadence; freshness is judged against it
 	start   time.Time
 }
 
@@ -32,10 +37,14 @@ type admin struct {
 //
 //	/metrics       Prometheus text exposition
 //	/metrics.json  the same registry as one JSON document
-//	/healthz       process liveness (always 200 while serving)
-//	/readyz        200 only while the pipeline can still make progress
+//	/healthz       process liveness, with the named health checks attached
+//	/readyz        200 only while every health check passes
 //	/trace         sampled structural events as JSONL
 //	/audit         a fresh accuracy-audit pass as JSON (404 without -audit)
+//	/vars          flight-recorder windowed series queries
+//	/alerts        alert rule states as JSON
+//	/statusz       human-readable status page
+//	/debug/bundle  one-shot diagnostic bundle (gzipped tar)
 //	/debug/pprof/  the standard Go profiler endpoints
 func (a *admin) handler() http.Handler {
 	mux := http.NewServeMux()
@@ -48,20 +57,24 @@ func (a *admin) handler() http.Handler {
 		a.reg.WriteJSON(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Liveness is about the process: always 200 while serving, but the
+		// structured checks ride along so one probe shows what a readiness
+		// failure would name.
 		writeStatus(w, http.StatusOK, map[string]any{
 			"status":         "ok",
 			"uptime_seconds": time.Since(a.start).Seconds(),
+			"checks":         a.checks(time.Now()),
 		})
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
-		ok, reason := a.ready(time.Now())
-		code := http.StatusOK
-		body := map[string]any{"status": "ready"}
-		if !ok {
-			code = http.StatusServiceUnavailable
-			body = map[string]any{"status": "unready", "reason": reason}
+		checks := a.checks(time.Now())
+		code, status := http.StatusOK, "ready"
+		for _, c := range checks {
+			if !c.OK {
+				code, status = http.StatusServiceUnavailable, "unready"
+			}
 		}
-		writeStatus(w, code, body)
+		writeStatus(w, code, map[string]any{"status": status, "checks": checks})
 	})
 	if a.strace != nil {
 		mux.Handle("/trace", a.strace)
@@ -87,6 +100,25 @@ func (a *admin) handler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(rep)
 	})
+	if a.rec != nil {
+		mux.Handle("/vars", a.rec)
+		mux.Handle("/alerts", a.eng)
+		mux.Handle("/statusz", &flight.Statusz{
+			App:      "rapd",
+			Start:    a.start,
+			Registry: a.reg,
+			Recorder: a.rec,
+			Engine:   a.eng,
+			Facts:    a.facts,
+			SparkSeries: []string{
+				"rate:rap_tree_events_total",
+				"rap_admit_level",
+				"rap_tree_arena_bytes",
+				"rap_flight_bytes",
+			},
+		})
+		mux.Handle("/debug/bundle", flight.BundleHandler(a.bundleConfig))
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -101,13 +133,20 @@ func writeStatus(w http.ResponseWriter, code int, body map[string]any) {
 	json.NewEncoder(w).Encode(body)
 }
 
-// ready reports whether the pipeline can still make progress: at least
-// one source must not have permanently failed, and when checkpointing is
-// enabled the last successful checkpoint (or, before the first one,
-// process start) must be younger than three cadences — a daemon that can
-// no longer persist its state is running on borrowed time and should be
-// rotated out of service.
-func (a *admin) ready(now time.Time) (bool, string) {
+// healthCheck is one named readiness condition with its reason string —
+// the structured /healthz and /readyz row.
+type healthCheck struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// checks evaluates every readiness condition: at least one source must
+// not have permanently failed, and when checkpointing is enabled the last
+// successful checkpoint (or, before the first one, process start) must be
+// younger than three cadences — a daemon that can no longer persist its
+// state is running on borrowed time and should be rotated out of service.
+func (a *admin) checks(now time.Time) []healthCheck {
 	st := a.in.Stats()
 	alive := 0
 	for _, s := range st.Sources {
@@ -115,19 +154,103 @@ func (a *admin) ready(now time.Time) (bool, string) {
 			alive++
 		}
 	}
-	if alive == 0 {
-		return false, "all sources permanently failed"
+	src := healthCheck{
+		Name: "source_liveness", OK: true,
+		Reason: fmt.Sprintf("%d/%d sources alive", alive, len(st.Sources)),
 	}
+	if alive == 0 {
+		src.OK = false
+		src.Reason = "all sources permanently failed"
+	}
+	out := []healthCheck{src}
+
 	if st.Checkpoint.Enabled && a.ckEvery > 0 {
 		ref := a.start
 		if !st.Checkpoint.LastAt.IsZero() {
 			ref = st.Checkpoint.LastAt
 		}
-		if age := now.Sub(ref); age > 3*a.ckEvery {
-			return false, fmt.Sprintf("no checkpoint for %v (cadence %v)", age.Round(time.Second), a.ckEvery)
+		age := now.Sub(ref)
+		ck := healthCheck{
+			Name: "checkpoint_freshness", OK: true,
+			Reason: fmt.Sprintf("last checkpoint %v ago (cadence %v)", age.Round(time.Second), a.ckEvery),
+		}
+		if age > 3*a.ckEvery {
+			ck.OK = false
+			ck.Reason = fmt.Sprintf("no checkpoint for %v (cadence %v)", age.Round(time.Second), a.ckEvery)
+		}
+		out = append(out, ck)
+	}
+	return out
+}
+
+// ready collapses the checks to the single verdict /readyz serves,
+// reporting the first failing check's reason.
+func (a *admin) ready(now time.Time) (bool, string) {
+	for _, c := range a.checks(now) {
+		if !c.OK {
+			return false, c.Reason
 		}
 	}
 	return true, ""
+}
+
+// facts are the host rows on /statusz: the engine-level answers an
+// operator checks first.
+func (a *admin) facts() []flight.Fact {
+	st := a.in.Stats()
+	out := []flight.Fact{
+		{Key: "events (n)", Value: fmt.Sprintf("%d", st.N)},
+		{Key: "nodes", Value: fmt.Sprintf("%d", st.Nodes)},
+		{Key: "dropped", Value: fmt.Sprintf("%d", st.Dropped)},
+	}
+	if adm := a.in.Admission(); adm != nil {
+		ws := adm.WatchdogState()
+		out = append(out,
+			flight.Fact{Key: "admission level", Value: ws.Level},
+			flight.Fact{Key: "admission period", Value: fmt.Sprintf("%d", ws.Period)},
+			flight.Fact{Key: "unadmitted", Value: fmt.Sprintf("%d", ws.Unadmitted)},
+		)
+	}
+	if a.aud != nil {
+		if rep, ok := a.aud.Report(); ok {
+			out = append(out,
+				flight.Fact{Key: "audit verdict", Value: rep.Verdict},
+				flight.Fact{Key: "audit violations", Value: fmt.Sprintf("%d", rep.ViolationsTotal)},
+			)
+		} else {
+			out = append(out, flight.Fact{Key: "audit verdict", Value: "no pass yet"})
+		}
+	}
+	if st.Checkpoint.Enabled {
+		out = append(out, flight.Fact{
+			Key:   "checkpoint age",
+			Value: st.Checkpoint.Age(time.Now()).Round(time.Millisecond).String(),
+		})
+	}
+	return out
+}
+
+// bundleConfig assembles everything /debug/bundle, SIGQUIT, and
+// -dump-bundle capture.
+func (a *admin) bundleConfig() flight.BundleConfig {
+	cfg := flight.BundleConfig{
+		App:             "rapd",
+		Registry:        a.reg,
+		Recorder:        a.rec,
+		Engine:          a.eng,
+		Trace:           a.strace,
+		EffectiveConfig: a.effCfg,
+	}
+	if a.aud != nil {
+		cfg.AuditReport = func() (any, bool) {
+			rep, ok := a.aud.Report()
+			return rep, ok
+		}
+	}
+	if adm := a.in.Admission(); adm != nil {
+		cfg.AdmitState = func() (any, bool) { return adm.WatchdogState(), true }
+	}
+	return cfg
 }
 
 // serveAdmin binds addr and serves the admin surface until the daemon

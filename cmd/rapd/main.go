@@ -13,15 +13,21 @@
 //	rapd -bench gzip -kind value -admin 127.0.0.1:9090
 //
 // With -admin, rapd serves its observability plane over HTTP: /metrics
-// (Prometheus text) and /metrics.json, /healthz and /readyz (readiness is
-// keyed on source liveness and checkpoint freshness), /trace (sampled
-// split/merge structural events as JSONL), and /debug/pprof.
+// (Prometheus text) and /metrics.json, /healthz and /readyz (structured
+// checks keyed on source liveness and checkpoint freshness), /trace
+// (sampled split/merge structural events as JSONL), /vars (flight-recorder
+// metric history with windowed queries), /alerts (the in-process alert
+// rules), /statusz (a human-readable status page), /debug/bundle (a
+// one-shot gzipped-tar diagnostic bundle), and /debug/pprof. The flight
+// recorder scrapes the registry every -flight-every into a bounded
+// in-memory ring of -flight-depth delta-compressed frames.
 //
 // Trace-file and generator sources are replayable, so crash recovery is
 // lossless for them. Stdin is a one-shot stream: events between the last
 // checkpoint and a crash cannot be replayed (the gap is logged).
 // SIGINT/SIGTERM trigger a clean shutdown: queues drain, a final
-// checkpoint is flushed, and the closing stats are printed.
+// checkpoint is flushed, and the closing stats are printed. SIGQUIT dumps
+// a diagnostic bundle to a file and keeps running.
 package main
 
 import (
@@ -32,12 +38,14 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"rap/internal/admit"
 	"rap/internal/audit"
 	"rap/internal/core"
+	"rap/internal/flight"
 	"rap/internal/ingest"
 	"rap/internal/obs"
 	"rap/internal/trace"
@@ -70,6 +78,10 @@ type cliConfig struct {
 	admin       string // admin HTTP address, "" = disabled
 	traceSample uint64 // structural trace sampling: keep 1 in N decisions
 	traceCap    int    // structural trace ring capacity
+
+	flightEvery time.Duration // flight recorder scrape cadence
+	flightDepth int           // flight recorder ring depth, in frames
+	dumpBundle  string        // write a diagnostic bundle here on exit
 
 	audit         bool          // run the online accuracy self-audit
 	auditEvery    time.Duration // audit pass cadence
@@ -121,9 +133,12 @@ func parseFlags(args []string, errOut io.Writer) cliConfig {
 	fs.DurationVar(&c.readTimeout, "read-timeout", 30*time.Second, "per-read stall timeout (0: disabled)")
 	fs.IntVar(&c.maxRetries, "max-retries", 5, "consecutive failures before a source is abandoned")
 	fs.DurationVar(&c.statsEvery, "stats-every", 10*time.Second, "stats logging cadence (0: disabled)")
-	fs.StringVar(&c.admin, "admin", "", "admin HTTP address serving /metrics, /healthz, /readyz, /trace, pprof (empty: disabled)")
+	fs.StringVar(&c.admin, "admin", "", "admin HTTP address serving /metrics, /healthz, /readyz, /trace, /vars, /alerts, /statusz, /debug/bundle, pprof (empty: disabled)")
 	fs.Uint64Var(&c.traceSample, "trace-sample", 64, "structural trace sampling: record 1 in N split/merge decisions")
 	fs.IntVar(&c.traceCap, "trace-cap", 4096, "structural trace ring capacity, in events")
+	fs.DurationVar(&c.flightEvery, "flight-every", time.Second, "flight recorder scrape cadence")
+	fs.IntVar(&c.flightDepth, "flight-depth", 900, "flight recorder history depth, in scrapes (depth x cadence of retained history)")
+	fs.StringVar(&c.dumpBundle, "dump-bundle", "", "write a diagnostic bundle to this path when the daemon exits")
 	fs.BoolVar(&c.audit, "audit", false, "run the online accuracy self-audit (exact shadow counts vs estimates)")
 	fs.DurationVar(&c.auditEvery, "audit-every", 10*time.Second, "audit pass cadence")
 	fs.IntVar(&c.auditRanges, "audit-ranges", audit.DefaultMaxRanges, "maximum sampled ranges audited at once")
@@ -160,6 +175,19 @@ func (c cliConfig) validate() error {
 				return fmt.Errorf("-%s requires -admit", name)
 			}
 		}
+	}
+	if c.admin == "" {
+		for _, name := range []string{"flight-every", "flight-depth", "dump-bundle"} {
+			if c.setFlags[name] {
+				return fmt.Errorf("-%s requires -admin", name)
+			}
+		}
+	}
+	if c.setFlags["flight-every"] && c.flightEvery <= 0 {
+		return fmt.Errorf("-flight-every %v: cadence must be positive", c.flightEvery)
+	}
+	if c.setFlags["flight-depth"] && c.flightDepth < 1 {
+		return fmt.Errorf("-flight-depth %d: depth must be >= 1", c.flightDepth)
 	}
 	if c.admit && c.admitPeriod < 1 {
 		return fmt.Errorf("-admit-period %d: period must be >= 1", c.admitPeriod)
@@ -309,12 +337,33 @@ func run(ctx context.Context, c cliConfig, out io.Writer) error {
 		logger.Info("recovered events from checkpoint", "events", n, "dir", c.checkpointDir)
 	}
 
+	var a *admin
 	if c.admin != "" {
-		a := &admin{
+		// Flight recorder and alert engine: started after Open so the first
+		// scrape already sees the full ingest metric surface, though late
+		// series are handled either way.
+		rec := flight.NewRecorder(opts.Metrics, flight.Options{
+			Every: c.flightEvery,
+			Depth: c.flightDepth,
+		})
+		rec.Register(opts.Metrics)
+		bcfg := flight.BuiltinConfig{}
+		if c.checkpointDir != "" {
+			bcfg.CheckpointEvery = c.checkpointEvery
+		}
+		eng := flight.NewEngine(rec, flight.BuiltinRules(bcfg)...)
+		eng.Register(opts.Metrics)
+		stopRec := rec.Start()
+		defer stopRec()
+
+		a = &admin{
 			in:      in,
 			reg:     opts.Metrics,
 			strace:  strace,
 			aud:     in.Auditor(),
+			rec:     rec,
+			eng:     eng,
+			effCfg:  c.effective(),
 			start:   time.Now(),
 			ckEvery: c.checkpointEvery,
 		}
@@ -326,6 +375,23 @@ func run(ctx context.Context, c cliConfig, out io.Writer) error {
 			return err
 		}
 		defer stopAdmin()
+
+		// SIGQUIT dumps a diagnostic bundle and keeps the daemon running —
+		// the "grab everything now" gesture for a live incident.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		defer signal.Stop(quit)
+		go func() {
+			for range quit {
+				path := filepath.Join(os.TempDir(),
+					fmt.Sprintf("rapd-bundle-%s.tar.gz", time.Now().UTC().Format("20060102T150405Z")))
+				if err := flight.WriteBundleFile(path, a.bundleConfig()); err != nil {
+					logger.Error("bundle dump failed", "err", err)
+				} else {
+					logger.Info("diagnostic bundle written", "path", path)
+				}
+			}
+		}()
 	}
 
 	stopStats := make(chan struct{})
@@ -357,7 +423,59 @@ func run(ctx context.Context, c cliConfig, out io.Writer) error {
 			l.Info("source done")
 		}
 	}
+	if c.dumpBundle != "" && a != nil {
+		if werr := flight.WriteBundleFile(c.dumpBundle, a.bundleConfig()); werr != nil {
+			logger.Error("bundle dump failed", "path", c.dumpBundle, "err", werr)
+			if err == nil {
+				err = werr
+			}
+		} else {
+			logger.Info("diagnostic bundle written", "path", c.dumpBundle)
+		}
+	}
 	return err
+}
+
+// effective is the resolved configuration as captured in diagnostic
+// bundles: what the daemon is actually running with, not the raw argv.
+func (c cliConfig) effective() map[string]any {
+	eff := map[string]any{
+		"traces":           c.traces,
+		"stdin":            c.stdin,
+		"shards":           c.shards,
+		"queue":            c.queue,
+		"batch":            c.batch,
+		"drop":             c.drop,
+		"epsilon":          c.epsilon,
+		"universe_bits":    c.universe,
+		"branch":           c.branch,
+		"checkpoint_dir":   c.checkpointDir,
+		"checkpoint_every": c.checkpointEvery.String(),
+		"read_timeout":     c.readTimeout.String(),
+		"max_retries":      c.maxRetries,
+		"admin":            c.admin,
+		"trace_sample":     c.traceSample,
+		"trace_cap":        c.traceCap,
+		"flight_every":     c.flightEvery.String(),
+		"flight_depth":     c.flightDepth,
+		"audit":            c.audit,
+		"admit":            c.admit,
+	}
+	if c.bench != "" {
+		eff["bench"], eff["kind"], eff["gen_n"], eff["seed"] = c.bench, c.kind, c.genN, c.seed
+	}
+	if c.audit {
+		eff["audit_every"] = c.auditEvery.String()
+		eff["audit_ranges"] = c.auditRanges
+		eff["audit_span_bits"] = c.auditSpanBits
+		eff["audit_sample"] = c.auditSample
+	}
+	if c.admit {
+		eff["admit_period"] = c.admitPeriod
+		eff["admit_arena_soft"] = c.admitArenaSoft
+		eff["admit_arena_hard"] = c.admitArenaHard
+	}
+	return eff
 }
 
 func logStats(logger *slog.Logger, st ingest.Stats) {

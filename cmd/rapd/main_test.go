@@ -200,6 +200,12 @@ func TestValidateFlagCombos(t *testing.T) {
 		{"flood frac out of range", []string{"-bench", "gzip", "-kind", "flood", "-flood-frac", "1.5"}, "must be in [0,1]"},
 		{"flood frac negative", []string{"-bench", "gzip", "-kind", "flood", "-flood-frac", "-0.1"}, "must be in [0,1]"},
 		{"full hardened stack", []string{"-bench", "gzip", "-kind", "flood", "-admit", "-audit"}, ""},
+		{"flight with admin", []string{"-stdin", "-admin", ":0", "-flight-every", "2s", "-flight-depth", "100"}, ""},
+		{"flight cadence without admin", []string{"-stdin", "-flight-every", "2s"}, "requires -admin"},
+		{"flight depth without admin", []string{"-stdin", "-flight-depth", "100"}, "requires -admin"},
+		{"dump bundle without admin", []string{"-stdin", "-dump-bundle", "b.tar.gz"}, "requires -admin"},
+		{"flight cadence zero", []string{"-stdin", "-admin", ":0", "-flight-every", "0s"}, "cadence must be positive"},
+		{"flight depth zero", []string{"-stdin", "-admin", ":0", "-flight-depth", "0"}, "depth must be >= 1"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

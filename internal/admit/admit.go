@@ -599,6 +599,53 @@ func (f *Frontend) Stats() Stats {
 	return st
 }
 
+// WatchdogState is a point-in-time capture of the watchdog's full
+// control state — the levers and the hysteresis bookkeeping behind them —
+// in the JSON shape diagnostic bundles embed. Stats covers the metrics a
+// dashboard wants; this is what a postmortem wants: why the controller
+// was (or wasn't) about to move.
+type WatchdogState struct {
+	Level        string `json:"level"`
+	Period       uint64 `json:"period"`
+	LevelMax     string `json:"level_max"`
+	LevelChanges uint64 `json:"level_changes"`
+	LevelEpoch   uint64 `json:"level_epoch"`
+	Offered      uint64 `json:"offered"`
+	Admitted     uint64 `json:"admitted"`
+	Unadmitted   uint64 `json:"unadmitted"`
+	Cold         uint64 `json:"cold"`
+	ArenaBytes   int64  `json:"arena_bytes"`
+	Gates        int    `json:"gates"`
+	CalmWindows  int    `json:"calm_windows"`
+	ChurnWindows int    `json:"churn_windows"`
+	Cooldown     bool   `json:"cooldown"`
+}
+
+// WatchdogState samples the controller under its lock.
+func (f *Frontend) WatchdogState() WatchdogState {
+	f.ctrlMu.Lock()
+	defer f.ctrlMu.Unlock()
+	st := WatchdogState{
+		Level:        Level(f.level.Load()).String(),
+		Period:       f.period.Load(),
+		LevelMax:     Level(f.levelMax.Load()).String(),
+		LevelChanges: f.levelChanges.Load(),
+		LevelEpoch:   f.levelEpoch.Load(),
+		Gates:        len(f.gates),
+		CalmWindows:  f.calmWindows,
+		ChurnWindows: f.churnWindows,
+		Cooldown:     f.cooldown,
+	}
+	for _, g := range f.gates {
+		st.Offered += g.offered.Load()
+		st.Admitted += g.admitted.Load()
+		st.Unadmitted += g.unadmitted.Load()
+		st.Cold += g.cold.Load()
+		st.ArenaBytes += g.arenaBytes.Load()
+	}
+	return st
+}
+
 // Register exports the frontend's state as rap_admit_* metrics.
 func (f *Frontend) Register(reg *obs.Registry) {
 	reg.CounterFunc("rap_admit_offered_total",

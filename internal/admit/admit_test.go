@@ -1,6 +1,7 @@
 package admit
 
 import (
+	"encoding/json"
 	"testing"
 
 	"rap/internal/core"
@@ -293,5 +294,37 @@ func TestWatchdogDebugHooksObserveWindows(t *testing.T) {
 	}
 	if lastTo != fe.Stats().LevelMax {
 		t.Fatalf("last escalation hook saw %v but stats report level max %v", lastTo, fe.Stats().LevelMax)
+	}
+}
+
+func TestWatchdogStateCapture(t *testing.T) {
+	fe := New(fastOpts())
+	tr := gatedTree(t, fe)
+	src := workload.Flood(11)
+	for i := 0; i < 200_000; i++ {
+		e, _ := src.Next()
+		tr.AddN(e.Value, e.Weight)
+	}
+	st := fe.WatchdogState()
+	if st.Level != "siege" || st.LevelMax != "siege" {
+		t.Fatalf("flooded state = %+v, want siege", st)
+	}
+	if st.Offered == 0 || st.Unadmitted == 0 || st.Cold == 0 {
+		t.Fatalf("counters empty: %+v", st)
+	}
+	if st.Offered != st.Admitted+st.Unadmitted {
+		t.Fatalf("offered %d != admitted %d + unadmitted %d", st.Offered, st.Admitted, st.Unadmitted)
+	}
+	if st.Gates != 1 || st.Period == 0 || st.LevelChanges == 0 {
+		t.Fatalf("control fields unset: %+v", st)
+	}
+	// The capture agrees with the metrics-facing Stats view.
+	ms := fe.Stats()
+	if st.Level != ms.Level.String() || st.Offered != ms.Offered {
+		t.Fatalf("WatchdogState %+v disagrees with Stats %+v", st, ms)
+	}
+	// And it marshals: bundles embed it as JSON.
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatalf("marshal: %v", err)
 	}
 }

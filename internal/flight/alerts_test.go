@@ -1,0 +1,289 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rap/internal/obs"
+)
+
+// frame builds a synthetic scrape frame at second i.
+func frame(i int, values map[string]float64) Frame {
+	return Frame{UnixNano: at(i).UnixNano(), Values: values}
+}
+
+func newTestEngine(t *testing.T, rules ...Rule) *Engine {
+	t.Helper()
+	reg := obs.NewRegistry()
+	rec := NewRecorder(reg, Options{})
+	return NewEngine(rec, rules...)
+}
+
+func stateOf(t *testing.T, e *Engine, rule string) AlertStatus {
+	t.Helper()
+	for _, a := range e.Snapshot() {
+		if a.Rule.Name == rule {
+			return a
+		}
+	}
+	t.Fatalf("rule %q not found", rule)
+	return AlertStatus{}
+}
+
+// TestThresholdLadder walks a value up and down through warn and crit and
+// checks the state ladder, transition counting, and hysteresis.
+func TestThresholdLadder(t *testing.T) {
+	e := newTestEngine(t, Rule{
+		Name: "r", Kind: Threshold, Series: "x",
+		Warn: 10, Crit: 20, ClearRatio: 0.8,
+	})
+	steps := []struct {
+		v    float64
+		want string
+	}{
+		{5, "ok"},
+		{10, "warn"}, // at warn threshold
+		{9, "warn"},  // hysteresis: clear needs < 8
+		{7.9, "ok"},  // below 0.8×10
+		{25, "crit"}, // straight to crit
+		{17, "crit"}, // hysteresis: crit clears below 16
+		{15, "warn"}, // crit cleared, warn band (lit) holds >= 8
+		{3, "ok"},
+	}
+	for i, s := range steps {
+		e.Eval(frame(i, map[string]float64{"x": s.v}))
+		if got := stateOf(t, e, "r"); got.State != s.want {
+			t.Fatalf("step %d (v=%v): state %s, want %s", i, s.v, got.State, s.want)
+		}
+	}
+	// ok→warn, warn→ok, ok→crit, crit→warn, warn→ok = 5 transitions.
+	if got := stateOf(t, e, "r").Transitions; got != 5 {
+		t.Errorf("transitions = %d, want 5", got)
+	}
+}
+
+// TestForDuration checks a transition only commits after the desired
+// state holds For long, in both directions.
+func TestForDuration(t *testing.T) {
+	e := newTestEngine(t, Rule{
+		Name: "r", Kind: Threshold, Series: "x",
+		Crit: 10, For: 3 * time.Second, ClearRatio: 1,
+	})
+	hot := map[string]float64{"x": 50}
+	cold := map[string]float64{"x": 0}
+
+	e.Eval(frame(0, hot))
+	if got := stateOf(t, e, "r"); got.State != "ok" || got.Reason != "pending crit" {
+		t.Fatalf("t=0: %s/%q, want ok pending", got.State, got.Reason)
+	}
+	e.Eval(frame(1, cold)) // dip resets the pending clock
+	e.Eval(frame(2, hot))
+	e.Eval(frame(4, hot))
+	if got := stateOf(t, e, "r").State; got != "ok" {
+		t.Fatalf("t=4 (held 2s): state %s, want ok", got)
+	}
+	e.Eval(frame(5, hot)) // held 3s since t=2
+	if got := stateOf(t, e, "r").State; got != "crit" {
+		t.Fatalf("t=5 (held 3s): state %s, want crit", got)
+	}
+	// Clearing needs its own 3s hold.
+	e.Eval(frame(6, cold))
+	if got := stateOf(t, e, "r").State; got != "crit" {
+		t.Fatal("clear committed immediately despite For")
+	}
+	e.Eval(frame(9, cold))
+	if got := stateOf(t, e, "r").State; got != "ok" {
+		t.Fatal("clear never committed")
+	}
+}
+
+// TestRatioRule checks per-label alignment of numerator and denominator.
+func TestRatioRule(t *testing.T) {
+	e := newTestEngine(t, Rule{
+		Name: "sat", Kind: Ratio,
+		Series: "depth", Denom: "cap", Agg: AggMax, Warn: 0.8, Crit: 0.95,
+	})
+	e.Eval(frame(0, map[string]float64{
+		`depth{q="a"}`: 10, `cap{q="a"}`: 100, // 0.10
+		`depth{q="b"}`: 90, `cap{q="b"}`: 100, // 0.90 -> max
+	}))
+	got := stateOf(t, e, "sat")
+	if got.State != "warn" {
+		t.Fatalf("state = %s, want warn", got.State)
+	}
+	if v := float64(got.Value); v != 0.9 {
+		t.Fatalf("value = %v, want 0.9", v)
+	}
+	// Zero denominator is skipped, not a division.
+	e2 := newTestEngine(t, Rule{Name: "sat", Kind: Ratio, Series: "d", Denom: "c", Warn: 0.5})
+	e2.Eval(frame(0, map[string]float64{"d": 5, "c": 0}))
+	if got := stateOf(t, e2, "sat"); got.Reason != "no data" {
+		t.Fatalf("zero denom reason = %q, want no data", got.Reason)
+	}
+}
+
+// TestRateRule drives a counter through the recorder and checks the rate
+// rule fires on its derivative.
+func TestRateRule(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("ctr", "")
+	rec := NewRecorder(reg, Options{})
+	e := NewEngine(rec, Rule{
+		Name: "growth", Kind: Rate, Series: "ctr", Agg: AggSum,
+		Warn: 50, RateWindow: 10 * time.Second, ClearRatio: 1,
+	})
+	// 10/s for 10s: under warn.
+	for i := 0; i < 10; i++ {
+		c.Add(10)
+		rec.Scrape(at(i))
+	}
+	if got := stateOf(t, e, "growth").State; got != "ok" {
+		t.Fatalf("slow growth state = %s, want ok", got)
+	}
+	// 100/s: over warn.
+	for i := 10; i < 20; i++ {
+		c.Add(100)
+		rec.Scrape(at(i))
+	}
+	if got := stateOf(t, e, "growth").State; got != "warn" {
+		t.Fatalf("fast growth state = %s, want warn", got)
+	}
+	// Counter stops: rate decays back to ok.
+	for i := 20; i < 35; i++ {
+		rec.Scrape(at(i))
+	}
+	if got := stateOf(t, e, "growth").State; got != "ok" {
+		t.Fatalf("idle state = %s, want ok", got)
+	}
+}
+
+// TestMissingSeriesRetainsState: an alert whose series vanishes keeps its
+// last state and says why.
+func TestMissingSeriesRetainsState(t *testing.T) {
+	e := newTestEngine(t, Rule{Name: "r", Kind: Threshold, Series: "x", Crit: 1, ClearRatio: 1})
+	e.Eval(frame(0, map[string]float64{"x": 5}))
+	if got := stateOf(t, e, "r").State; got != "crit" {
+		t.Fatalf("state = %s, want crit", got)
+	}
+	e.Eval(frame(1, map[string]float64{"other": 0}))
+	got := stateOf(t, e, "r")
+	if got.State != "crit" || got.Reason != "no data" {
+		t.Fatalf("after vanish: %s/%q, want crit/no data", got.State, got.Reason)
+	}
+}
+
+// TestBelowRule checks the mirrored comparison direction.
+func TestBelowRule(t *testing.T) {
+	e := newTestEngine(t, Rule{
+		Name: "low", Kind: Threshold, Series: "x", Cmp: Below,
+		Warn: 10, ClearRatio: 0.5, // clears above 10/0.5 = 20
+	})
+	e.Eval(frame(0, map[string]float64{"x": 15}))
+	if got := stateOf(t, e, "low").State; got != "ok" {
+		t.Fatal("15 should be ok")
+	}
+	e.Eval(frame(1, map[string]float64{"x": 9}))
+	if got := stateOf(t, e, "low").State; got != "warn" {
+		t.Fatal("9 should warn")
+	}
+	e.Eval(frame(2, map[string]float64{"x": 15}))
+	if got := stateOf(t, e, "low").State; got != "warn" {
+		t.Fatal("15 should still warn inside the hysteresis band")
+	}
+	e.Eval(frame(3, map[string]float64{"x": 21}))
+	if got := stateOf(t, e, "low").State; got != "ok" {
+		t.Fatal("21 should clear")
+	}
+}
+
+// TestEngineMetricsAndHTTP checks rap_alert_state/transitions exposition
+// and the /alerts document shape.
+func TestEngineMetricsAndHTTP(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := NewRecorder(reg, Options{})
+	e := NewEngine(rec, Rule{Name: "r", Kind: Threshold, Series: "x", Warn: 1, ClearRatio: 1})
+	e.Register(reg)
+	e.Eval(frame(0, map[string]float64{"x": 5}))
+
+	var state, trans float64
+	for _, f := range reg.Snapshot() {
+		for _, s := range f.Series {
+			if s.Labels["rule"] != "r" {
+				continue
+			}
+			switch f.Name {
+			case "rap_alert_state":
+				state = s.Value
+			case "rap_alert_transitions_total":
+				trans = s.Value
+			}
+		}
+	}
+	if state != 1 || trans != 1 {
+		t.Fatalf("exported state=%v transitions=%v, want 1/1", state, trans)
+	}
+
+	srv := httptest.NewServer(e)
+	defer srv.Close()
+	var doc struct {
+		Alerts []AlertStatus `json:"alerts"`
+	}
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/alerts")), &doc); err != nil {
+		t.Fatalf("/alerts not JSON: %v", err)
+	}
+	if len(doc.Alerts) != 1 || doc.Alerts[0].State != "warn" {
+		t.Fatalf("/alerts = %+v", doc.Alerts)
+	}
+}
+
+// TestBuiltinRules sanity-checks the stock set: audit latches crit on any
+// violation, admission maps levels to states, staleness follows cadence.
+func TestBuiltinRules(t *testing.T) {
+	rules := BuiltinRules(BuiltinConfig{CheckpointEvery: time.Second})
+	byName := map[string]Rule{}
+	for _, r := range rules {
+		byName[r.Name] = r
+	}
+	for _, want := range []string{
+		"audit_violations", "admission_level", "queue_saturation",
+		"arena_growth", "trace_evictions", "checkpoint_staleness",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("builtin rule %q missing", want)
+		}
+	}
+	e := newTestEngine(t, byName["audit_violations"], byName["admission_level"], byName["checkpoint_staleness"])
+	e.Eval(frame(0, map[string]float64{
+		"rap_audit_violations_total":       1,
+		"rap_admit_level":                  2,
+		"rap_checkpoint_staleness_seconds": 4,
+	}))
+	if got := stateOf(t, e, "audit_violations").State; got != "crit" {
+		t.Errorf("audit with violation: %s, want crit", got)
+	}
+	if got := stateOf(t, e, "admission_level").State; got != "crit" {
+		t.Errorf("admission at Siege: %s, want crit", got)
+	}
+	if got := stateOf(t, e, "checkpoint_staleness").State; got != "warn" {
+		t.Errorf("staleness 4×cadence: %s, want warn", got)
+	}
+	e.Eval(frame(1, map[string]float64{
+		"rap_audit_violations_total":       1,
+		"rap_admit_level":                  0,
+		"rap_checkpoint_staleness_seconds": 0.5,
+	}))
+	if got := stateOf(t, e, "audit_violations").State; got != "crit" {
+		t.Errorf("audit must latch: %s, want crit", got)
+	}
+	if got := stateOf(t, e, "admission_level").State; got != "ok" {
+		t.Errorf("admission back to Normal: %s, want ok", got)
+	}
+	if got := stateOf(t, e, "checkpoint_staleness").State; got != "ok" {
+		t.Errorf("fresh checkpoint: %s, want ok", got)
+	}
+	if cs := byName["checkpoint_staleness"]; cs.Warn != 3 || cs.Crit != 10 {
+		t.Errorf("staleness thresholds = %v/%v, want 3/10", cs.Warn, cs.Crit)
+	}
+}

@@ -1,0 +1,116 @@
+package flight
+
+import "time"
+
+// BuiltinConfig parameterises the stock rule set. Zero values select the
+// defaults noted per field.
+type BuiltinConfig struct {
+	// CheckpointEvery is the configured checkpoint cadence; the staleness
+	// rule warns at 3× and goes critical at 10×. Zero disables the rule.
+	CheckpointEvery time.Duration
+	// QueueSatWarn/Crit are ingest queue fill fractions. Defaults 0.8/0.95.
+	QueueSatWarn, QueueSatCrit float64
+	// ArenaGrowthWarn/Crit are sustained arena growth rates in bytes/s.
+	// Defaults 8 MiB/s and 64 MiB/s.
+	ArenaGrowthWarn, ArenaGrowthCrit float64
+	// ArenaGrowthWindow is the rate window for arena growth. Default 30s.
+	ArenaGrowthWindow time.Duration
+	// For delays transitions of the noisier rules (queue saturation,
+	// arena growth). Default 0: transition on the first offending scrape.
+	For time.Duration
+}
+
+// BuiltinRules returns the stock alert rules over the engine's own
+// signals: certified-accuracy violations, admission escalation,
+// checkpoint staleness, queue saturation, arena growth, and trace-ring
+// churn. The audit rule latches at crit by construction — the violation
+// counter is monotone, so once the certificate is broken the alert stays
+// lit for the life of the process, matching the audit's own
+// till-death verdict semantics.
+func BuiltinRules(cfg BuiltinConfig) []Rule {
+	if cfg.QueueSatWarn == 0 {
+		cfg.QueueSatWarn = 0.8
+	}
+	if cfg.QueueSatCrit == 0 {
+		cfg.QueueSatCrit = 0.95
+	}
+	if cfg.ArenaGrowthWarn == 0 {
+		cfg.ArenaGrowthWarn = 8 << 20
+	}
+	if cfg.ArenaGrowthCrit == 0 {
+		cfg.ArenaGrowthCrit = 64 << 20
+	}
+	if cfg.ArenaGrowthWindow <= 0 {
+		cfg.ArenaGrowthWindow = 30 * time.Second
+	}
+
+	rules := []Rule{
+		{
+			Name:   "audit_violations",
+			Help:   "The online audit certified an estimate outside the paper's error budget.",
+			Kind:   Threshold,
+			Series: "rap_audit_violations_total",
+			Agg:    AggSum,
+			// Any violation at all is critical: the counter is monotone,
+			// 0.5 separates zero from one-or-more.
+			Warn: 0.5,
+			Crit: 0.5,
+		},
+		{
+			Name:   "admission_level",
+			Help:   "Admission control escalated: warn at Defensive, crit at Siege.",
+			Kind:   Threshold,
+			Series: "rap_admit_level",
+			Agg:    AggMax,
+			Warn:   0.5,
+			Crit:   1.5,
+			// The watchdog has its own hysteresis and cooldown; mirror it
+			// promptly rather than stacking a second damper on top.
+			ClearRatio: 1,
+		},
+		{
+			Name:   "queue_saturation",
+			Help:   "Ingest queue fill fraction.",
+			Kind:   Ratio,
+			Series: "rap_ingest_queue_depth",
+			Denom:  "rap_ingest_queue_capacity",
+			Agg:    AggMax,
+			Warn:   cfg.QueueSatWarn,
+			Crit:   cfg.QueueSatCrit,
+			For:    cfg.For,
+		},
+		{
+			Name:       "arena_growth",
+			Help:       "Sustained tree arena growth in bytes/s.",
+			Kind:       Rate,
+			Series:     "rap_tree_arena_bytes",
+			Agg:        AggSum,
+			Warn:       cfg.ArenaGrowthWarn,
+			Crit:       cfg.ArenaGrowthCrit,
+			RateWindow: cfg.ArenaGrowthWindow,
+			For:        cfg.For,
+		},
+		{
+			Name:       "trace_evictions",
+			Help:       "Structural trace ring overwriting history faster than it is exported (events/s).",
+			Kind:       Rate,
+			Series:     "rap_trace_evicted_total",
+			Agg:        AggSum,
+			Warn:       1,
+			RateWindow: cfg.ArenaGrowthWindow,
+			For:        cfg.For,
+		},
+	}
+	if cfg.CheckpointEvery > 0 {
+		rules = append(rules, Rule{
+			Name:   "checkpoint_staleness",
+			Help:   "Seconds since the last durable checkpoint.",
+			Kind:   Threshold,
+			Series: "rap_checkpoint_staleness_seconds",
+			Agg:    AggMax,
+			Warn:   3 * cfg.CheckpointEvery.Seconds(),
+			Crit:   10 * cfg.CheckpointEvery.Seconds(),
+		})
+	}
+	return rules
+}

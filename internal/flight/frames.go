@@ -1,0 +1,89 @@
+// Package flight is the in-process black-box recorder: it scrapes the
+// metrics registry on a cadence into a bounded ring of delta-compressed
+// frames, evaluates alert rules against each scrape, renders a
+// human-readable status page, and captures one-shot diagnostic bundles.
+// Everything is fixed-memory and zero-dependency — no external TSDB.
+package flight
+
+import "encoding/binary"
+
+// A block is a self-contained run of consecutive frames. The first frame
+// of a block stores raw float64 bits per series (XOR against zero); every
+// later frame stores the XOR of each series' bits against the previous
+// frame in the same block, uvarint-encoded. Gauges that hold still and
+// counters that tick slowly XOR to mostly-zero words, so a frame of a few
+// hundred series usually compresses to a few hundred bytes. Blocks decode
+// without any state from earlier blocks, which lets the ring evict whole
+// oldest blocks without rewriting anything.
+type block struct {
+	times   []int64 // unix nanos, one per frame
+	offsets []int32 // start of each frame's payload in data
+	data    []byte
+}
+
+func (b *block) frames() int { return len(b.times) }
+
+// sizeBytes is the accounted footprint of the block: payload plus the
+// per-frame time and offset bookkeeping.
+func (b *block) sizeBytes() int {
+	return len(b.data) + 8*len(b.times) + 4*len(b.offsets)
+}
+
+// appendFrame encodes one frame into the block. vals holds the float64
+// bits of every series, indexed by series id (ids are dense and assigned
+// in registration order, so the id is implicit in the position). base is
+// the previous frame's bits to XOR against — nil for the block's first
+// frame, which makes it a self-contained keyframe.
+func (b *block) appendFrame(unixNano int64, vals, base []uint64) {
+	b.times = append(b.times, unixNano)
+	b.offsets = append(b.offsets, int32(len(b.data)))
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(vals)))
+	b.data = append(b.data, tmp[:n]...)
+	for i, v := range vals {
+		var prev uint64
+		if i < len(base) {
+			prev = base[i]
+		}
+		n := binary.PutUvarint(tmp[:], v^prev)
+		b.data = append(b.data, tmp[:n]...)
+	}
+}
+
+// decode replays the block and calls visit once per frame with the
+// decoded bits. The slice passed to visit is reused across frames; visit
+// must copy anything it retains. It returns false on a corrupt payload
+// (which cannot happen for blocks this process encoded, but keeps the
+// decoder total).
+func (b *block) decode(visit func(unixNano int64, vals []uint64)) bool {
+	var vals []uint64
+	for i, off := range b.offsets {
+		payload := b.data[off:]
+		if i+1 < len(b.offsets) {
+			payload = b.data[off:b.offsets[i+1]]
+		}
+		count, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return false
+		}
+		payload = payload[n:]
+		for len(vals) < int(count) {
+			vals = append(vals, 0)
+		}
+		vals = vals[:count]
+		for j := range vals {
+			delta, n := binary.Uvarint(payload)
+			if n <= 0 {
+				return false
+			}
+			payload = payload[n:]
+			if i == 0 {
+				vals[j] = delta // keyframe: XOR against zero
+			} else {
+				vals[j] ^= delta
+			}
+		}
+		visit(b.times[i], vals)
+	}
+	return true
+}

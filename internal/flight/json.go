@@ -1,0 +1,88 @@
+package flight
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+)
+
+// jsonValue is a float64 that survives encoding/json when non-finite.
+// Quantile series over empty histograms record NaN — the honest "no
+// observations yet" value — and both /vars responses and bundle history
+// must still encode. Non-finite values render as strings ("NaN", "+Inf",
+// "-Inf") and parse back on the rapdiag side.
+type jsonValue float64
+
+func (f jsonValue) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return json.Marshal(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return json.Marshal(v)
+}
+
+func (f *jsonValue) UnmarshalJSON(b []byte) error {
+	var v float64
+	if err := json.Unmarshal(b, &v); err == nil {
+		*f = jsonValue(v)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return err
+	}
+	*f = jsonValue(v)
+	return nil
+}
+
+type pointWire struct {
+	T int64     `json:"t"`
+	V jsonValue `json:"v"`
+}
+
+func (p Point) MarshalJSON() ([]byte, error) {
+	return json.Marshal(pointWire{p.UnixNano, jsonValue(p.Value)})
+}
+
+func (p *Point) UnmarshalJSON(b []byte) error {
+	var w pointWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*p = Point{UnixNano: w.T, Value: float64(w.V)}
+	return nil
+}
+
+type seriesWire struct {
+	SeriesMeta
+	Points []Point   `json:"points"`
+	Min    jsonValue `json:"min"`
+	Max    jsonValue `json:"max"`
+	First  jsonValue `json:"first"`
+	Last   jsonValue `json:"last"`
+	Rate   jsonValue `json:"rate"`
+}
+
+func (s Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(seriesWire{
+		s.SeriesMeta, s.Points,
+		jsonValue(s.Min), jsonValue(s.Max), jsonValue(s.First), jsonValue(s.Last), jsonValue(s.Rate),
+	})
+}
+
+func (s *Series) UnmarshalJSON(b []byte) error {
+	var w seriesWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*s = Series{
+		SeriesMeta: w.SeriesMeta, Points: w.Points,
+		Min: float64(w.Min), Max: float64(w.Max),
+		First: float64(w.First), Last: float64(w.Last), Rate: float64(w.Rate),
+	}
+	return nil
+}

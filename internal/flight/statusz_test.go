@@ -1,0 +1,106 @@
+package flight
+
+import (
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"rap/internal/obs"
+)
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStatuszRenders drives a populated page and checks the load-bearing
+// sections appear: firing alert with class, latency quantiles, facts, and
+// a sparkline for recorded history.
+func TestStatuszRenders(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("g", "")
+	h := reg.Duration("rap_ingest_batch_seconds", "")
+	for i := 0; i < 100; i++ {
+		h.Observe(0.002)
+	}
+	rec := NewRecorder(reg, Options{})
+	eng := NewEngine(rec, Rule{Name: "hot", Kind: Threshold, Series: "g", Crit: 10})
+	// Scrape at recent wall-clock times: the page windows history
+	// relative to time.Now().
+	for i := 0; i < 20; i++ {
+		g.Set(float64(i * i))
+		rec.Scrape(time.Now().Add(time.Duration(i-20) * time.Second))
+	}
+
+	sz := &Statusz{
+		App:      "rapd-test",
+		Start:    time.Now().Add(-time.Hour),
+		Registry: reg,
+		Recorder: rec,
+		Engine:   eng,
+		Facts: func() []Fact {
+			return []Fact{{"admission level", "Normal"}, {"audit verdict", "pass"}}
+		},
+		SparkSeries: []string{"g"},
+		SparkWindow: time.Hour,
+	}
+	srv := httptest.NewServer(sz)
+	defer srv.Close()
+	body := get(t, srv.URL+"/statusz")
+
+	for _, want := range []string{
+		"rapd-test",
+		`class="crit"`, // the hot rule fired on g=361
+		"hot",
+		"rap_ingest_batch_seconds",
+		"admission level",
+		"audit verdict",
+		string(sparkRunes[len(sparkRunes)-1]), // sparkline reached full scale
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("statusz missing %q", want)
+		}
+	}
+	if !strings.Contains(body, "0.002") {
+		t.Errorf("statusz missing p50 estimate, body latency section: %.300s", body)
+	}
+}
+
+// TestStatuszEmpty renders with nothing wired — must not panic and must
+// say all rules are ok.
+func TestStatuszEmpty(t *testing.T) {
+	sz := &Statusz{App: "bare", Start: time.Now(), Engine: NewEngine(NewRecorder(obs.NewRegistry(), Options{}))}
+	srv := httptest.NewServer(sz)
+	defer srv.Close()
+	if body := get(t, srv.URL); !strings.Contains(body, "all rules ok") {
+		t.Fatalf("empty statusz = %.200s", body)
+	}
+}
+
+// TestSparkRow pins the sparkline scaling: a ramp uses the full ladder
+// and a flat series renders the floor rune.
+func TestSparkRow(t *testing.T) {
+	ramp := Series{}
+	for i := 0; i < 8; i++ {
+		ramp.Points = append(ramp.Points, Point{UnixNano: int64(i), Value: float64(i)})
+	}
+	row := sparkRow("ramp", ramp, false)
+	if !strings.HasPrefix(row.Line, string(sparkRunes[0])) || !strings.HasSuffix(row.Line, string(sparkRunes[7])) {
+		t.Errorf("ramp spark = %q", row.Line)
+	}
+	flat := Series{Points: []Point{{0, 5}, {1, 5}, {2, 5}}, Last: 5}
+	if row := sparkRow("flat", flat, false); row.Line != strings.Repeat(string(sparkRunes[0]), 3) {
+		t.Errorf("flat spark = %q", row.Line)
+	}
+	// rate: prefix plots deltas of a counter.
+	ctr := Series{Points: []Point{{0, 0}, {1, 10}, {2, 20}, {3, 100}}}
+	if row := sparkRow("rate:ctr", ctr, true); !strings.HasSuffix(row.Line, string(sparkRunes[7])) {
+		t.Errorf("rate spark = %q", row.Line)
+	}
+}

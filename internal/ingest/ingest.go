@@ -349,6 +349,7 @@ type Ingestor struct {
 	ckDur         *obs.Histogram
 	ckCutDur      *obs.Histogram // shard-lock cut stage of a checkpoint
 	ckWriteDur    *obs.Histogram // encode+write+fsync+rename stage
+	openedAt      time.Time      // staleness origin before the first checkpoint
 }
 
 // Open builds an ingestor over the given sources and, when a checkpoint
@@ -373,7 +374,7 @@ func Open(opts Options, specs []SourceSpec) (*Ingestor, error) {
 		seen[s.Name] = true
 	}
 
-	in := &Ingestor{opts: opts, log: opts.Logger}
+	in := &Ingestor{opts: opts, log: opts.Logger, openedAt: time.Now()}
 	engine, err := shard.New(opts.Tree, opts.Shards)
 	if err != nil {
 		return nil, err
@@ -530,6 +531,23 @@ func (in *Ingestor) registerMetrics() {
 			}
 			return time.Since(time.Unix(0, last)).Seconds()
 		})
+	reg.GaugeFunc("rap_checkpoint_staleness_seconds",
+		"Seconds without a durable checkpoint: since the last successful write, or since Open before the first. 0 when checkpointing is disabled. Unlike rap_checkpoint_last_age_seconds this is alertable from startup — it climbs instead of sitting at -1.",
+		func() float64 {
+			if in.opts.CheckpointDir == "" {
+				return 0
+			}
+			last := in.ckLastNano.Load()
+			if last == 0 {
+				return time.Since(in.openedAt).Seconds()
+			}
+			return time.Since(time.Unix(0, last)).Seconds()
+		})
+	if tr := in.opts.StructuralTrace; tr != nil {
+		reg.CounterFunc("rap_trace_evicted_total",
+			"Structural trace events the ring overwrote before any export read them.",
+			func() float64 { return float64(tr.Evicted()) })
+	}
 	in.ckDur = reg.Histogram("rap_checkpoint_seconds", "Wall time of one checkpoint write.", obs.DurationBuckets())
 	in.ckCutDur = reg.Duration("rap_checkpoint_cut_seconds",
 		"Checkpoint cut stage: wall time holding every shard lock to snapshot trees and positions.")

@@ -77,9 +77,22 @@ func TestMetricsRegistration(t *testing.T) {
 		`rap_ingest_applied_total{source="a"}`,
 		"rap_checkpoint_written_total 1",
 		"rap_checkpoint_seconds_count 1",
+		"rap_checkpoint_staleness_seconds",
+		"rap_trace_evicted_total",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// A checkpoint just landed, so staleness is near zero — and in
+	// particular not the -1 sentinel rap_checkpoint_last_age_seconds uses.
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != "rap_checkpoint_staleness_seconds" {
+			continue
+		}
+		if v := fam.Series[0].Value; v < 0 || v > 60 {
+			t.Fatalf("staleness = %v, want small and non-negative", v)
 		}
 	}
 }

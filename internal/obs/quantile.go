@@ -1,0 +1,76 @@
+package obs
+
+import "math"
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution by linear interpolation inside the fixed buckets, the
+// same estimator Prometheus's histogram_quantile applies server-side.
+// The answer is exact at bucket boundaries and off by at most one bucket
+// width inside a bucket — the resolution the ladder was chosen for. It
+// returns NaN when the histogram is empty or q is NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	buckets := make([]BucketCount, 0, len(h.uppers)+1)
+	var cum uint64
+	for i, u := range h.uppers {
+		cum += h.counts[i].Load()
+		buckets = append(buckets, BucketCount{Upper: u, Count: cum})
+	}
+	cum += h.counts[len(h.uppers)].Load()
+	buckets = append(buckets, BucketCount{Upper: math.Inf(1), Count: cum})
+	return QuantileFromBuckets(buckets, q)
+}
+
+// QuantileFromBuckets estimates the q-quantile from cumulative
+// Prometheus-style buckets (ascending upper bounds, the last one +Inf),
+// the shape Registry.Snapshot reports — so scrape consumers (the flight
+// recorder, /statusz) can derive p50/p95/p99 without touching the live
+// instrument. Mass in the +Inf bucket is attributed to the highest finite
+// bound: the estimator never invents values beyond the ladder.
+func QuantileFromBuckets(buckets []BucketCount, q float64) float64 {
+	if len(buckets) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].Count
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1 // the quantile of the first observation
+	}
+	idx := 0
+	for idx < len(buckets) && float64(buckets[idx].Count) < rank {
+		idx++
+	}
+	if idx >= len(buckets)-1 {
+		// Mass beyond the ladder: report the highest finite bound. A
+		// ladder with no finite bucket at all has nothing to interpolate.
+		if len(buckets) < 2 {
+			return math.NaN()
+		}
+		return buckets[len(buckets)-2].Upper
+	}
+	upper := buckets[idx].Upper
+	lower := 0.0
+	var prevCount uint64
+	if idx > 0 {
+		lower = buckets[idx-1].Upper
+		prevCount = buckets[idx-1].Count
+	}
+	if upper <= 0 {
+		// Ladders are positive in this codebase; a non-positive bound has
+		// no meaningful zero-origin, so answer the bound itself.
+		return upper
+	}
+	inBucket := float64(buckets[idx].Count - prevCount)
+	if inBucket <= 0 {
+		return upper
+	}
+	return lower + (upper-lower)*(rank-float64(prevCount))/inBucket
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// linBuckets returns n linearly spaced upper bounds step, 2*step, ...
+func linBuckets(step float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = step * float64(i+1)
+	}
+	return out
+}
+
+// TestQuantileUniform checks the estimator against a uniform distribution,
+// where every quantile has a closed form: observing 1..1000 uniformly, the
+// q-quantile is 1000q, and linear interpolation inside 100-wide buckets
+// recovers it to within one observation.
+func TestQuantileUniform(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("u", "", linBuckets(100, 10))
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 500}, {0.95, 950}, {0.99, 990}, {0.10, 100}, {1.00, 1000},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 1.0 {
+			t.Errorf("uniform p%v = %v, want %v +-1", tc.q*100, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileHandPlaced pins the interpolation arithmetic on a tiny
+// hand-computed case: buckets (0,1] (1,2] (2,4] holding 1, 1, and 2
+// observations.
+func TestQuantileHandPlaced(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(3)
+	h.Observe(4)
+	// total=4. p50: rank 2 -> second bucket full -> exactly its upper, 2.
+	if got := h.Quantile(0.5); math.Abs(got-2) > 1e-9 {
+		t.Errorf("p50 = %v, want 2", got)
+	}
+	// p75: rank 3 -> halfway through (2,4] -> 3.
+	if got := h.Quantile(0.75); math.Abs(got-3) > 1e-9 {
+		t.Errorf("p75 = %v, want 3", got)
+	}
+	// p25: rank 1 -> all of the first bucket -> its upper, 1.
+	if got := h.Quantile(0.25); math.Abs(got-1) > 1e-9 {
+		t.Errorf("p25 = %v, want 1", got)
+	}
+}
+
+// TestQuantileSkew checks a heavily skewed distribution on the standard
+// exponential ladder: 99% of mass at ~1ms, 1% at ~1s. p50 must land in the
+// low-millisecond bucket, p99.5 in the second mode.
+func TestQuantileSkew(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("s", "", DurationBuckets())
+	for i := 0; i < 990; i++ {
+		h.Observe(0.001)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1.0)
+	}
+	if p50 := h.Quantile(0.50); p50 < 0.0005 || p50 > 0.0025 {
+		t.Errorf("p50 = %v, want ~1ms", p50)
+	}
+	if p995 := h.Quantile(0.995); p995 < 0.5 || p995 > 2.5 {
+		t.Errorf("p99.5 = %v, want ~1s", p995)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("e", "", []float64{1, 2})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram quantile = %v, want NaN", got)
+	}
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("NaN quantile = %v, want NaN", got)
+	}
+
+	// All mass beyond the ladder: the estimator answers the highest finite
+	// bound rather than inventing a value.
+	h.Observe(100)
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("overflow-only quantile = %v, want highest finite bound 2", got)
+	}
+
+	// Out-of-range q clamps instead of failing.
+	h2 := r.Histogram("e2", "", []float64{1, 2})
+	h2.Observe(0.5)
+	if got := h2.Quantile(-3); math.IsNaN(got) {
+		t.Error("q<0 returned NaN, want clamp")
+	}
+	if got := h2.Quantile(7); math.IsNaN(got) {
+		t.Error("q>1 returned NaN, want clamp")
+	}
+}
+
+// TestQuantileFromSnapshotBuckets checks the snapshot-side entry point the
+// flight recorder uses: quantiles derived from Snapshot() buckets must
+// agree with the live instrument's.
+func TestQuantileFromSnapshotBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("snap", "", linBuckets(10, 10))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	var buckets []BucketCount
+	for _, f := range r.Snapshot() {
+		if f.Name == "snap" {
+			buckets = f.Series[0].Buckets
+		}
+	}
+	if buckets == nil {
+		t.Fatal("snapshot missing histogram buckets")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		if live, snap := h.Quantile(q), QuantileFromBuckets(buckets, q); live != snap {
+			t.Errorf("q=%v: live %v != snapshot %v", q, live, snap)
+		}
+	}
+}

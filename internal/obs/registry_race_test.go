@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotConcurrentWithRegistration hammers Registry.Snapshot while
+// other goroutines register new instruments and write to existing ones.
+// Under -race this proves the scrape path (the flight recorder's cadence)
+// never needs external synchronisation against instrument churn.
+func TestSnapshotConcurrentWithRegistration(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers: register fresh instruments of every kind and touch them.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lbl := L("w", fmt.Sprintf("%d_%d", w, i%17))
+				reg.Counter("race_ctr", "", lbl).Inc()
+				reg.Gauge("race_gauge", "", lbl).Set(float64(i))
+				reg.Histogram("race_hist", "", []float64{1, 2, 4}, lbl).Observe(float64(i % 5))
+				if i%29 == 0 {
+					v := float64(i)
+					reg.GaugeFunc("race_fn", "", func() float64 { return v },
+						L("w", fmt.Sprintf("fn%d_%d", w, i)))
+				}
+			}
+		}(w)
+	}
+
+	// Readers: continuous scrapes, checking basic shape invariants.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, fam := range reg.Snapshot() {
+					if fam.Name == "" {
+						t.Error("snapshot family with empty name")
+						return
+					}
+					for _, s := range fam.Series {
+						if fam.Kind == KindHistogram.String() && len(s.Buckets) == 0 {
+							t.Errorf("histogram %s series without buckets", fam.Name)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 200; i++ {
+		reg.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+}

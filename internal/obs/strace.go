@@ -36,10 +36,11 @@ type StructuralTrace struct {
 	sample uint64 // keep 1 of every sample decisions per op kind
 	seq    atomic.Uint64
 
-	mu   sync.Mutex
-	buf  []StructuralEvent // ring storage, cap fixed at construction
-	next int               // ring write position once buf is full
-	kept uint64
+	mu      sync.Mutex
+	buf     []StructuralEvent // ring storage, cap fixed at construction
+	next    int               // ring write position once buf is full
+	kept    uint64
+	evicted uint64 // kept events overwritten before any export saw them
 }
 
 // NewStructuralTrace keeps 1 in sample decisions in a ring of capacity
@@ -82,6 +83,7 @@ func (st *StructuralTrace) keep(ev StructuralEvent, seq uint64) {
 	} else {
 		st.buf[st.next] = ev
 		st.next = (st.next + 1) % len(st.buf)
+		st.evicted++
 	}
 	st.kept++
 	st.mu.Unlock()
@@ -95,6 +97,16 @@ func (st *StructuralTrace) Kept() uint64 {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.kept
+}
+
+// Evicted returns how many kept events the ring has overwritten. A
+// nonzero, growing value means an event storm is rotating history out
+// faster than anyone exports it — exported as rap_trace_evicted_total so
+// the silent overwrite is visible and alertable.
+func (st *StructuralTrace) Evicted() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.evicted
 }
 
 // Events returns the retained events oldest-first.

@@ -35,6 +35,29 @@ func TestStructuralTraceSamplingAndRing(t *testing.T) {
 	}
 }
 
+func TestStructuralTraceEvictions(t *testing.T) {
+	st := NewStructuralTrace(1, 8)
+	for i := 0; i < 6; i++ {
+		st.Record(StructuralEvent{Op: "split"})
+	}
+	if got := st.Evicted(); got != 0 {
+		t.Fatalf("evicted = %d before the ring filled, want 0", got)
+	}
+	for i := 0; i < 14; i++ {
+		st.Record(StructuralEvent{Op: "split"})
+	}
+	// 20 kept into a ring of 8: the first 12 were overwritten.
+	if got := st.Evicted(); got != 12 {
+		t.Fatalf("evicted = %d, want 12", got)
+	}
+	if got := st.Kept(); got != 20 {
+		t.Fatalf("kept = %d, want 20 (evictions still count as kept)", got)
+	}
+	if got := len(st.Events()); got != 8 {
+		t.Fatalf("retained = %d, want 8", got)
+	}
+}
+
 func TestStructuralTraceJSONL(t *testing.T) {
 	st := NewStructuralTrace(1, 16)
 	st.Record(StructuralEvent{Op: "split", Shard: "0", Lo: 1, Hi: 2, Depth: 3, Count: 4, Threshold: 5.5, N: 6})
