@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rapbench [-n events] [-seed s] [-json] fig2|fig3|fig5|fig6|fig7|fig8|fig9|fig10|hw|headline|narrow|ablations|adversarial|micro|all
+//	rapbench [-n events] [-seed s] [-json] fig2|fig3|fig5|fig6|fig7|fig8|fig9|fig10|hw|headline|narrow|ablations|contendedquery|adversarial|micro|all
 //
 // With -json each experiment is emitted as one machine-readable envelope
 // (experiment name, scale, wall time, events/sec, and the full result
@@ -30,7 +30,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of prose tables")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rapbench [-n events] [-seed s] [-json] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 hw headline narrow ablations mini extensions contended adversarial micro all\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 hw headline narrow ablations mini extensions contended contendedquery adversarial micro all\n")
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -66,7 +66,7 @@ func (m multi) Print(w io.Writer) {
 var order = []string{
 	"fig2", "fig3", "fig5", "fig6", "fig7", "fig8",
 	"fig9", "fig10", "hw", "headline", "narrow", "ablations", "mini", "extensions",
-	"contended", "adversarial",
+	"contended", "contendedquery", "adversarial",
 }
 
 // measure executes one experiment and returns its result. It is the
@@ -112,6 +112,8 @@ func measure(name string, o experiments.Options) (printable, error) {
 		return wrap(experiments.Mini(o))
 	case "contended":
 		return wrap(experiments.Contended(o))
+	case "contendedquery":
+		return wrap(experiments.ContendedQuery(o))
 	case "adversarial":
 		return wrap(experiments.Adversarial(o))
 	case "micro":

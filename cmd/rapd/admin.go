@@ -41,6 +41,11 @@ type admin struct {
 //	/readyz        200 only while every health check passes
 //	/trace         sampled structural events as JSONL
 //	/audit         a fresh accuracy-audit pass as JSON (404 without -audit)
+//	/v1/estimate   lower bound + certified bracket for ?lo=&hi= (epoch-served)
+//	/v1/hotranges  hot ranges at ?theta= (epoch-served)
+//	/v1/stats      profile counters at the epoch cut
+//	               (all /v1 answers carry X-RAP-Epoch-Seq/-Cut staleness
+//	               headers and return 429 while admission is at Siege)
 //	/vars          flight-recorder windowed series queries
 //	/alerts        alert rule states as JSON
 //	/statusz       human-readable status page
@@ -95,11 +100,18 @@ func (a *admin) handler() http.Handler {
 			})
 			return
 		}
+		// The epoch sequence current when this pass ran, so operators can
+		// line the verdict up with published snapshots and /v1 answers.
+		resp := struct {
+			audit.Report
+			EpochSeq uint64 `json:"epoch_seq"`
+		}{Report: rep, EpochSeq: a.epochSeq()}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(rep)
+		enc.Encode(resp)
 	})
+	a.registerQueryAPI(mux)
 	if a.rec != nil {
 		mux.Handle("/vars", a.rec)
 		mux.Handle("/alerts", a.eng)
@@ -194,6 +206,15 @@ func (a *admin) ready(now time.Time) (bool, string) {
 	return true, ""
 }
 
+// epochSeq reports the engine's current published epoch sequence, 0 when
+// the epoch read path is disabled.
+func (a *admin) epochSeq() uint64 {
+	if pub := a.in.Engine().Publisher(); pub != nil {
+		return pub.Seq()
+	}
+	return 0
+}
+
 // facts are the host rows on /statusz: the engine-level answers an
 // operator checks first.
 func (a *admin) facts() []flight.Fact {
@@ -202,6 +223,15 @@ func (a *admin) facts() []flight.Fact {
 		{Key: "events (n)", Value: fmt.Sprintf("%d", st.N)},
 		{Key: "nodes", Value: fmt.Sprintf("%d", st.Nodes)},
 		{Key: "dropped", Value: fmt.Sprintf("%d", st.Dropped)},
+	}
+	if pub := a.in.Engine().Publisher(); pub != nil {
+		out = append(out, flight.Fact{Key: "epoch seq", Value: fmt.Sprintf("%d", pub.Seq())})
+		if e := pub.Current(); e != nil {
+			out = append(out, flight.Fact{
+				Key:   "epoch age",
+				Value: time.Since(e.PublishedAt()).Round(time.Millisecond).String(),
+			})
+		}
 	}
 	if adm := a.in.Admission(); adm != nil {
 		ws := adm.WatchdogState()

@@ -1,0 +1,289 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"rap/internal/ingest"
+	"rap/internal/obs"
+)
+
+// TestQueryAPIEndToEnd runs a read-snapshot pipeline and exercises the
+// /v1 surface like a client would: schema, staleness headers, epoch
+// monotonicity across requests, bound consistency, and input validation.
+func TestQueryAPIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	zipf := rand.NewZipf(rng, 1.2, 8, 1<<20-1)
+	vals := make([]uint64, 40_000)
+	for i := range vals {
+		vals[i] = zipf.Uint64()
+	}
+	path := filepath.Join(dir, "events.trace")
+	writeTrace(t, path, vals)
+
+	c := cliConfig{
+		traces: []string{path},
+		shards: 2, drop: "block", epsilon: 0.05, universe: 20, branch: 4,
+		readTimeout: 5 * time.Second, maxRetries: 2,
+		readSnapshots: true, snapshotEvery: 1024, snapshotMaxStale: time.Second,
+		audit: true, auditEvery: time.Hour,
+		auditRanges: 16, auditSpanBits: 8, auditSample: 16,
+	}
+	opts, err := c.options(discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Metrics = obs.NewRegistry()
+	specs, err := c.specs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ingest.Open(opts, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := &admin{in: in, reg: opts.Metrics, aud: in.Auditor(), start: time.Now()}
+	addr, stop, err := serveAdmin("127.0.0.1:0", a, discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	base := "http://" + addr
+
+	if err := in.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// /v1/estimate: schema, headers, and the bracket invariant.
+	code, body, hdr := get(t, base+"/v1/estimate?lo=0&hi=1048575")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/estimate = %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/v1/estimate content type %q", ct)
+	}
+	var est struct {
+		Lo       uint64 `json:"lo"`
+		Hi       uint64 `json:"hi"`
+		Estimate uint64 `json:"estimate"`
+		Low      uint64 `json:"low"`
+		High     uint64 `json:"high"`
+		Epoch    struct {
+			Seq        uint64  `json:"seq"`
+			CutEvents  uint64  `json:"cut_events"`
+			AgeSeconds float64 `json:"age_seconds"`
+		} `json:"epoch"`
+	}
+	if err := json.Unmarshal([]byte(body), &est); err != nil {
+		t.Fatalf("/v1/estimate not JSON: %v\n%s", err, body)
+	}
+	if est.Epoch.Seq == 0 {
+		t.Fatalf("epoch seq 0 with -read-snapshots on:\n%s", body)
+	}
+	if est.Low > est.High || est.Estimate > est.High {
+		t.Fatalf("bracket inverted: estimate=%d low=%d high=%d", est.Estimate, est.Low, est.High)
+	}
+	// Full-universe upper bound is the cut's event count.
+	if est.High != est.Epoch.CutEvents {
+		t.Fatalf("full-range high = %d, cut events = %d", est.High, est.Epoch.CutEvents)
+	}
+	hseq, err := strconv.ParseUint(hdr.Get("X-RAP-Epoch-Seq"), 10, 64)
+	if err != nil || hseq != est.Epoch.Seq {
+		t.Fatalf("X-RAP-Epoch-Seq = %q, body says %d", hdr.Get("X-RAP-Epoch-Seq"), est.Epoch.Seq)
+	}
+	if hcut := hdr.Get("X-RAP-Epoch-Cut"); hcut != strconv.FormatUint(est.Epoch.CutEvents, 10) {
+		t.Fatalf("X-RAP-Epoch-Cut = %q, body says %d", hcut, est.Epoch.CutEvents)
+	}
+
+	// /v1/hotranges: the skew must surface and every range respects theta.
+	code, body, hdr = get(t, base+"/v1/hotranges?theta=0.01")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/hotranges = %d: %s", code, body)
+	}
+	var hot struct {
+		Theta  float64 `json:"theta"`
+		N      uint64  `json:"n"`
+		Ranges []struct {
+			Lo     uint64  `json:"lo"`
+			Hi     uint64  `json:"hi"`
+			Weight uint64  `json:"weight"`
+			Frac   float64 `json:"frac"`
+		} `json:"ranges"`
+		Epoch struct {
+			Seq uint64 `json:"seq"`
+		} `json:"epoch"`
+	}
+	if err := json.Unmarshal([]byte(body), &hot); err != nil {
+		t.Fatalf("/v1/hotranges not JSON: %v\n%s", err, body)
+	}
+	if len(hot.Ranges) == 0 {
+		t.Fatalf("no hot ranges on a zipf stream:\n%s", body)
+	}
+	for _, r := range hot.Ranges {
+		if r.Lo > r.Hi || r.Frac < hot.Theta {
+			t.Fatalf("bad hot range %+v at theta %v", r, hot.Theta)
+		}
+	}
+	if s := hdr.Get("X-RAP-Epoch-Seq"); s != strconv.FormatUint(hot.Epoch.Seq, 10) {
+		t.Fatalf("hotranges header seq %q vs body %d", s, hot.Epoch.Seq)
+	}
+	// Epochs never run backwards between requests.
+	if hot.Epoch.Seq < est.Epoch.Seq {
+		t.Fatalf("epoch seq went backwards across requests: %d then %d", est.Epoch.Seq, hot.Epoch.Seq)
+	}
+
+	// /v1/stats reconciles with the engine.
+	code, body, _ = get(t, base+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/stats = %d: %s", code, body)
+	}
+	var st struct {
+		N     uint64 `json:"n"`
+		Nodes int    `json:"nodes"`
+		Epoch struct {
+			Seq       uint64 `json:"seq"`
+			CutEvents uint64 `json:"cut_events"`
+		} `json:"epoch"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/v1/stats not JSON: %v\n%s", err, body)
+	}
+	if st.N != uint64(len(vals)) {
+		t.Fatalf("/v1/stats n = %d after final publish, want %d", st.N, len(vals))
+	}
+	if st.Nodes == 0 || st.N != st.Epoch.CutEvents {
+		t.Fatalf("/v1/stats inconsistent: %s", body)
+	}
+
+	// Validation: missing params, inverted range, bad theta.
+	for _, u := range []string{
+		"/v1/estimate",
+		"/v1/estimate?lo=10&hi=2",
+		"/v1/estimate?lo=abc&hi=2",
+		"/v1/hotranges?theta=0",
+		"/v1/hotranges?theta=1.5",
+		"/v1/hotranges?theta=x",
+	} {
+		if code, body, _ := get(t, base+u); code != http.StatusBadRequest {
+			t.Fatalf("%s = %d, want 400: %s", u, code, body)
+		}
+	}
+
+	// Hex input is accepted (profile ranges are usually addresses).
+	if code, _, _ := get(t, base+"/v1/estimate?lo=0x0&hi=0xfffff"); code != http.StatusOK {
+		t.Fatalf("hex range rejected with %d", code)
+	}
+
+	// /audit carries the epoch sequence next to the verdict.
+	code, body, _ = get(t, base+"/audit")
+	if code != http.StatusOK {
+		t.Fatalf("/audit = %d: %s", code, body)
+	}
+	var rep struct {
+		Verdict  string `json:"verdict"`
+		EpochSeq uint64 `json:"epoch_seq"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/audit not JSON: %v", err)
+	}
+	if rep.Verdict != "ok" {
+		t.Fatalf("/audit verdict %q against epoch-served engine:\n%s", rep.Verdict, body)
+	}
+	if rep.EpochSeq == 0 {
+		t.Fatalf("/audit missing epoch_seq:\n%s", body)
+	}
+
+	// /statusz facts expose the epoch sequence for operators.
+	found := false
+	for _, f := range a.facts() {
+		if f.Key == "epoch seq" {
+			found = true
+			if f.Value == "0" {
+				t.Fatalf("statusz epoch seq fact is %q", f.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("statusz facts missing the epoch seq row")
+	}
+
+	// The rap_epoch_* gauges are wired and sane.
+	_, body, _ = get(t, base+"/metrics")
+	sc := parseProm(t, body)
+	if sc.samples["rap_epoch_seq"] < 1 {
+		t.Fatalf("rap_epoch_seq = %v, want >= 1", sc.samples["rap_epoch_seq"])
+	}
+	if got := sc.samples["rap_epoch_cut_events"]; got != float64(len(vals)) {
+		t.Fatalf("rap_epoch_cut_events = %v, want %d", got, len(vals))
+	}
+	if sc.samples["rap_epoch_published_total"] < 1 {
+		t.Fatal("rap_epoch_published_total missing")
+	}
+	if sc.samples["rap_epoch_pinned_readers"] != 0 {
+		t.Fatalf("pinned readers leaked: %v", sc.samples["rap_epoch_pinned_readers"])
+	}
+}
+
+// TestQueryAPIWithoutSnapshots: /v1 still answers when -read-snapshots
+// is off, via a one-off detached cut with seq 0.
+func TestQueryAPIWithoutSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	vals := make([]uint64, 5_000)
+	for i := range vals {
+		vals[i] = uint64(i % 512)
+	}
+	path := filepath.Join(dir, "events.trace")
+	writeTrace(t, path, vals)
+
+	c := cliConfig{
+		traces: []string{path},
+		shards: 2, drop: "block", epsilon: 0.05, universe: 20, branch: 4,
+		readTimeout: 5 * time.Second, maxRetries: 2,
+	}
+	opts, err := c.options(discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := c.specs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ingest.Open(opts, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &admin{in: in, reg: obs.NewRegistry(), start: time.Now()}
+	addr, stop, err := serveAdmin("127.0.0.1:0", a, discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	if err := in.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	code, body, hdr := get(t, "http://"+addr+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/stats = %d: %s", code, body)
+	}
+	if hdr.Get("X-RAP-Epoch-Seq") != "0" {
+		t.Fatalf("detached answer should carry seq 0, got %q", hdr.Get("X-RAP-Epoch-Seq"))
+	}
+	var st struct {
+		N uint64 `json:"n"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.N != uint64(len(vals)) {
+		t.Fatalf("/v1/stats n = %d, want %d", st.N, len(vals))
+	}
+}

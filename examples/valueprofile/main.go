@@ -1,6 +1,11 @@
 // Valueprofile: reproduce the paper's Figure 5 use case — summarize every
 // load value a program produces into nested hot ranges, the summary that
 // guides value-range specialization, value prediction, and bus encoding.
+//
+// Analysis runs against a pinned epoch rather than the live profiler:
+// every table below describes one consistent cut of the stream, the way
+// a dashboard or offline pass should read a profile that is still being
+// fed.
 package main
 
 import (
@@ -26,36 +31,50 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := rap.DefaultConfig() // 64-bit values, eps = 1%
-	tree := rap.MustNewTree(cfg)
+	// 64-bit values, eps = 1%; the ingest loop only needs the Writer
+	// facet of the profiler.
+	p, err := rap.New(rap.WithEpsilon(0.01))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var w rap.Writer = p
 	src := trace.Limit(b.Values(*seed, *events), *events)
 	for {
 		e, ok := src.Next()
 		if !ok {
 			break
 		}
-		tree.AddN(e.Value, e.Weight)
+		w.AddN(e.Value, e.Weight)
 	}
-	st := tree.Finalize()
+	st := w.Finalize()
+
+	// Pin one epoch and run every analysis against it: the hot tree, the
+	// coverage curve, and the nested-range accounting all describe the
+	// same cut.
+	ep, ok := rap.ReaderOf(p)
+	if !ok {
+		log.Fatal("engine has no consistent read path")
+	}
+	defer ep.Release()
 
 	fmt.Printf("%s: %d load values summarized in %d bytes\n", *bench, st.N, st.MemoryBytes)
 	fmt.Println("\nhot value ranges (>= 10% of all loads), Figure 5 style:")
-	if err := analysis.RenderHotTree(os.Stdout, tree, 0.10); err != nil {
+	if err := analysis.RenderHotTree(os.Stdout, ep.Tree(), 0.10); err != nil {
 		log.Fatal(err)
 	}
 
 	// The hierarchical summary answers width questions directly: how many
 	// bits suffice to cover most loads? (the encoding decision).
 	fmt.Println("\ncumulative coverage by hot ranges of width <= 2^k:")
-	curve := analysis.CoverageCurve(tree, 0.10)
+	curve := analysis.CoverageCurve(ep.Tree(), 0.10)
 	for k := 0; k <= 64; k += 8 {
 		fmt.Printf("  width 2^%-3d %5.1f%%\n", k, 100*analysis.CoverageAt(curve, k))
 	}
 
 	// Nested range accounting exactly as the paper reads Figure 5: the
 	// share of [0, fe] including and excluding its hot sub-range.
-	inner := tree.Estimate(0, 0xe)
-	outer := tree.Estimate(0, 0xfe)
+	inner := ep.Estimate(0, 0xe)
+	outer := ep.Estimate(0, 0xfe)
 	fmt.Printf("\n[0,e] holds %.1f%%; [0,fe] holds %.1f%% (%.1f%% outside [0,e])\n",
 		frac(inner, st.N), frac(outer, st.N), frac(outer-inner, st.N))
 }

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // ConcurrentTree wraps a Tree with a mutex so several goroutines can feed
 // and query one profile. The paper's hardware processes one event per
@@ -9,12 +12,23 @@ import "sync"
 // several sockets) wants this wrapper instead. For very high ingest
 // rates, prefer per-source Trees and post-hoc aggregation over a shared
 // lock.
+//
+// With EnableReadSnapshots the query methods (Estimate, EstimateBounds,
+// HotRanges) stop taking the mutex entirely: they answer from the
+// current published Epoch, so reads never contend with ingest.
 type ConcurrentTree struct {
 	mu    sync.Mutex
 	tree  *Tree
 	hooks *Hooks   // survives Restore; reinstalled on the fresh tree
 	tap   Tap      // survives Restore like hooks; see SetTap
 	adm   Admitter // survives Restore like the tap; see SetAdmitter
+
+	// Epoch read path. pub is nil until EnableReadSnapshots; the cadence
+	// bookkeeping below is only touched under mu.
+	pub        atomic.Pointer[EpochPublisher]
+	pubEvery   uint64 // offered-mass backstop cadence between publishes
+	pubBatches uint64 // tree.mergeBatches at the last publish
+	pubMass    uint64 // offered mass (n + unadmitted) at the last publish
 }
 
 // NewConcurrent builds a mutex-guarded RAP tree.
@@ -80,7 +94,7 @@ func (c *ConcurrentTree) CloneCut(capture func(t *Tree)) *Tree {
 }
 
 // withLock runs fn on the wrapped tree with the mutex held. Every public
-// method delegates through it, so the locking discipline lives in exactly
+// read delegates through it, so the locking discipline lives in exactly
 // one place. fn must not call back into the ConcurrentTree.
 func (c *ConcurrentTree) withLock(fn func(t *Tree)) {
 	c.mu.Lock()
@@ -88,12 +102,83 @@ func (c *ConcurrentTree) withLock(fn func(t *Tree)) {
 	fn(c.tree)
 }
 
+// withWrite is withLock for mutators: after fn runs it gives the epoch
+// publisher (if enabled) a chance to cut a fresh snapshot, so every
+// merge batch — and at most pubEvery offered events — separates the
+// published read view from the live tree.
+func (c *ConcurrentTree) withWrite(fn func(t *Tree)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn(c.tree)
+	c.maybePublishLocked()
+}
+
+// maybePublishLocked publishes a fresh epoch when a merge batch ran
+// since the last publish (the arena was just compacted, so the clone is
+// as tight as it gets) or when the offered-mass backstop cadence lapsed.
+// Called with mu held.
+func (c *ConcurrentTree) maybePublishLocked() {
+	p := c.pub.Load()
+	if p == nil {
+		return
+	}
+	mass := c.tree.n + c.tree.unadmitted
+	if c.tree.mergeBatches == c.pubBatches && mass-c.pubMass < c.pubEvery {
+		return
+	}
+	p.Publish(c.tree.Clone())
+	c.pubBatches = c.tree.mergeBatches
+	c.pubMass = mass
+}
+
+// EnableReadSnapshots switches the query methods to the epoch read path:
+// an immutable clone of the tree is published after every merge batch
+// (and at most every `every` offered events as a backstop; 0 selects
+// DefaultPublishEvery), and Estimate/EstimateBounds/HotRanges answer
+// from the latest published epoch without taking the mutex. Idempotent;
+// the first call publishes an initial epoch so readers never observe an
+// empty window.
+func (c *ConcurrentTree) EnableReadSnapshots(every uint64) {
+	if every == 0 {
+		every = DefaultPublishEvery
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pub.Load() != nil {
+		return
+	}
+	c.pubEvery = every
+	p := NewEpochPublisher()
+	p.Publish(c.tree.Clone())
+	c.pubBatches = c.tree.mergeBatches
+	c.pubMass = c.tree.n + c.tree.unadmitted
+	c.pub.Store(p)
+}
+
+// Publisher returns the epoch publisher, or nil when read snapshots are
+// disabled. Intended for observability (epoch metrics) and tests.
+func (c *ConcurrentTree) Publisher() *EpochPublisher { return c.pub.Load() }
+
+// Reader returns a pinned consistent epoch for multi-query consistency:
+// every query on the returned Epoch describes the same instant of the
+// stream. The caller must Release it. When read snapshots are disabled
+// this degrades to a detached clone cut under the lock — same API, one
+// extra copy.
+func (c *ConcurrentTree) Reader() *Epoch {
+	if p := c.pub.Load(); p != nil {
+		if e := p.Acquire(); e != nil {
+			return e
+		}
+	}
+	return NewDetachedEpoch(c.CloneCut(nil))
+}
+
 // Add records one occurrence of p.
 func (c *ConcurrentTree) Add(p uint64) { c.AddN(p, 1) }
 
 // AddN records weight occurrences of p.
 func (c *ConcurrentTree) AddN(p uint64, weight uint64) {
-	c.withLock(func(t *Tree) { t.AddN(p, weight) })
+	c.withWrite(func(t *Tree) { t.AddN(p, weight) })
 }
 
 // AddBatch records a batch of points under one lock acquisition —
@@ -101,19 +186,19 @@ func (c *ConcurrentTree) AddN(p uint64, weight uint64) {
 // chunk runs through the tree's batched fast path (last-leaf cache), with
 // per-point Add semantics.
 func (c *ConcurrentTree) AddBatch(points []uint64) {
-	c.withLock(func(t *Tree) { t.AddBatch(points) })
+	c.withWrite(func(t *Tree) { t.AddBatch(points) })
 }
 
 // AddSamples records a chunk of weighted events under one lock
 // acquisition, with per-sample AddN semantics (see Tree.AddSamples).
 func (c *ConcurrentTree) AddSamples(samples []Sample) {
-	c.withLock(func(t *Tree) { t.AddSamples(samples) })
+	c.withWrite(func(t *Tree) { t.AddSamples(samples) })
 }
 
 // AddSorted records an ascending pre-sorted chunk under one lock
 // acquisition, coalescing equal-value runs (see Tree.AddSorted).
 func (c *ConcurrentTree) AddSorted(points []uint64) {
-	c.withLock(func(t *Tree) { t.AddSorted(points) })
+	c.withWrite(func(t *Tree) { t.AddSorted(points) })
 }
 
 // Merge folds a plain Tree into the profile under the lock (see
@@ -121,7 +206,7 @@ func (c *ConcurrentTree) AddSorted(points []uint64) {
 // never observed, so the tap (if any) is notified via TreeReplaced.
 func (c *ConcurrentTree) Merge(other *Tree) error {
 	var err error
-	c.withLock(func(t *Tree) {
+	c.withWrite(func(t *Tree) {
 		err = t.Merge(other)
 		if err == nil && c.tap != nil {
 			c.tap.TreeReplaced()
@@ -142,27 +227,50 @@ func (c *ConcurrentTree) Stats() (st Stats) {
 	return st
 }
 
-// Estimate returns the lower-bound estimate for [lo, hi].
+// Estimate returns the lower-bound estimate for [lo, hi]. With read
+// snapshots enabled it answers from the current epoch without locking
+// (the lower bound stays valid for the live stream: the tree only
+// grows); otherwise it takes the mutex.
 func (c *ConcurrentTree) Estimate(lo, hi uint64) (est uint64) {
+	if p := c.pub.Load(); p != nil {
+		if e := p.Current(); e != nil {
+			return e.Estimate(lo, hi)
+		}
+	}
 	c.withLock(func(t *Tree) { est = t.Estimate(lo, hi) })
 	return est
 }
 
-// EstimateBounds returns the bracketing estimates for [lo, hi].
+// EstimateBounds returns the bracketing estimates for [lo, hi]. With
+// read snapshots enabled the bracket describes the stream as of the
+// current epoch's cut (including the unadmitted ledger at that cut),
+// answered without locking.
 func (c *ConcurrentTree) EstimateBounds(lo, hi uint64) (low, high uint64) {
+	if p := c.pub.Load(); p != nil {
+		if e := p.Current(); e != nil {
+			return e.EstimateBounds(lo, hi)
+		}
+	}
 	c.withLock(func(t *Tree) { low, high = t.EstimateBounds(lo, hi) })
 	return low, high
 }
 
-// HotRanges reports the hot ranges at threshold theta.
+// HotRanges reports the hot ranges at threshold theta, from the current
+// epoch when read snapshots are enabled (lock-free), else under the
+// mutex.
 func (c *ConcurrentTree) HotRanges(theta float64) (hot []HotRange) {
+	if p := c.pub.Load(); p != nil {
+		if e := p.Current(); e != nil {
+			return e.HotRanges(theta)
+		}
+	}
 	c.withLock(func(t *Tree) { hot = t.HotRanges(theta) })
 	return hot
 }
 
 // Finalize compacts the tree and returns its statistics.
 func (c *ConcurrentTree) Finalize() (st Stats) {
-	c.withLock(func(t *Tree) { st = t.Finalize() })
+	c.withWrite(func(t *Tree) { st = t.Finalize() })
 	return st
 }
 
@@ -192,6 +300,13 @@ func (c *ConcurrentTree) Restore(data []byte) error {
 	}
 	if c.adm != nil {
 		c.adm.TreeReplaced()
+	}
+	// A restore is a wholesale replacement: publish immediately so epoch
+	// readers never keep serving the pre-restore profile.
+	if p := c.pub.Load(); p != nil {
+		p.Publish(c.tree.Clone())
+		c.pubBatches = c.tree.mergeBatches
+		c.pubMass = c.tree.n + c.tree.unadmitted
 	}
 	return nil
 }

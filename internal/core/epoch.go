@@ -1,0 +1,200 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultPublishEvery is the fallback publish cadence for epoch read
+// snapshots: a fresh epoch is cut after this much offered event weight
+// even if no merge batch ran in between. 64Ki events keeps worst-case
+// staleness small relative to any realistic merge interval while making
+// the clone cost (one slab copy) a rounding error per event.
+const DefaultPublishEvery = 1 << 16
+
+// Epoch is one immutable published snapshot of a profile: a read-only
+// clone of the tree cut at a known point in the stream, served without
+// any locks. Epochs are produced by an EpochPublisher (see
+// ConcurrentTree.EnableReadSnapshots and the sharded engine); queries on
+// an Epoch touch only the frozen clone, so they never contend with
+// ingest.
+//
+// Epochs obtained from EpochPublisher.Acquire are pinned and must be
+// released with Release exactly once; epochs observed via Current are
+// unpinned views valid for the duration of a single call chain. The Go
+// GC keeps the underlying arena alive as long as any reference exists —
+// pinning is lifecycle accounting (retirement is deferred until the
+// reader count drains), not a memory-safety requirement.
+type Epoch struct {
+	tree        *Tree
+	seq         uint64
+	cutN        uint64
+	publishedAt int64 // unix nanoseconds
+	pins        atomic.Int64
+	superseded  atomic.Bool
+	retiredMark atomic.Bool
+	pub         *EpochPublisher // nil for detached epochs
+}
+
+// NewDetachedEpoch wraps a standalone tree (typically a fresh CloneCut)
+// as an epoch outside any publisher: sequence 0, Release is a no-op.
+// Facade Reader() falls back to this when read snapshots are disabled,
+// so callers get one consistent-cut API either way.
+func NewDetachedEpoch(t *Tree) *Epoch {
+	return &Epoch{tree: t, cutN: t.N(), publishedAt: time.Now().UnixNano()}
+}
+
+// Seq is the epoch's publish sequence number, strictly increasing per
+// publisher starting at 1 (0 means detached). Operators use it to
+// correlate query answers, audits, and metrics scrapes.
+func (e *Epoch) Seq() uint64 { return e.seq }
+
+// CutN is the admitted event weight the profile had when this epoch was
+// cut — the "stream position" an answer from this epoch describes.
+func (e *Epoch) CutN() uint64 { return e.cutN }
+
+// PublishedAt is the wall-clock instant the epoch was published.
+func (e *Epoch) PublishedAt() time.Time { return time.Unix(0, e.publishedAt) }
+
+// N returns the admitted event weight at the cut (same as CutN).
+func (e *Epoch) N() uint64 { return e.cutN }
+
+// Estimate answers from the frozen snapshot; see Tree.Estimate.
+func (e *Epoch) Estimate(lo, hi uint64) uint64 { return e.tree.Estimate(lo, hi) }
+
+// EstimateBounds answers from the frozen snapshot; see
+// Tree.EstimateBounds. The upper bound includes the unadmitted ledger as
+// of the cut, so the certified bracket describes the offered stream at
+// the epoch's position.
+func (e *Epoch) EstimateBounds(lo, hi uint64) (low, high uint64) {
+	return e.tree.EstimateBounds(lo, hi)
+}
+
+// HotRanges answers from the frozen snapshot; see Tree.HotRanges.
+func (e *Epoch) HotRanges(theta float64) []HotRange { return e.tree.HotRanges(theta) }
+
+// Stats returns the frozen snapshot's counters.
+func (e *Epoch) Stats() Stats { return e.tree.Stats() }
+
+// Tree exposes the underlying frozen tree for read-only analysis
+// (rendering, coverage curves). Callers must not mutate it.
+func (e *Epoch) Tree() *Tree { return e.tree }
+
+// Release unpins an epoch obtained from Acquire. The last reader of a
+// superseded epoch retires it. Release on a detached epoch is a no-op.
+func (e *Epoch) Release() {
+	if e == nil || e.pub == nil {
+		return
+	}
+	e.pub.pinned.Add(-1)
+	if e.pins.Add(-1) == 0 {
+		e.maybeRetire()
+	}
+}
+
+// maybeRetire marks the epoch retired once it is superseded and has no
+// pinned readers. The CAS makes retirement count exactly once even when
+// the publisher and the last reader race here.
+func (e *Epoch) maybeRetire() {
+	if e.superseded.Load() && e.pins.Load() == 0 &&
+		e.retiredMark.CompareAndSwap(false, true) {
+		if e.pub != nil {
+			e.pub.retired.Add(1)
+		}
+	}
+}
+
+// EpochPublisher owns the single-writer/many-reader epoch lifecycle: the
+// writer publishes immutable clones with an atomic pointer swap; readers
+// either peek at the current epoch (Current, no pin) or pin one for
+// multi-query consistency (Acquire/Release). Superseded epochs are
+// retired once their reader count drains.
+//
+// Publish must be externally serialized (it is called under the writer's
+// lock on the concurrent engine, and under a publish mutex on the
+// sharded engine); everything else is safe from any goroutine.
+type EpochPublisher struct {
+	cur       atomic.Pointer[Epoch]
+	seq       atomic.Uint64
+	published atomic.Uint64
+	retired   atomic.Uint64
+	pinned    atomic.Int64
+	lastPub   atomic.Int64 // unix nanoseconds of the last publish
+}
+
+// NewEpochPublisher returns an empty publisher; Current returns nil
+// until the first Publish.
+func NewEpochPublisher() *EpochPublisher { return new(EpochPublisher) }
+
+// Publish freezes t as the new current epoch and supersedes the old one.
+// t must be a private clone the caller will never touch again — the
+// publisher takes ownership and serves queries from it lock-free.
+func (p *EpochPublisher) Publish(t *Tree) *Epoch {
+	e := &Epoch{
+		tree:        t,
+		seq:         p.seq.Add(1),
+		cutN:        t.N(),
+		publishedAt: time.Now().UnixNano(),
+		pub:         p,
+	}
+	old := p.cur.Swap(e)
+	p.published.Add(1)
+	p.lastPub.Store(e.publishedAt)
+	if old != nil {
+		old.superseded.Store(true)
+		old.maybeRetire()
+	}
+	return e
+}
+
+// Current returns the latest published epoch without pinning it, or nil
+// before the first publish. The returned epoch stays valid (the GC keeps
+// it alive), but a long-lived reader that wants a stable view across
+// several queries should use Acquire instead.
+func (p *EpochPublisher) Current() *Epoch { return p.cur.Load() }
+
+// Acquire pins and returns the current epoch, or nil before the first
+// publish. The caller must Release it exactly once. The pin-recheck loop
+// guarantees the returned epoch was current at some instant after the
+// pin landed, so its retirement is deferred until Release.
+func (p *EpochPublisher) Acquire() *Epoch {
+	for {
+		e := p.cur.Load()
+		if e == nil {
+			return nil
+		}
+		e.pins.Add(1)
+		p.pinned.Add(1)
+		if p.cur.Load() == e {
+			return e
+		}
+		// Superseded between load and pin: undo and retry on the newer one.
+		p.pinned.Add(-1)
+		if e.pins.Add(-1) == 0 {
+			e.maybeRetire()
+		}
+	}
+}
+
+// Seq is the sequence number of the most recently published epoch.
+func (p *EpochPublisher) Seq() uint64 { return p.seq.Load() }
+
+// Published is the total number of epochs published.
+func (p *EpochPublisher) Published() uint64 { return p.published.Load() }
+
+// Retired is the total number of superseded epochs whose reader count
+// drained.
+func (p *EpochPublisher) Retired() uint64 { return p.retired.Load() }
+
+// Pinned is the number of currently pinned readers across all epochs.
+func (p *EpochPublisher) Pinned() int64 { return p.pinned.Load() }
+
+// LastPublishedAt is the wall-clock instant of the most recent publish
+// (zero before the first).
+func (p *EpochPublisher) LastPublishedAt() time.Time {
+	ns := p.lastPub.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}

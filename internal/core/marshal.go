@@ -212,6 +212,11 @@ func (t *Tree) unmarshalNode(r *bytes.Reader, vi uint32, wantLo uint64, wantPlen
 	return nil
 }
 
+// Snapshot serializes the tree; it is MarshalBinary under the name every
+// engine shares, so the facade's Writer interface can promise
+// serialization uniformly.
+func (t *Tree) Snapshot() ([]byte, error) { return t.MarshalBinary() }
+
 func writeUvarint(buf *bytes.Buffer, x uint64) {
 	var tmp [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(tmp[:], x)

@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+)
 
 // SampledTree unifies RAP with sampling-based profiling, the combination
 // the paper's conclusion proposes ("It may further be possible to unify
@@ -125,3 +130,70 @@ func (s *SampledTree) Finalize() Stats {
 
 // Tree exposes the underlying RAP tree.
 func (s *SampledTree) Tree() *Tree { return s.tree }
+
+// Sampled snapshot format: "RAPK" | version | uvarint k, tick, n | a
+// length-prefixed core tree snapshot. The sampler state rides along so a
+// restore resumes the deterministic 1-in-k schedule at the exact raw
+// position the snapshot was cut at.
+const (
+	sampledMagic   = "RAPK"
+	sampledVersion = 1
+)
+
+// Snapshot serializes the sampler state and the underlying tree.
+func (s *SampledTree) Snapshot() ([]byte, error) {
+	inner, err := s.tree.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(sampledMagic)
+	buf.WriteByte(sampledVersion)
+	writeUvarint(&buf, s.k)
+	writeUvarint(&buf, s.tick)
+	writeUvarint(&buf, s.n)
+	writeUvarint(&buf, uint64(len(inner)))
+	buf.Write(inner)
+	return buf.Bytes(), nil
+}
+
+// Restore replaces the sampler's contents with a snapshot previously
+// produced by Snapshot. On decode error the sampler is left unchanged.
+func (s *SampledTree) Restore(data []byte) error {
+	r := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != sampledMagic {
+		return errors.New("core: bad sampled snapshot magic")
+	}
+	ver, err := r.ReadByte()
+	if err != nil || ver != sampledVersion {
+		return fmt.Errorf("core: unsupported sampled snapshot version %d", ver)
+	}
+	var derr error
+	k := mustUvarint(r, &derr)
+	tick := mustUvarint(r, &derr)
+	n := mustUvarint(r, &derr)
+	blobLen := mustUvarint(r, &derr)
+	if derr != nil {
+		return fmt.Errorf("core: truncated sampled snapshot: %w", derr)
+	}
+	if k == 0 || tick >= k {
+		return fmt.Errorf("core: sampled snapshot has invalid sampler state k=%d tick=%d", k, tick)
+	}
+	if blobLen > uint64(r.Len()) {
+		return fmt.Errorf("core: sampled snapshot tree blob length %d exceeds remaining %d bytes", blobLen, r.Len())
+	}
+	blob := make([]byte, blobLen)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return err
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("core: %d trailing bytes after sampled snapshot", r.Len())
+	}
+	var nt Tree
+	if err := nt.UnmarshalBinary(blob); err != nil {
+		return err
+	}
+	s.tree, s.k, s.tick, s.n = &nt, k, tick, n
+	return nil
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rap/internal/shard"
+	"rap/internal/stats"
+)
+
+// ContendedQueryRow is one feeder count measured with a fixed querier
+// pool hammering Estimate against the epoch read path while the feeders
+// ingest at full rate.
+type ContendedQueryRow struct {
+	Feeders   int
+	IngestEPS float64 // aggregate ingest events/sec across the feeders
+	QPS       float64 // aggregate Estimate queries/sec across the queriers
+	P50Micros float64 // median sampled query latency
+	P99Micros float64 // p99 sampled query latency
+	Epochs    uint64  // epochs published during the run
+}
+
+// ContendedQueryResult measures the epoch read path under write
+// contention: F feeder goroutines ingest pre-generated Zipf streams
+// through pinned shard handles at full rate while a fixed pool of
+// querier goroutines hammers Estimate on random ranges. Queries answer
+// from published epochs — zero lock acquisitions — so aggregate QPS and
+// query p99 should be independent of the feeder count; the feeders only
+// pay the publish cadence (one slab clone per shard every
+// SnapshotEvery offered events).
+type ContendedQueryResult struct {
+	Events     uint64 // ingest events per feeder count
+	Queriers   int
+	GOMAXPROCS int
+	Rows       []ContendedQueryRow
+}
+
+// ContendedQuery runs the contended-query experiment at 1, 2, 4, and 8
+// feeders with a fixed 4-querier pool.
+func ContendedQuery(o Options) (ContendedQueryResult, error) {
+	cfg := valueConfig(0.01)
+	const queriers = 4
+	const domain = uint64(1) << 20
+	r := ContendedQueryResult{
+		Events:     o.Events,
+		Queriers:   queriers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, feeders := range []int{1, 2, 4, 8} {
+		per := o.Events / uint64(feeders)
+		if per == 0 {
+			per = 1
+		}
+		streams := make([][]uint64, feeders)
+		for f := range streams {
+			rng := stats.NewSplitMix64(o.Seed + uint64(2000*feeders+f))
+			z := stats.NewZipf(rng, int(domain), 1.2)
+			s := make([]uint64, per)
+			for i := range s {
+				s[i] = uint64(z.Rank())
+			}
+			streams[f] = s
+		}
+
+		eng, err := shard.New(cfg, feeders)
+		if err != nil {
+			return ContendedQueryResult{}, err
+		}
+		eng.EnableReadSnapshots(0)
+
+		var done atomic.Bool
+		var queries atomic.Uint64
+		var qwg sync.WaitGroup
+		lat := make([][]float64, queriers)
+		for q := 0; q < queriers; q++ {
+			qwg.Add(1)
+			go func(q int) {
+				defer qwg.Done()
+				rng := stats.NewSplitMix64(o.Seed + uint64(9000+q))
+				samples := make([]float64, 0, 1<<16)
+				var n uint64
+				for !done.Load() {
+					lo := rng.Uint64n(domain)
+					span := rng.Uint64n(domain/8) + 1
+					hi := lo + span
+					// Sample 1-in-32 latencies so time.Now overhead stays off
+					// most queries and the samples slice stays bounded.
+					if n%32 == 0 && len(samples) < cap(samples) {
+						t0 := time.Now()
+						eng.Estimate(lo, hi)
+						samples = append(samples, float64(time.Since(t0).Nanoseconds())/1e3)
+					} else {
+						eng.Estimate(lo, hi)
+					}
+					n++
+				}
+				queries.Add(n)
+				lat[q] = samples
+			}(q)
+		}
+
+		var fwg sync.WaitGroup
+		start := time.Now()
+		for _, s := range streams {
+			fwg.Add(1)
+			go func(s []uint64) {
+				defer fwg.Done()
+				h := eng.Handle()
+				for _, v := range s {
+					h.Add(v)
+				}
+			}(s)
+		}
+		fwg.Wait()
+		elapsed := time.Since(start).Seconds()
+		done.Store(true)
+		qwg.Wait()
+		if elapsed <= 0 {
+			return ContendedQueryResult{}, fmt.Errorf("experiments: contended-query run too fast to time")
+		}
+
+		var all []float64
+		for _, s := range lat {
+			all = append(all, s...)
+		}
+		sort.Float64s(all)
+		row := ContendedQueryRow{
+			Feeders:   feeders,
+			IngestEPS: float64(uint64(feeders)*per) / elapsed,
+			QPS:       float64(queries.Load()) / elapsed,
+			P50Micros: percentileSorted(all, 0.50),
+			P99Micros: percentileSorted(all, 0.99),
+		}
+		if pub := eng.Publisher(); pub != nil {
+			row.Epochs = pub.Published()
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}
+
+// percentileSorted reads the p-quantile from an ascending-sorted slice
+// (nearest-rank); 0 on an empty slice.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Print renders the contended-query table.
+func (r ContendedQueryResult) Print(w io.Writer) {
+	header(w, "Contended queries: lock-free epoch reads under full-rate ingest")
+	fmt.Fprintf(w, "events per row: %d, queriers: %d, GOMAXPROCS: %d\n\n",
+		r.Events, r.Queriers, r.GOMAXPROCS)
+	fmt.Fprintf(w, "%-8s %-14s %-14s %-12s %-12s %s\n",
+		"feeders", "ingest e/s", "query q/s", "p50 (µs)", "p99 (µs)", "epochs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8d %-14.0f %-14.0f %-12.2f %-12.2f %d\n",
+			row.Feeders, row.IngestEPS, row.QPS, row.P50Micros, row.P99Micros, row.Epochs)
+	}
+	fmt.Fprintf(w, "\n(queries answer from published epochs with zero lock acquisitions,\n")
+	fmt.Fprintf(w, " so q/s and p99 should not degrade as feeders grow)\n")
+}

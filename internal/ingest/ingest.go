@@ -165,6 +165,24 @@ type Options struct {
 	// it can escalate on arena pressure and — crucially — notice calm and
 	// de-escalate even when the gates see no traffic.
 	AdmissionObserveEvery time.Duration
+
+	// ReadSnapshots enables the epoch-published read path on the engine:
+	// immutable merged snapshots are published on a cadence and
+	// Estimate/EstimateBounds/HotRanges answer from the current epoch
+	// with zero lock acquisitions, so queries (the rapd /v1 API, audits'
+	// operators, dashboards) never contend with ingest.
+	ReadSnapshots bool
+
+	// SnapshotEvery is the offered-event cadence between epoch publishes
+	// (default core.DefaultPublishEvery, 64Ki events). Only meaningful
+	// with ReadSnapshots.
+	SnapshotEvery uint64
+
+	// SnapshotMaxStale bounds wall-clock epoch staleness on slow or idle
+	// streams (default 1s): Run publishes a fresh epoch on this cadence
+	// whenever events arrived since the last publish. Only meaningful
+	// with ReadSnapshots.
+	SnapshotMaxStale time.Duration
 }
 
 // logfHandler is a minimal slog.Handler that renders records through a
@@ -231,6 +249,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AdmissionObserveEvery <= 0 {
 		o.AdmissionObserveEvery = time.Second
+	}
+	if o.SnapshotMaxStale <= 0 {
+		o.SnapshotMaxStale = time.Second
 	}
 	if o.Logger == nil {
 		logf := o.Logf
@@ -401,6 +422,12 @@ func Open(opts Options, specs []SourceSpec) (*Ingestor, error) {
 			}
 		}
 	}
+	// Enable the epoch read path after restore so the initial epoch
+	// already carries any recovered state (and before metrics register,
+	// so the rap_epoch_* gauges find a live publisher).
+	if opts.ReadSnapshots {
+		engine.EnableReadSnapshots(opts.SnapshotEvery)
+	}
 	// Install the admission frontend before the audit attaches: the gates
 	// must already be in place when the auditor reads its baseline, so the
 	// mass accounting (baseN + tapN == n + unadmitted) starts consistent.
@@ -543,6 +570,31 @@ func (in *Ingestor) registerMetrics() {
 			}
 			return time.Since(time.Unix(0, last)).Seconds()
 		})
+	if pub := in.engine.Publisher(); pub != nil {
+		reg.GaugeFunc("rap_epoch_seq", "Sequence number of the current published read epoch.",
+			func() float64 { return float64(pub.Seq()) })
+		reg.GaugeFunc("rap_epoch_cut_events", "Admitted event weight at the current epoch's cut.",
+			func() float64 {
+				if e := pub.Current(); e != nil {
+					return float64(e.CutN())
+				}
+				return 0
+			})
+		reg.GaugeFunc("rap_epoch_age_seconds", "Seconds since the current epoch was published — the wall-clock staleness of lock-free query answers.",
+			func() float64 {
+				at := pub.LastPublishedAt()
+				if at.IsZero() {
+					return -1
+				}
+				return time.Since(at).Seconds()
+			})
+		reg.GaugeFunc("rap_epoch_pinned_readers", "Readers currently holding a pinned epoch (Reader handles not yet released).",
+			func() float64 { return float64(pub.Pinned()) })
+		reg.CounterFunc("rap_epoch_published_total", "Epochs published since start.",
+			func() float64 { return float64(pub.Published()) })
+		reg.CounterFunc("rap_epoch_retired_total", "Superseded epochs whose reader count drained.",
+			func() float64 { return float64(pub.Retired()) })
+	}
 	if tr := in.opts.StructuralTrace; tr != nil {
 		reg.CounterFunc("rap_trace_evicted_total",
 			"Structural trace events the ring overwrote before any export read them.",
@@ -691,6 +743,30 @@ func (in *Ingestor) Run(ctx context.Context) error {
 		}()
 	}
 
+	stopPub := make(chan struct{})
+	var pubWg sync.WaitGroup
+	if in.opts.ReadSnapshots {
+		pubWg.Add(1)
+		go func() {
+			defer pubWg.Done()
+			tick := time.NewTicker(in.opts.SnapshotMaxStale)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					// Publish only when events arrived since the last epoch:
+					// an idle stream keeps its (already current) epoch instead
+					// of burning clones on nothing.
+					if in.engine.PublishPending() > 0 {
+						in.engine.PublishNow()
+					}
+				case <-stopPub:
+					return
+				}
+			}
+		}()
+	}
+
 	stopAudit := make(chan struct{})
 	var audWg sync.WaitGroup
 	if in.aud != nil {
@@ -719,6 +795,13 @@ func (in *Ingestor) Run(ctx context.Context) error {
 		close(q.ch)
 	}
 	workers.Wait()
+	close(stopPub)
+	pubWg.Wait()
+	if in.opts.ReadSnapshots {
+		// The queues are fully drained: publish one last epoch so readers
+		// see the complete stream.
+		in.engine.PublishNow()
+	}
 	close(stopAdm)
 	admWg.Wait()
 	close(stopAudit)

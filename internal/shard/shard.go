@@ -36,10 +36,23 @@ var ErrShardCount = errors.New("shard: snapshot shard count mismatch")
 
 // Engine is a sharded RAP profiler. Construction parameters are fixed for
 // the engine's lifetime; all methods are safe for concurrent use.
+//
+// With EnableReadSnapshots the engine periodically publishes an immutable
+// merged clone of all shards as an Epoch; Estimate, EstimateBounds, and
+// HotRanges then answer from the current epoch with zero lock
+// acquisitions, so queries never contend with ingest.
 type Engine struct {
 	cfg    core.Config
 	shards []*treeShard
 	next   atomic.Uint64 // round-robin cursor for Handle and Add
+
+	// Epoch read path. pub is nil until EnableReadSnapshots. pubMu
+	// serializes publishes (writer-side only — readers never touch it);
+	// pubPend counts offered events since the last publish.
+	pub      atomic.Pointer[core.EpochPublisher]
+	pubEvery atomic.Uint64
+	pubPend  atomic.Uint64
+	pubMu    sync.Mutex
 }
 
 // treeShard is one stripe: a tree and the lock that guards it. Shards are
@@ -86,14 +99,19 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // <= shards every handle owns its stripe exclusively and the hot path
 // never contends.
 type Handle struct {
-	sh *treeShard
+	sh  *treeShard
+	eng *Engine
 }
 
 // Handle returns a new ingest handle (see Handle type).
 func (e *Engine) Handle() *Handle {
 	i := e.next.Add(1) - 1
-	return &Handle{sh: e.shards[i%uint64(len(e.shards))]}
+	return &Handle{sh: e.shards[i%uint64(len(e.shards))], eng: e}
 }
+
+// Reader returns a pinned consistent epoch spanning the whole engine
+// (all shards merged), for multi-query consistency; see Engine.Reader.
+func (h *Handle) Reader() *core.Epoch { return h.eng.Reader() }
 
 // Add records one occurrence of p on the handle's shard.
 func (h *Handle) Add(p uint64) { h.AddN(p, 1) }
@@ -103,6 +121,7 @@ func (h *Handle) AddN(p uint64, weight uint64) {
 	h.sh.mu.Lock()
 	h.sh.tree.AddN(p, weight)
 	h.sh.mu.Unlock()
+	h.eng.notePub(weight)
 }
 
 // AddBatch records a run of points under one lock acquisition, through
@@ -111,6 +130,7 @@ func (h *Handle) AddBatch(points []uint64) {
 	h.sh.mu.Lock()
 	h.sh.tree.AddBatch(points)
 	h.sh.mu.Unlock()
+	h.eng.notePub(uint64(len(points)))
 }
 
 // AddSamples records a chunk of weighted events under one lock
@@ -120,6 +140,7 @@ func (h *Handle) AddSamples(samples []core.Sample) {
 	h.sh.mu.Lock()
 	h.sh.tree.AddSamples(samples)
 	h.sh.mu.Unlock()
+	h.eng.notePub(uint64(len(samples)))
 }
 
 // AddSorted records an ascending pre-sorted chunk under one lock
@@ -128,6 +149,7 @@ func (h *Handle) AddSorted(points []uint64) {
 	h.sh.mu.Lock()
 	h.sh.tree.AddSorted(points)
 	h.sh.mu.Unlock()
+	h.eng.notePub(uint64(len(points)))
 }
 
 // Add records one occurrence of p on a round-robin shard. Handle-free
@@ -143,6 +165,7 @@ func (e *Engine) AddN(p uint64, weight uint64) {
 	sh.mu.Lock()
 	sh.tree.AddN(p, weight)
 	sh.mu.Unlock()
+	e.notePub(weight)
 }
 
 // AddBatch records a batch of points on one round-robin shard under a
@@ -153,6 +176,7 @@ func (e *Engine) AddBatch(points []uint64) {
 	sh.mu.Lock()
 	sh.tree.AddBatch(points)
 	sh.mu.Unlock()
+	e.notePub(uint64(len(points)))
 }
 
 // AddSamples records a chunk of weighted events on one round-robin shard
@@ -163,6 +187,7 @@ func (e *Engine) AddSamples(samples []core.Sample) {
 	sh.mu.Lock()
 	sh.tree.AddSamples(samples)
 	sh.mu.Unlock()
+	e.notePub(uint64(len(samples)))
 }
 
 // WithShard runs fn on shard i's tree with that shard's lock held. It is
@@ -171,8 +196,128 @@ func (e *Engine) AddSamples(samples []core.Sample) {
 func (e *Engine) WithShard(i int, fn func(t *core.Tree)) {
 	sh := e.shards[i]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	before := sh.tree.N() + sh.tree.UnadmittedN()
 	fn(sh.tree)
+	after := sh.tree.N() + sh.tree.UnadmittedN()
+	sh.mu.Unlock()
+	// Direct-shard mutators (the ingest apply path) must still credit the
+	// publish cadence; the offered-mass delta is read under the same lock
+	// as the mutation, so the accounting is exact.
+	if after > before {
+		e.notePub(after - before)
+	}
+}
+
+// EnableReadSnapshots switches the engine's query methods to the epoch
+// read path: every `every` offered events (0 selects
+// core.DefaultPublishEvery) the shards are cloned — one slab copy per
+// shard, each under its own lock only — merged lock-free, and published
+// as an immutable Epoch. Estimate/EstimateBounds/HotRanges then answer
+// from the latest epoch with zero lock acquisitions. Idempotent; the
+// first call publishes an initial epoch so readers never observe an
+// empty window. Deployments without a steady event flow should also
+// call PublishNow on a timer to bound wall-clock staleness (the ingest
+// pipeline does this).
+func (e *Engine) EnableReadSnapshots(every uint64) {
+	if every == 0 {
+		every = core.DefaultPublishEvery
+	}
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	if e.pub.Load() != nil {
+		return
+	}
+	e.pubEvery.Store(every)
+	p := core.NewEpochPublisher()
+	e.publishInto(p)
+	e.pub.Store(p)
+}
+
+// Publisher returns the epoch publisher, or nil when read snapshots are
+// disabled. Intended for observability (epoch metrics) and tests.
+func (e *Engine) Publisher() *core.EpochPublisher { return e.pub.Load() }
+
+// Reader returns a pinned consistent epoch for multi-query consistency:
+// every query on the returned Epoch describes one merged cut of the
+// whole engine. The caller must Release it. When read snapshots are
+// disabled this degrades to a detached MergedTreeCut — same API, one
+// extra merge.
+func (e *Engine) Reader() *core.Epoch {
+	if p := e.pub.Load(); p != nil {
+		if ep := p.Acquire(); ep != nil {
+			return ep
+		}
+	}
+	return core.NewDetachedEpoch(e.MergedTreeCut(nil))
+}
+
+// notePub credits w offered events toward the publish cadence and, when
+// the cadence lapses, publishes a fresh epoch. TryLock keeps ingest from
+// convoying on the publish mutex: whoever loses the race just keeps
+// ingesting, and the pending counter carries over.
+func (e *Engine) notePub(w uint64) {
+	p := e.pub.Load()
+	if p == nil {
+		return
+	}
+	if e.pubPend.Add(w) < e.pubEvery.Load() {
+		return
+	}
+	if !e.pubMu.TryLock() {
+		return
+	}
+	defer e.pubMu.Unlock()
+	if e.pubPend.Load() < e.pubEvery.Load() {
+		return // raced: another publisher already cut this window
+	}
+	e.pubPend.Store(0)
+	e.publishInto(p)
+}
+
+// PublishNow unconditionally publishes a fresh epoch (no-op when read
+// snapshots are disabled). Timers use it to bound wall-clock staleness
+// on idle streams; Restore and AdoptShard use it so epoch readers never
+// keep serving a replaced profile.
+func (e *Engine) PublishNow() {
+	p := e.pub.Load()
+	if p == nil {
+		return
+	}
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	e.pubPend.Store(0)
+	e.publishInto(p)
+}
+
+// PublishPending reports the offered events credited since the last
+// publish (0 when read snapshots are disabled). A staleness timer can
+// skip PublishNow when nothing arrived.
+func (e *Engine) PublishPending() uint64 { return e.pubPend.Load() }
+
+// publishInto cuts and publishes one merged epoch: clone each shard
+// under its own lock (a single slab copy, so locks are held for a
+// memcpy, not a tree walk), then merge the private clones lock-free.
+// Callers serialize via pubMu so epoch sequence numbers match publish
+// order.
+func (e *Engine) publishInto(p *core.EpochPublisher) {
+	m := core.MustNew(e.cfg)
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		c := sh.tree.Clone()
+		sh.mu.Unlock()
+		if err := m.Merge(c); err != nil {
+			panic(err) // shard trees share the engine config by construction
+		}
+	}
+	p.Publish(m)
+}
+
+// republish refreshes the current epoch after a wholesale tree swap
+// (Restore, AdoptShard); no-op when read snapshots are disabled.
+func (e *Engine) republish() {
+	if e.pub.Load() != nil {
+		e.PublishNow()
+	}
 }
 
 // merged builds a one-off union of all shard trees. Shards are folded in
@@ -199,22 +344,62 @@ func (e *Engine) merged() *core.Tree {
 func (e *Engine) MergedTree() *core.Tree { return e.merged() }
 
 // Estimate returns the lower-bound estimate for [lo, hi] over the merged
-// view. The undershoot is at most eps*N() for tracked ranges.
+// view. The undershoot is at most eps*N() for tracked ranges. With read
+// snapshots enabled it answers from the current epoch with zero lock
+// acquisitions (the lower bound stays valid for the live stream: shards
+// only grow); otherwise it builds a fresh merged view.
 func (e *Engine) Estimate(lo, hi uint64) uint64 {
+	if p := e.pub.Load(); p != nil {
+		if ep := p.Current(); ep != nil {
+			return ep.Estimate(lo, hi)
+		}
+	}
 	return e.merged().Estimate(lo, hi)
 }
 
 // EstimateBounds returns the bracketing estimates for [lo, hi] over the
-// merged view.
+// merged view. With read snapshots enabled the bracket describes the
+// stream as of the current epoch's cut (including the unadmitted ledger
+// at that cut), answered lock-free.
 func (e *Engine) EstimateBounds(lo, hi uint64) (low, high uint64) {
+	if p := e.pub.Load(); p != nil {
+		if ep := p.Current(); ep != nil {
+			return ep.EstimateBounds(lo, hi)
+		}
+	}
 	return e.merged().EstimateBounds(lo, hi)
 }
 
 // HotRanges reports the ranges holding at least theta of the combined
 // stream, computed on the merged view so a range split across shards is
-// still found.
+// still found. Lock-free from the current epoch when read snapshots are
+// enabled.
 func (e *Engine) HotRanges(theta float64) []core.HotRange {
+	if p := e.pub.Load(); p != nil {
+		if ep := p.Current(); ep != nil {
+			return ep.HotRanges(theta)
+		}
+	}
 	return e.merged().HotRanges(theta)
+}
+
+// Merge folds a plain tree into one round-robin shard (see
+// core.Tree.Merge); other is only read. A successful merge adds mass the
+// shard's tap never observed, so the tap (if any) is notified via
+// TreeReplaced.
+func (e *Engine) Merge(other *core.Tree) error {
+	i := e.next.Add(1) - 1
+	sh := e.shards[i%uint64(len(e.shards))]
+	sh.mu.Lock()
+	err := sh.tree.Merge(other)
+	if err == nil && sh.tap != nil {
+		sh.tap.TreeReplaced()
+	}
+	sh.mu.Unlock()
+	if err == nil {
+		e.notePub(other.N())
+	}
+	return err
 }
 
 // N returns the total event weight across all shards.
@@ -484,6 +669,7 @@ func (e *Engine) Restore(data []byte) error {
 		}
 		sh.mu.Unlock()
 	}
+	e.republish()
 	return nil
 }
 
@@ -504,6 +690,7 @@ func (e *Engine) AdoptShard(i int, t *core.Tree) {
 		sh.adm.TreeReplaced()
 	}
 	sh.mu.Unlock()
+	e.republish()
 }
 
 func writeUvarint(buf *bytes.Buffer, x uint64) {

@@ -11,13 +11,15 @@ type Option func(*builder)
 
 // builder accumulates options before validation.
 type builder struct {
-	cfg        Config
-	shards     int
-	concurrent bool
-	sampleK    uint64
-	audit      *Auditor
-	admission  *Admission
-	errs       []error
+	cfg           Config
+	shards        int
+	concurrent    bool
+	sampleK       uint64
+	audit         *Auditor
+	admission     *Admission
+	readSnapshots bool
+	snapshotEvery uint64
+	errs          []error
 }
 
 // WithUniverse sets the value universe to [0, size), rounded up to the
@@ -99,6 +101,24 @@ func WithSampling(k uint64) Option {
 			return
 		}
 		b.sampleK = k
+	}
+}
+
+// WithReadSnapshots enables the epoch-published read path on the
+// concurrent and sharded engines: the writer periodically publishes an
+// immutable snapshot of the profile, and Estimate/EstimateBounds/
+// HotRanges answer from the latest epoch with zero lock acquisitions —
+// queries never contend with ingest. every is the offered-event cadence
+// between publishes (0 selects the default, 64Ki events); the concurrent
+// engine additionally publishes after every merge batch. Answers lag the
+// live stream by at most one cadence; ReaderOf pins one epoch for
+// multi-query consistency. Only meaningful for WithConcurrent and
+// WithSharding — the single-goroutine and sampling engines have no
+// concurrent readers to decouple, so combining is rejected.
+func WithReadSnapshots(every uint64) Option {
+	return func(b *builder) {
+		b.readSnapshots = true
+		b.snapshotEvery = every
 	}
 }
 
@@ -214,6 +234,16 @@ func New(opts ...Option) (Profiler, error) {
 	if b.audit != nil {
 		if err := attachAudit(b.audit, p, cfg); err != nil {
 			return nil, err
+		}
+	}
+	if b.readSnapshots {
+		switch e := p.(type) {
+		case *Sharded:
+			e.EnableReadSnapshots(b.snapshotEvery)
+		case *ConcurrentTree:
+			e.EnableReadSnapshots(b.snapshotEvery)
+		default:
+			return nil, fmt.Errorf("rap: WithReadSnapshots: engine %T has no concurrent read path to decouple; use WithConcurrent or WithSharding", p)
 		}
 	}
 	return p, nil

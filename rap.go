@@ -28,6 +28,13 @@
 // (WithSharding). All four satisfy Profiler; all estimates are lower
 // bounds with the paper's ε·n guarantee.
 //
+// The ingest and query halves of that surface are the Writer and Reader
+// interfaces; Profiler is their (deprecated but fully supported) union.
+// With WithReadSnapshots the concurrent and sharded engines publish
+// immutable epoch snapshots and serve Reader queries from them without
+// taking any locks; ReaderOf pins the current Epoch for multi-query
+// consistency.
+//
 // Advanced callers can keep constructing engines directly from a Config
 // literal — the types here are aliases of the internal ones, so the two
 // styles interoperate.
@@ -207,10 +214,12 @@ func NewSampled(cfg Config, k uint64) (*SampledTree, error) { return core.NewSam
 // selects GOMAXPROCS shards.
 func NewSharded(cfg Config, k int) (*Sharded, error) { return shard.New(cfg, k) }
 
-// Profiler is the query/ingest surface every engine satisfies. Estimates
-// are lower bounds: for any tracked range the true count is in
-// [Estimate, Estimate+ε·n].
-type Profiler interface {
+// Writer is the ingest surface every engine satisfies: feeding events
+// in, serializing state out. Engines that support structural folding
+// (Tree, ConcurrentTree, Sharded) additionally expose Merge with
+// engine-specific signatures; it is not part of Writer because the
+// sampling engine's scaled units have no coherent merge.
+type Writer interface {
 	// Add records one event at point p.
 	Add(p uint64)
 	// AddN records weight events at point p.
@@ -220,6 +229,21 @@ type Profiler interface {
 	AddBatch(points []uint64)
 	// N returns the total event weight recorded.
 	N() uint64
+	// Snapshot serializes the engine's state for checkpointing or
+	// hand-off; the matching engine-specific Restore/Unmarshal reads it.
+	Snapshot() ([]byte, error)
+	// Finalize runs a last merge pass and returns the final Stats.
+	Finalize() Stats
+}
+
+// Reader is the query surface every engine satisfies. Estimates are
+// lower bounds: for any tracked range the true count is in
+// [Estimate, Estimate+ε·n]. An Epoch — the pinned consistent snapshot
+// returned by ReaderOf, Handle.Reader, ConcurrentTree.Reader, and
+// Sharded.Reader — is also a Reader, so query code can be written once
+// against this interface and served either live or from a published
+// epoch.
+type Reader interface {
 	// Estimate returns the lower-bound count for [lo, hi].
 	Estimate(lo, hi uint64) uint64
 	// EstimateBounds returns the certain range [low, high] bracketing the
@@ -230,15 +254,56 @@ type Profiler interface {
 	HotRanges(theta float64) []HotRange
 	// Stats summarizes tree size and maintenance counters.
 	Stats() Stats
-	// Finalize runs a last merge pass and returns the final Stats.
-	Finalize() Stats
 }
 
-// Compile-time checks that every engine satisfies Profiler (repeated in
-// rap_test.go where they gate the test build).
+// Profiler is the combined ingest+query surface every engine satisfies.
+//
+// Deprecated: Profiler remains fully supported — every method keeps its
+// exact signature and the four engines keep satisfying it — but new code
+// should hold the narrower Writer and Reader facets: ingest loops a
+// Writer, dashboards a Reader (or a pinned Epoch via ReaderOf for
+// multi-query consistency). The split is what makes the epoch read path
+// natural: readers no longer imply access to the write side.
+type Profiler interface {
+	Writer
+	Reader
+}
+
+// Epoch is one immutable published snapshot of a profile: a consistent
+// cut served without locks. Obtain one from ReaderOf, Handle.Reader,
+// ConcurrentTree.Reader, or Sharded.Reader; query it like any Reader;
+// Release it when done. See WithReadSnapshots.
+type Epoch = core.Epoch
+
+// EpochPublisher owns the epoch lifecycle of one engine (publish,
+// pin/release, retirement accounting). Exposed for observability —
+// ingest wires its rap_epoch_* metrics to it.
+type EpochPublisher = core.EpochPublisher
+
+// ReaderOf returns a pinned consistent epoch for engines with a
+// consistent-cut read path (*ConcurrentTree, *Sharded: lock-free when
+// WithReadSnapshots is enabled, a one-off cut otherwise; *Tree: a
+// detached clone). The caller must Release the epoch. ok is false for
+// engines without consistent cuts (the sampling engine).
+func ReaderOf(p Reader) (e *Epoch, ok bool) {
+	switch eng := p.(type) {
+	case *ConcurrentTree:
+		return eng.Reader(), true
+	case *Sharded:
+		return eng.Reader(), true
+	case *Tree:
+		return core.NewDetachedEpoch(eng.Clone()), true
+	}
+	return nil, false
+}
+
+// Compile-time checks that every engine satisfies Profiler (and thus
+// Writer and Reader), and that a pinned Epoch serves the full Reader
+// surface. Repeated in rap_test.go where they gate the test build.
 var (
 	_ Profiler = (*Tree)(nil)
 	_ Profiler = (*ConcurrentTree)(nil)
 	_ Profiler = (*SampledTree)(nil)
 	_ Profiler = (*Sharded)(nil)
+	_ Reader   = (*Epoch)(nil)
 )
