@@ -193,6 +193,7 @@ func BenchmarkTreeAddZipf(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t.Add(points[i&(1<<16-1)])
 	}
+	reportNodeBytes(b, t)
 }
 
 func BenchmarkTreeAddUniform(b *testing.B) {
@@ -206,6 +207,7 @@ func BenchmarkTreeAddUniform(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t.Add(points[i&(1<<16-1)])
 	}
+	reportNodeBytes(b, t)
 }
 
 func BenchmarkTreeAddCoalesced(b *testing.B) {
@@ -216,6 +218,18 @@ func BenchmarkTreeAddCoalesced(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.AddN(uint64(z.Rank()), 16)
+	}
+	reportNodeBytes(b, t)
+}
+
+// reportNodeBytes attaches the memory-per-node metrics to an ingest
+// benchmark: the paper's 16 B/node accounting model alongside the bytes
+// this implementation actually holds per live node (node slab plus pooled
+// adaptive-width counters), so density regressions show up in benchstat.
+func reportNodeBytes(b *testing.B, t *core.Tree) {
+	b.ReportMetric(float64(core.NodeBytes), "model-B/node")
+	if n := t.NodeCount(); n > 0 {
+		b.ReportMetric(float64(t.ArenaBytes())/float64(n), "arena-B/node")
 	}
 }
 

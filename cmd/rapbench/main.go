@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rapbench [-n events] [-seed s] [-json] fig2|fig3|fig5|fig6|fig7|fig8|fig9|fig10|hw|headline|narrow|ablations|contendedquery|adversarial|micro|all
+//	rapbench [-n events] [-seed s] [-json] fig2|fig3|fig5|fig6|fig7|fig8|fig9|fig10|hw|headline|narrow|ablations|contendedquery|adversarial|micro|countwidth|all
 //
 // With -json each experiment is emitted as one machine-readable envelope
 // (experiment name, scale, wall time, events/sec, and the full result
@@ -30,7 +30,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of prose tables")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rapbench [-n events] [-seed s] [-json] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 hw headline narrow ablations mini extensions contended contendedquery adversarial micro all\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 hw headline narrow ablations mini extensions contended contendedquery adversarial micro countwidth all\n")
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -121,6 +121,11 @@ func measure(name string, o experiments.Options) (printable, error) {
 		// probe (BENCH_*.json), a timing measurement that would make the
 		// combined `all` document machine-dependent.
 		return wrap(experiments.Micro(o))
+	case "countwidth":
+		// Also a CI gate probe (arena density of the packed counter
+		// layout vs the 64-bit reference), kept out of `order` alongside
+		// micro.
+		return wrap(experiments.CountWidth(o))
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", name)
 	}

@@ -59,11 +59,16 @@ func (t *Tree) AddSorted(points []uint64) {
 // addCached is AddN with the last-leaf cache consulted before the descent.
 // The cache is revalidated on every use: the slot must still be live (a
 // freed slot carries the dead mark, see node.go), still a leaf, and still
-// cover p. Any live leaf covering p is the unique smallest live node
-// covering p — its ancestors are live too, so the root descent would reach
-// exactly it — which makes a validated hit always safe to credit.
-// Structural rewrites that detach nodes wholesale (merge batches, Merge,
-// Restore, Clone) additionally drop the cache — see invalidateLeafCache.
+// cover p. Nodes no longer store their range start, so the covering check
+// runs against the bounds the cache recorded when it was filled
+// (lastLo/lastHi); those stay truthful because nothing short of a
+// structural rewrite can change which node a live slot holds, and every
+// such rewrite drops the cache. Any live leaf covering p is the unique
+// smallest live node covering p — its ancestors are live too, so the root
+// descent would reach exactly it — which makes a validated hit always
+// safe to credit. Structural rewrites that detach nodes wholesale (merge
+// batches, Merge, Restore, Clone) drop the cache — see
+// invalidateLeafCache.
 func (t *Tree) addCached(p uint64, weight uint64) {
 	p &= t.mask
 	if t.tap != nil {
@@ -71,10 +76,12 @@ func (t *Tree) addCached(p uint64, weight uint64) {
 	}
 	vi := t.lastLeaf
 	if arena := t.arena; vi >= uint32(len(arena)) || arena[vi].dead ||
-		arena[vi].childBase != nilIdx || p < arena[vi].lo || p > arena[vi].hi(t.cfg.UniverseBits) {
+		arena[vi].childBase != nilIdx || p < t.lastLo || p > t.lastHi {
 		vi = t.descend(p)
-		if t.arena[vi].childBase == nilIdx {
+		if v := &t.arena[vi]; v.childBase == nilIdx {
 			t.lastLeaf = vi
+			t.lastLo = prefixOf(p, v.plen, t.cfg.UniverseBits)
+			t.lastHi = rangeHi(t.lastLo, v.plen, t.cfg.UniverseBits)
 		}
 	}
 	if t.adm != nil && !t.adm.Admit(p, weight, int(t.arena[vi].plen)) {
@@ -82,7 +89,7 @@ func (t *Tree) addCached(p uint64, weight uint64) {
 		return
 	}
 	t.n += weight
-	t.credit(vi, weight)
+	t.credit(vi, p, weight)
 }
 
 // invalidateLeafCache drops the last-leaf cache. Every operation that can

@@ -110,6 +110,8 @@ func TestConcurrentSnapshotRestore(t *testing.T) {
 		t.Fatal("restored stats missing arena footprint")
 	}
 	got.ArenaBytes, want.ArenaBytes = 0, 0
+	got.CounterPoolBytes, want.CounterPoolBytes = 0, 0
+	got.CounterPromotions, want.CounterPromotions = 0, 0
 	if got != want {
 		t.Fatalf("restored stats %+v, want %+v", got, want)
 	}

@@ -1,0 +1,289 @@
+package core
+
+import "math"
+
+// Counter pools. Under skewed streams the overwhelming majority of node
+// counters are tiny — a zipfian profile at 2M events carries thousands of
+// leaves holding a handful of events each and only a few dozen counters
+// that ever exceed 16 bits — yet the pre-pool layout spent a full 64-bit
+// word on every one of them. Following the SALSA / Counter Pools line of
+// work, counters now live outside the node in four per-tree pools, one per
+// width class (8, 16, 32, 64 bits). A node carries a 32-bit counter
+// reference (cref) packing the class in the top two bits and the pool slot
+// in the low thirty; it starts life in the 8-bit class and is promoted in
+// place to the next class that fits whenever an addition would overflow
+// its current width.
+//
+// Promotion is a representation change, not an approximation change: the
+// exact value is copied to the wider slot, so estimates, snapshot bytes,
+// the ε·n analysis, and the unadmitted ledger are all bit-identical to a
+// tree that kept 64-bit counters throughout (NewWide builds exactly that
+// reference layout, and the equivalence fuzzer holds the two to identical
+// snapshots across every promotion boundary).
+//
+// The pools share the arena's lifecycle machinery: freed slots (a node
+// folded away by a merge, or the narrow slot abandoned by a promotion) go
+// on a per-class freelist and are recycled by later allocations, and the
+// merge-batch compaction pass rebuilds the pools densely in DFS order
+// right beside the node slab, so a merge batch genuinely releases counter
+// memory too.
+
+const (
+	// crefNone is the "no counter" sentinel, carried by dead slots. It is
+	// never a valid reference: it would name slot 2^30-1 of the 64-bit
+	// pool, which would require an 8 GiB pool to exist.
+	crefNone = ^uint32(0)
+
+	// crefIdxBits splits a cref into class (top 2 bits) and pool index.
+	crefIdxBits = 30
+	crefIdxMask = uint32(1)<<crefIdxBits - 1
+
+	// counterClasses is the number of width classes in the promotion
+	// ladder: 8, 16, 32, 64 bits.
+	counterClasses = 4
+
+	// classWide is the widest (64-bit) class; NewWide allocates every
+	// counter here so the ladder degenerates to the pre-pool layout.
+	classWide = counterClasses - 1
+)
+
+// classMax[k] is the largest value class k can hold.
+var classMax = [counterClasses]uint64{
+	math.MaxUint8, math.MaxUint16, math.MaxUint32, math.MaxUint64,
+}
+
+// classBytes[k] is the storage cost of one class-k slot.
+var classBytes = [counterClasses]int{1, 2, 4, 8}
+
+// classFor returns the narrowest class that holds v.
+func classFor(v uint64) uint32 {
+	switch {
+	case v <= math.MaxUint8:
+		return 0
+	case v <= math.MaxUint16:
+		return 1
+	case v <= math.MaxUint32:
+		return 2
+	default:
+		return classWide
+	}
+}
+
+// counterPool is the four width-class slabs plus their freelists. The
+// zero value is an empty pool ready for use.
+type counterPool struct {
+	w8  []uint8
+	w16 []uint16
+	w32 []uint32
+	w64 []uint64
+	// free holds recycled slots per class: a promotion abandons its
+	// narrow slot, a merge folds a node's counter away. Compaction drops
+	// the freelists wholesale along with the fragmentation they track.
+	free [counterClasses][]uint32
+}
+
+// alloc places v in a class-cls slot (reusing a freed slot when one
+// exists) and returns the packed reference. The caller guarantees v fits
+// the class.
+func (p *counterPool) alloc(cls uint32, v uint64) uint32 {
+	if fl := p.free[cls]; len(fl) > 0 {
+		idx := fl[len(fl)-1]
+		p.free[cls] = fl[:len(fl)-1]
+		p.set(cls, idx, v)
+		return cls<<crefIdxBits | idx
+	}
+	var idx uint32
+	switch cls {
+	case 0:
+		idx = uint32(len(p.w8))
+		p.w8 = append(p.w8, uint8(v))
+	case 1:
+		idx = uint32(len(p.w16))
+		p.w16 = append(p.w16, uint16(v))
+	case 2:
+		idx = uint32(len(p.w32))
+		p.w32 = append(p.w32, uint32(v))
+	default:
+		idx = uint32(len(p.w64))
+		p.w64 = append(p.w64, v)
+	}
+	if idx > crefIdxMask {
+		// 2^30 slots of one class is >1 GiB of counters; the arena's
+		// uint32 slot space would overflow long before this can happen.
+		panic("core: counter pool exhausted")
+	}
+	return cls<<crefIdxBits | idx
+}
+
+// value reads the counter behind cref.
+func (p *counterPool) value(cref uint32) uint64 {
+	idx := cref & crefIdxMask
+	switch cref >> crefIdxBits {
+	case 0:
+		return uint64(p.w8[idx])
+	case 1:
+		return uint64(p.w16[idx])
+	case 2:
+		return uint64(p.w32[idx])
+	default:
+		return p.w64[idx]
+	}
+}
+
+// set overwrites slot idx of class cls. The caller guarantees v fits.
+func (p *counterPool) set(cls, idx uint32, v uint64) {
+	switch cls {
+	case 0:
+		p.w8[idx] = uint8(v)
+	case 1:
+		p.w16[idx] = uint16(v)
+	case 2:
+		p.w32[idx] = uint32(v)
+	default:
+		p.w64[idx] = v
+	}
+}
+
+// release returns cref's slot to its class freelist. The slot's stale
+// value is left in place; alloc overwrites it on reuse.
+func (p *counterPool) release(cref uint32) {
+	cls := cref >> crefIdxBits
+	p.free[cls] = append(p.free[cls], cref&crefIdxMask)
+}
+
+// bytes is the physical footprint of the pool slabs (capacity, including
+// growth slack and freed slots awaiting reuse — the same accounting rule
+// Tree.ArenaBytes applies to the node slab).
+func (p *counterPool) bytes() int {
+	return cap(p.w8) + 2*cap(p.w16) + 4*cap(p.w32) + 8*cap(p.w64)
+}
+
+// live returns the number of occupied slots in class cls.
+func (p *counterPool) live(cls int) int {
+	var n int
+	switch cls {
+	case 0:
+		n = len(p.w8)
+	case 1:
+		n = len(p.w16)
+	case 2:
+		n = len(p.w32)
+	default:
+		n = len(p.w64)
+	}
+	return n - len(p.free[cls])
+}
+
+// clone returns a deep copy sharing no storage with p. Epoch publication
+// clones the whole tree; aliased pools would let the writer's promotions
+// race readers of the published snapshot.
+func (p *counterPool) clone() counterPool {
+	np := counterPool{
+		w8:  append([]uint8(nil), p.w8...),
+		w16: append([]uint16(nil), p.w16...),
+		w32: append([]uint32(nil), p.w32...),
+		w64: append([]uint64(nil), p.w64...),
+	}
+	for k, fl := range p.free {
+		np.free[k] = append([]uint32(nil), fl...)
+	}
+	return np
+}
+
+// counterAlloc allocates a pool slot for value v at the tree's ladder
+// entry class: the narrowest class that fits, or the 64-bit class on a
+// wide-layout tree.
+func (t *Tree) counterAlloc(v uint64) uint32 {
+	cls := classFor(v)
+	if t.wideCounters {
+		cls = classWide
+	}
+	return t.pool.alloc(cls, v)
+}
+
+// count reads slot vi's counter. The slot must be live.
+func (t *Tree) count(vi uint32) uint64 {
+	return t.pool.value(t.arena[vi].cref)
+}
+
+// addCount adds weight to slot vi's counter, promoting it to a wider
+// class when the addition overflows the current one, and returns the new
+// value. Promotion preserves the exact count; only the representation
+// widens. addCount touches the pools but never the arena, so node
+// pointers held by the caller stay valid.
+func (t *Tree) addCount(vi uint32, weight uint64) uint64 {
+	v := &t.arena[vi]
+	cref := v.cref
+	cls, idx := cref>>crefIdxBits, cref&crefIdxMask
+	switch cls {
+	case 0:
+		nv := uint64(t.pool.w8[idx]) + weight
+		if nv <= math.MaxUint8 {
+			t.pool.w8[idx] = uint8(nv)
+			return nv
+		}
+		t.promote(v, cref, nv)
+		return nv
+	case 1:
+		nv := uint64(t.pool.w16[idx]) + weight
+		if nv <= math.MaxUint16 {
+			t.pool.w16[idx] = uint16(nv)
+			return nv
+		}
+		t.promote(v, cref, nv)
+		return nv
+	case 2:
+		nv := uint64(t.pool.w32[idx]) + weight
+		if nv <= math.MaxUint32 {
+			t.pool.w32[idx] = uint32(nv)
+			return nv
+		}
+		t.promote(v, cref, nv)
+		return nv
+	default:
+		t.pool.w64[idx] += weight
+		return t.pool.w64[idx]
+	}
+}
+
+// promote moves v's counter (new value nv, which overflowed its current
+// class) into the narrowest class that fits, releasing the old slot. A
+// weighted update can jump classes — AddN(p, 1<<20) promotes an 8-bit
+// counter straight to 32 bits — so the target is derived from the value,
+// not ladder-adjacent.
+func (t *Tree) promote(v *node, old uint32, nv uint64) {
+	ncls := classFor(nv)
+	t.pool.release(old)
+	v.cref = t.pool.alloc(ncls, nv)
+	t.promotions++
+	t.promoted[ncls]++
+}
+
+// setCount overwrites slot vi's counter with val, reallocating the pool
+// slot if the current class does not match val's ladder class. Decode and
+// structural-merge paths use it; the hot path goes through addCount.
+func (t *Tree) setCount(vi uint32, val uint64) {
+	v := &t.arena[vi]
+	cls := classFor(val)
+	if t.wideCounters {
+		cls = classWide
+	}
+	if v.cref != crefNone {
+		if v.cref>>crefIdxBits == cls {
+			t.pool.set(cls, v.cref&crefIdxMask, val)
+			return
+		}
+		t.pool.release(v.cref)
+	}
+	v.cref = t.pool.alloc(cls, val)
+}
+
+// counterRelease frees slot vi's counter (the node is being folded away)
+// and marks the reference empty.
+func (t *Tree) counterRelease(vi uint32) {
+	v := &t.arena[vi]
+	if v.cref != crefNone {
+		t.pool.release(v.cref)
+		v.cref = crefNone
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// FuzzCounterPromotion: the packed-counter layout must be observationally
+// identical to the 64-bit reference layout (NewWide) on any interleaving
+// of Add/AddN/AddBatch/Merge — same estimates, same bounds, same snapshot
+// bytes. Promotion is a representation change only; if a promotion ever
+// lost or altered a count, the packed tree's structure or serialization
+// would diverge from the wide tree's. The corpus bytes encode an op
+// stream whose weights are scaled exponentially so mutations cross the
+// 255->256, 65535->65536, and 2^32 overflow boundaries, and merge ops
+// exercise promotion through graft's addCount path.
+func FuzzCounterPromotion(f *testing.F) {
+	// Seed crossing the 8->16 boundary one unit at a time: 300 weight-1
+	// adds to one point.
+	var seed1 []byte
+	for i := 0; i < 300; i++ {
+		seed1 = append(seed1, 0, 0, 0, 0, 0) // op=add, v=0, w=1
+	}
+	f.Add(seed1)
+	// Seed crossing 16->32 in two jumps: weight 65535 then 1.
+	f.Add([]byte{
+		0, 0, 0, 0xff, 15, // AddN(0, 255<<8) = 65280
+		0, 0, 0, 0xff, 0, // +255 = 65535
+		0, 0, 0, 0x00, 0, // +1 = 65536
+	})
+	// Seed jumping straight past 2^32.
+	f.Add([]byte{0, 0, 0, 0xff, 31, 0, 0, 0, 0xff, 31})
+	// Seed with merges and batches interleaved.
+	f.Add([]byte{
+		1, 0, 1, 0x07, 4,
+		2, 0, 2, 0x30, 9,
+		3, 0, 0, 0, 0,
+		1, 0xff, 3, 0x01, 16,
+		2, 0x10, 4, 0xff, 7,
+	})
+	f.Add([]byte{})
+
+	f.Fuzz(counterPromotionEquivalence)
+}
+
+// TestCounterPromotionEquivalence drives the fuzz property over
+// deterministic pseudo-random op streams, so plain `go test` runs cover
+// promotion boundaries without the fuzzing engine.
+func TestCounterPromotionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		data := make([]byte, 5*(500+rng.Intn(1500)))
+		rng.Read(data)
+		counterPromotionEquivalence(t, data)
+	}
+}
+
+// counterPromotionEquivalence is the property FuzzCounterPromotion and the
+// deterministic sweep share: apply the op stream encoded in data to a
+// packed tree and a wide reference tree and require identical observable
+// state.
+func counterPromotionEquivalence(t *testing.T, data []byte) {
+	cfg := testConfig(16, 4, 0.05)
+	cfg.FirstMerge = 32
+	packed := MustNew(cfg)
+	wide, err := NewWide(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Side trees accumulated for merge ops, one per layout so the merge
+	// source is itself exercising (or pinning) the ladder.
+	sidePacked := MustNew(cfg)
+	sideWide, _ := NewWide(cfg)
+
+	// Records of 5 bytes: op, two value bytes, weight mantissa, weight
+	// exponent. The exponent reaches 2^33 so single updates can cross
+	// every class boundary.
+	type rec struct {
+		op byte
+		v  uint64
+		w  uint64
+	}
+	var recs []rec
+	for len(data) >= 5 {
+		recs = append(recs, rec{
+			op: data[0] % 4,
+			v:  uint64(binary.LittleEndian.Uint16(data[1:3])),
+			w:  (uint64(data[3]) + 1) << (data[4] % 34),
+		})
+		data = data[5:]
+	}
+	if len(recs) > 2048 {
+		recs = recs[:2048]
+	}
+
+	var batch []uint64
+	flushBatch := func() {
+		packed.AddBatch(batch)
+		wide.AddBatch(batch)
+		batch = batch[:0]
+	}
+	for _, r := range recs {
+		switch r.op {
+		case 0: // weighted add to both layouts
+			flushBatch()
+			packed.AddN(r.v, r.w)
+			wide.AddN(r.v, r.w)
+		case 1: // batched weight-1 adds, flushed lazily
+			batch = append(batch, r.v)
+		case 2: // feed the side trees instead
+			flushBatch()
+			sidePacked.AddN(r.v, r.w)
+			sideWide.AddN(r.v, r.w)
+		default: // merge the side trees in and reset them
+			flushBatch()
+			if err := packed.Merge(sidePacked); err != nil {
+				t.Fatal(err)
+			}
+			if err := wide.Merge(sideWide); err != nil {
+				t.Fatal(err)
+			}
+			sidePacked = MustNew(cfg)
+			sideWide, _ = NewWide(cfg)
+		}
+	}
+	flushBatch()
+
+	// Estimates and bounds agree on a spread of ranges.
+	spans := [][2]uint64{
+		{0, 0}, {0, 255}, {0, 1<<16 - 1}, {1 << 8, 1 << 12}, {42, 42},
+	}
+	for _, s := range spans {
+		pl, ph := packed.EstimateBounds(s[0], s[1])
+		wl, wh := wide.EstimateBounds(s[0], s[1])
+		if pl != wl || ph != wh {
+			t.Fatalf("bounds diverged on [%d,%d]: packed (%d,%d), wide (%d,%d)",
+				s[0], s[1], pl, ph, wl, wh)
+		}
+		if packed.Estimate(s[0], s[1]) != wide.Estimate(s[0], s[1]) {
+			t.Fatalf("estimate diverged on [%d,%d]", s[0], s[1])
+		}
+	}
+	if packed.Total() != wide.Total() || packed.N() != wide.N() {
+		t.Fatalf("totals diverged: packed (%d,%d), wide (%d,%d)",
+			packed.Total(), packed.N(), wide.Total(), wide.N())
+	}
+
+	// Snapshot bytes are identical: representation never leaks onto the
+	// wire.
+	ps, err := packed.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := wide.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ps, ws) {
+		t.Fatalf("snapshots diverged: %d vs %d bytes", len(ps), len(ws))
+	}
+
+	// A forced merge batch (compaction included) preserves equivalence,
+	// and after compaction the packed pools — exact slabs at narrowest
+	// classes — can never be looser than the wide layout's 8 B/counter.
+	packed.MergeNow()
+	wide.MergeNow()
+	ps, err = packed.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err = wide.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ps, ws) {
+		t.Fatalf("snapshots diverged after merge batch: %d vs %d bytes", len(ps), len(ws))
+	}
+	if pb, wb := packed.Stats().CounterPoolBytes, wide.Stats().CounterPoolBytes; pb > wb {
+		t.Fatalf("packed pool %d B exceeds wide pool %d B after compaction", pb, wb)
+	}
+}

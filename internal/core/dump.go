@@ -18,8 +18,8 @@ import (
 func (t *Tree) WriteASCII(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	n := t.n
-	var write func(vi uint32, depth int)
-	write = func(vi uint32, depth int) {
+	var write func(vi uint32, lo uint64, depth int)
+	write = func(vi uint32, lo uint64, depth int) {
 		v := &t.arena[vi]
 		sub := t.subtreeSum(vi)
 		frac := 0.0
@@ -27,18 +27,19 @@ func (t *Tree) WriteASCII(w io.Writer) error {
 			frac = 100 * float64(sub) / float64(n)
 		}
 		fmt.Fprintf(bw, "%s[%x, %x] count=%d subtree=%d frac=%.2f%%\n",
-			strings.Repeat("  ", depth), v.lo, v.hi(t.cfg.UniverseBits), v.count, sub, frac)
+			strings.Repeat("  ", depth), lo, rangeHi(lo, v.plen, t.cfg.UniverseBits), t.count(vi), sub, frac)
 		if v.childBase == nilIdx {
 			return
 		}
 		fan := t.fanout(v.plen)
 		for i := 0; i < fan; i++ {
 			if !t.arena[v.childBase+uint32(i)].dead {
-				write(v.childBase+uint32(i), depth+1)
+				clo, _ := t.childBounds(lo, v.plen, i)
+				write(v.childBase+uint32(i), clo, depth+1)
 			}
 		}
 	}
-	write(0, 0)
+	write(0, 0, 0)
 	return bw.Flush()
 }
 
@@ -66,8 +67,8 @@ func (t *Tree) WriteDOT(w io.Writer, theta float64) error {
 	fmt.Fprintln(bw, "digraph rap {")
 	fmt.Fprintln(bw, "  node [shape=box, fontname=\"monospace\"];")
 	id := 0
-	var write func(vi uint32) int
-	write = func(vi uint32) int {
+	var write func(vi uint32, lo uint64) int
+	write = func(vi uint32, lo uint64) int {
 		v := &t.arena[vi]
 		my := id
 		id++
@@ -77,11 +78,11 @@ func (t *Tree) WriteDOT(w io.Writer, theta float64) error {
 			frac = 100 * float64(sub) / float64(t.n)
 		}
 		style := ""
-		if hotSet[v.lo][v.plen] {
+		if hotSet[lo][v.plen] {
 			style = ", peripheries=2, style=bold"
 		}
 		fmt.Fprintf(bw, "  n%d [label=\"[%x, %x]\\n%.1f%%\"%s];\n",
-			my, v.lo, v.hi(t.cfg.UniverseBits), frac, style)
+			my, lo, rangeHi(lo, v.plen, t.cfg.UniverseBits), frac, style)
 		if v.childBase == nilIdx {
 			return my
 		}
@@ -91,12 +92,13 @@ func (t *Tree) WriteDOT(w io.Writer, theta float64) error {
 			if t.arena[ci].dead {
 				continue
 			}
-			child := write(ci)
+			clo, _ := t.childBounds(lo, v.plen, i)
+			child := write(ci, clo)
 			fmt.Fprintf(bw, "  n%d -> n%d;\n", my, child)
 		}
 		return my
 	}
-	write(0)
+	write(0, 0)
 	fmt.Fprintln(bw, "}")
 	return bw.Flush()
 }

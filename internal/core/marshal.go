@@ -50,19 +50,23 @@ func (t *Tree) MarshalBinary() ([]byte, error) {
 	writeUvarint(&buf, t.mergeInterval)
 	writeUvarint(&buf, t.unadmitted)
 
-	t.marshalNode(&buf, 0)
+	t.marshalNode(&buf, 0, 0)
 	return buf.Bytes(), nil
 }
 
-// marshalNode encodes the subtree at slot vi in logical preorder. The
-// encoding walks live slots only, so it is independent of arena layout:
-// two trees that are structurally equal serialize identically however
-// their slabs are fragmented.
-func (t *Tree) marshalNode(buf *bytes.Buffer, vi uint32) {
+// marshalNode encodes the subtree at slot vi (range start lo) in logical
+// preorder. The encoding walks live slots only and materializes each
+// counter through the pool read, so it is independent of arena layout and
+// of counter width classes: two trees that are structurally equal
+// serialize identically however their slabs are fragmented and however
+// their counters are packed — a packed tree and a NewWide tree fed the
+// same stream emit the same bytes, and the wire format is unchanged from
+// the pre-pool layout.
+func (t *Tree) marshalNode(buf *bytes.Buffer, vi uint32, lo uint64) {
 	v := &t.arena[vi]
-	writeUvarint(buf, v.lo)
+	writeUvarint(buf, lo)
 	buf.WriteByte(v.plen)
-	writeUvarint(buf, v.count)
+	writeUvarint(buf, t.count(vi))
 	if v.childBase == nilIdx {
 		writeUvarint(buf, 0)
 		return
@@ -80,7 +84,8 @@ func (t *Tree) marshalNode(buf *bytes.Buffer, vi uint32) {
 			continue
 		}
 		writeUvarint(buf, uint64(i))
-		t.marshalNode(buf, v.childBase+uint32(i))
+		clo, _ := t.childBounds(lo, v.plen, i)
+		t.marshalNode(buf, v.childBase+uint32(i), clo)
 	}
 }
 
@@ -111,7 +116,10 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return fmt.Errorf("core: truncated snapshot header: %w", err)
 	}
-	nt, nerr := New(cfg)
+	// Decode into the receiver's own layout mode: restoring a snapshot
+	// into a NewWide tree keeps it wide (snapshots carry values, not
+	// representation).
+	nt, nerr := newTree(cfg, t.wideCounters)
 	if nerr != nil {
 		return nerr
 	}
@@ -185,7 +193,11 @@ func (t *Tree) unmarshalNode(r *bytes.Reader, vi uint32, wantLo uint64, wantPlen
 		return fmt.Errorf("core: snapshot node (%#x, %d) does not match derived bounds (%#x, %d)",
 			lo, plen, wantLo, wantPlen)
 	}
-	t.arena[vi] = node{lo: lo, plen: plen, count: count, childBase: nilIdx}
+	// Revive the slot, keeping whatever counter reference it already holds
+	// (the root's initial slot, or crefNone for a hole) so setCount can
+	// reuse or replace it.
+	t.arena[vi] = node{cref: t.arena[vi].cref, plen: plen, childBase: nilIdx}
+	t.setCount(vi, count)
 	t.nodes++
 	if live == 0 {
 		return nil

@@ -32,10 +32,14 @@ func TestMarshalRoundTrip(t *testing.T) {
 		t.Fatalf("round trip changed totals: N %d->%d nodes %d->%d total %d->%d",
 			tr.N(), back.N(), tr.NodeCount(), back.NodeCount(), tr.Total(), back.Total())
 	}
-	// ArenaBytes tracks physical slab capacity (growth slack included) and
-	// is legitimately smaller after a restore; all logical state must match.
+	// ArenaBytes and CounterPoolBytes track physical slab capacity (growth
+	// slack included) and are legitimately smaller after a restore;
+	// CounterPromotions is ingest history snapshots do not carry. All
+	// logical state must match.
 	got, want := back.Stats(), tr.Stats()
 	got.ArenaBytes, want.ArenaBytes = 0, 0
+	got.CounterPoolBytes, want.CounterPoolBytes = 0, 0
+	got.CounterPromotions, want.CounterPromotions = 0, 0
 	if got != want {
 		t.Fatalf("round trip changed stats:\n%+v\n%+v", want, got)
 	}

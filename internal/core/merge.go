@@ -64,7 +64,7 @@ func (t *Tree) Merge(other *Tree) error {
 	if next := t.n + t.mergeInterval; next > t.nextMerge {
 		t.nextMerge = next
 	}
-	t.resplit(0)
+	t.resplit(0, 0)
 	return nil
 }
 
@@ -78,7 +78,9 @@ func (t *Tree) Merge(other *Tree) error {
 // header can be held.
 func (t *Tree) graft(di uint32, src *Tree, si uint32) {
 	s := &src.arena[si]
-	t.arena[di].count += s.count
+	if c := src.count(si); c != 0 {
+		t.addCount(di, c)
+	}
 	if s.childBase == nilIdx {
 		return
 	}
@@ -88,15 +90,14 @@ func (t *Tree) graft(di uint32, src *Tree, si uint32) {
 		t.arena[di].childBase = base
 		t.setChildGeometry(di)
 	}
+	cplen := s.plen + uint8(t.childStride(s.plen))
 	for i := 0; i < fan; i++ {
 		if src.arena[s.childBase+uint32(i)].dead {
 			continue
 		}
 		dci := t.arena[di].childBase + uint32(i)
 		if t.arena[dci].dead {
-			d := &t.arena[di]
-			lo, plen := t.childBounds(d.lo, d.plen, i)
-			t.arena[dci] = node{lo: lo, plen: plen, childBase: nilIdx}
+			t.arena[dci] = node{cref: t.counterAlloc(0), childBase: nilIdx, plen: cplen}
 			t.nodes++
 		}
 		t.graft(dci, src, s.childBase+uint32(i))
@@ -107,29 +108,34 @@ func (t *Tree) graft(di uint32, src *Tree, si uint32) {
 // now exceeds the split threshold at the combined n, and which could still
 // sprout children (a leaf, or a node with merge holes), splits exactly as
 // it would have on the update path.
-func (t *Tree) resplit(vi uint32) {
+func (t *Tree) resplit(vi uint32, lo uint64) {
 	v := &t.arena[vi]
-	if float64(v.count) > t.SplitThreshold() && int(v.plen) < t.cfg.UniverseBits {
+	if float64(t.count(vi)) > t.SplitThreshold() && int(v.plen) < t.cfg.UniverseBits {
 		if v.childBase == nilIdx || t.hasHole(vi) {
-			t.split(vi) // may move the arena; v is dead after
+			t.split(vi, lo) // may move the arena; v is dead after
 		}
 	}
 	cb := t.arena[vi].childBase
 	if cb == nilIdx {
 		return
 	}
-	fan := t.fanout(t.arena[vi].plen)
+	plen := t.arena[vi].plen
+	fan := t.fanout(plen)
 	for i := 0; i < fan; i++ {
 		if !t.arena[cb+uint32(i)].dead {
-			t.resplit(cb + uint32(i))
+			clo, _ := t.childBounds(lo, plen, i)
+			t.resplit(cb+uint32(i), clo)
 		}
 	}
 }
 
 // Clone returns a deep copy of the tree sharing no storage with t: one
-// slab copy of the arena plus copies of the freelists, preserving the
-// donor's layout (indices mean the same thing in both trees). Hooks and
-// the event tap are not carried over: a clone is a passive snapshot.
+// slab copy of the arena, copies of the freelists, and a deep copy of the
+// counter pools, preserving the donor's layout (indices and crefs mean the
+// same thing in both trees). The pool copy is load-bearing for epoch
+// publication: an aliased pool would let the writer's in-class counter
+// increments and promotions race readers of the published snapshot. Hooks
+// and the event tap are not carried over: a clone is a passive snapshot.
 func (t *Tree) Clone() *Tree {
 	nt := *t
 	nt.hooks = nil
@@ -142,5 +148,6 @@ func (t *Tree) Clone() *Tree {
 	for k, fl := range t.free {
 		nt.free[k] = append([]uint32(nil), fl...)
 	}
+	nt.pool = t.pool.clone()
 	return &nt
 }

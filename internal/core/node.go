@@ -13,6 +13,19 @@ import "math/bits"
 // offsets), which is what lets the last-leaf cache of batch.go survive
 // arena growth without revalidation machinery.
 //
+// The node is 12 bytes. Two fields of the original arena layout were
+// evicted to get there, halving the slab and roughly doubling how much of
+// the hot descent chain fits per cache line:
+//
+//   - The counter moved into per-tree width-class pools (counter.go); the
+//     node keeps only the 32-bit packed reference cref.
+//   - lo is no longer stored at all. A node's range start is derivable
+//     wherever the node is reached: the descent for a point p knows
+//     lo = p &^ suffixMask(w-plen), and every whole-tree walk descends
+//     from the root deriving child bounds with childBounds exactly as
+//     splits do. Dropping the redundant copy is free because the
+//     structure already encodes it.
+//
 // Merged-away children (the "children do not cover the entire range of the
 // parent" case of Section 3.3) keep their slot but are marked dead; a
 // block whose slots are all dead is returned to a size-keyed freelist and
@@ -21,17 +34,15 @@ import "math/bits"
 // detection: any cached index whose slot was freed fails the liveness
 // check instead of silently crediting a detached node.
 type node struct {
-	lo        uint64
-	count     uint64
+	cref      uint32 // packed counter reference (counter.go); crefNone while dead
 	childBase uint32 // base slot of the children block; nilIdx = leaf
 	plen      uint8
 	dead      bool // slot is a merge hole or sits in a freed block
 	// cshift/cmask cache the child-slot arithmetic for this node's block:
-	// slot = (p >> cshift) & cmask. They occupy what would otherwise be
-	// struct padding (the node is 24 bytes either way) and turn the
-	// per-level stride/mask recomputation of the descent loop into two
-	// byte loads. Maintained by setChildGeometry wherever childBase is
-	// assigned; meaningless (and unread) while the node is a leaf.
+	// slot = (p >> cshift) & cmask. They turn the per-level stride/mask
+	// recomputation of the descent loop into two byte loads. Maintained
+	// by setChildGeometry wherever childBase is assigned; meaningless
+	// (and unread) while the node is a leaf.
 	cshift uint8
 	cmask  uint8
 }
@@ -45,14 +56,21 @@ const nilIdx = ^uint32(0)
 // a children block holds at most 2^8 slots.
 const maxFreeLists = 9
 
-// hi returns the inclusive upper end of the node's range in a w-bit
-// universe.
-func (v *node) hi(w int) uint64 {
-	return v.lo | suffixMask(w-int(v.plen))
-}
-
 // isLeaf reports whether the node currently has no children block.
 func (v *node) isLeaf() bool { return v.childBase == nilIdx }
+
+// rangeHi returns the inclusive upper end of the range starting at lo
+// with prefix length plen in a w-bit universe.
+func rangeHi(lo uint64, plen uint8, w int) uint64 {
+	return lo | suffixMask(w-int(plen))
+}
+
+// prefixOf returns the range start (lo) of the plen-bit prefix range
+// containing point p in a w-bit universe — the derivation that replaced
+// the stored lo field.
+func prefixOf(p uint64, plen uint8, w int) uint64 {
+	return p &^ suffixMask(w-int(plen))
+}
 
 // suffixMask returns a mask with the k low bits set; k in [0, 64].
 func suffixMask(k int) uint64 {
@@ -89,7 +107,7 @@ func (t *Tree) allocBlock(fan int) uint32 {
 	}
 	t.arena = t.arena[:base+fan]
 	for i := base; i < base+fan; i++ {
-		t.arena[i] = node{childBase: nilIdx, dead: true}
+		t.arena[i] = node{cref: crefNone, childBase: nilIdx, dead: true}
 	}
 	return uint32(base)
 }

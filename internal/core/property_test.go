@@ -59,10 +59,10 @@ func TestPropNodeRangesNested(t *testing.T) {
 			tr.Add(uint64(p))
 		}
 		ok := true
-		var check func(vi uint32)
-		check = func(vi uint32) {
+		var check func(vi uint32, lo uint64)
+		check = func(vi uint32, lo uint64) {
 			v := &tr.arena[vi]
-			vhi := v.hi(32)
+			vhi := rangeHi(lo, v.plen, 32)
 			if v.childBase == nilIdx {
 				return
 			}
@@ -75,18 +75,22 @@ func TestPropNodeRangesNested(t *testing.T) {
 				if c.dead {
 					continue
 				}
-				chi := c.hi(32)
-				if c.lo < v.lo || chi > vhi || (c.lo == v.lo && chi == vhi) {
+				clo, cplen := tr.childBounds(lo, v.plen, i)
+				if cplen != c.plen {
+					ok = false // stored plen disagrees with derived geometry
+				}
+				chi := rangeHi(clo, c.plen, 32)
+				if clo < lo || chi > vhi || (clo == lo && chi == vhi) {
 					ok = false
 				}
-				if !first && c.lo <= prevHi {
+				if !first && clo <= prevHi {
 					ok = false // overlap with previous sibling
 				}
 				prevHi, first = chi, false
-				check(ci)
+				check(ci, clo)
 			}
 		}
-		check(0)
+		check(0, 0)
 		return ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
@@ -137,12 +141,16 @@ func TestPropMarshalRoundTrip(t *testing.T) {
 		if err := back.UnmarshalBinary(data); err != nil {
 			return false
 		}
-		// ArenaBytes is physical slab capacity, not logical state: a
-		// restored tree allocates exactly what it needs while the live
-		// tree carries growth slack, so it is excluded from round-trip
-		// equality.
+		// ArenaBytes and CounterPoolBytes are physical slab capacity, not
+		// logical state: a restored tree allocates exactly what it needs
+		// while the live tree carries growth slack and freed pool slots.
+		// CounterPromotions is ingest history, which snapshots do not carry
+		// (a restored counter is allocated at its final class directly). All
+		// three are excluded from round-trip equality.
 		want, got := tr.Stats(), back.Stats()
 		want.ArenaBytes, got.ArenaBytes = 0, 0
+		want.CounterPoolBytes, got.CounterPoolBytes = 0, 0
+		want.CounterPromotions, got.CounterPromotions = 0, 0
 		return got == want && back.Total() == tr.Total()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
@@ -209,6 +217,8 @@ func TestPropArenaAccounting(t *testing.T) {
 		}
 
 		live := 0
+		var liveByClass [counterClasses]int
+		crefs := make(map[uint32]bool)
 		claimed := make(map[uint32]int) // block base -> fan
 		ok := true
 		var visit func(vi uint32)
@@ -219,6 +229,18 @@ func TestPropArenaAccounting(t *testing.T) {
 				return
 			}
 			live++
+			// Every live node owns exactly one pool slot, at the narrowest
+			// class that fits its (never-decreasing) counter value.
+			if v.cref == crefNone || crefs[v.cref] {
+				ok = false
+				return
+			}
+			crefs[v.cref] = true
+			cls := v.cref >> crefIdxBits
+			if cls != classFor(tr.count(vi)) {
+				ok = false
+			}
+			liveByClass[cls]++
 			if v.childBase == nilIdx {
 				return
 			}
@@ -249,6 +271,13 @@ func TestPropArenaAccounting(t *testing.T) {
 						return false // freed block holds a live slot
 					}
 				}
+			}
+		}
+		// Pool occupancy bookkeeping must agree with the traversal: the
+		// live-slot count per class is exactly the live nodes at that class.
+		for cls := 0; cls < counterClasses; cls++ {
+			if tr.pool.live(cls) != liveByClass[cls] {
+				return false
 			}
 		}
 		slots := 1 // root

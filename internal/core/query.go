@@ -7,7 +7,9 @@ import (
 
 // Query paths are read-only: the arena cannot move under them, so holding
 // a *node across recursion is safe here (unlike the mutation paths, which
-// must re-derive pointers after any allocation).
+// must re-derive pointers after any allocation). Nodes do not store their
+// range start; every walk derives child bounds from the parent's exactly
+// as splits do, starting from the root's (0, 0).
 
 // NodeInfo describes one live node of the tree to external observers.
 type NodeInfo struct {
@@ -21,11 +23,11 @@ type NodeInfo struct {
 // children in range order), calling fn for each. Walk stops early if fn
 // returns false.
 func (t *Tree) Walk(fn func(NodeInfo) bool) {
-	t.walk(0, 0, fn)
+	t.walk(0, 0, 0, fn)
 }
 
-func (t *Tree) walk(vi uint32, depth int, fn func(NodeInfo) bool) bool {
-	if !fn(t.info(vi, depth)) {
+func (t *Tree) walk(vi uint32, lo uint64, depth int, fn func(NodeInfo) bool) bool {
+	if !fn(t.info(vi, lo, depth)) {
 		return false
 	}
 	v := &t.arena[vi]
@@ -38,19 +40,20 @@ func (t *Tree) walk(vi uint32, depth int, fn func(NodeInfo) bool) bool {
 		if t.arena[ci].dead {
 			continue
 		}
-		if !t.walk(ci, depth+1, fn) {
+		clo, _ := t.childBounds(lo, v.plen, i)
+		if !t.walk(ci, clo, depth+1, fn) {
 			return false
 		}
 	}
 	return true
 }
 
-func (t *Tree) info(vi uint32, depth int) NodeInfo {
+func (t *Tree) info(vi uint32, lo uint64, depth int) NodeInfo {
 	v := &t.arena[vi]
 	return NodeInfo{
-		Lo:    v.lo,
-		Hi:    v.hi(t.cfg.UniverseBits),
-		Count: v.count,
+		Lo:    lo,
+		Hi:    rangeHi(lo, v.plen, t.cfg.UniverseBits),
+		Count: t.count(vi),
 		Depth: depth,
 		Leaf:  v.isLeaf(),
 	}
@@ -60,7 +63,7 @@ func (t *Tree) info(vi uint32, depth int) NodeInfo {
 // tree's estimate for the number of events that fell in its range.
 func (t *Tree) subtreeSum(vi uint32) uint64 {
 	v := &t.arena[vi]
-	s := v.count
+	s := t.count(vi)
 	if v.childBase == nilIdx {
 		return s
 	}
@@ -84,7 +87,7 @@ func (t *Tree) Estimate(lo, hi uint64) uint64 {
 		return 0
 	}
 	done := t.estimateTimer()
-	low, _ := t.estimate(0, lo&t.mask, hi&t.mask)
+	low, _ := t.estimate(0, 0, lo&t.mask, hi&t.mask)
 	done()
 	return low
 }
@@ -111,25 +114,25 @@ func (t *Tree) EstimateBounds(lo, hi uint64) (low, high uint64) {
 		return 0, 0
 	}
 	done := t.estimateTimer()
-	low, high = t.estimate(0, lo&t.mask, hi&t.mask)
+	low, high = t.estimate(0, 0, lo&t.mask, hi&t.mask)
 	done()
 	return low, high + t.unadmitted
 }
 
-func (t *Tree) estimate(vi uint32, lo, hi uint64) (low, high uint64) {
+func (t *Tree) estimate(vi uint32, vlo, lo, hi uint64) (low, high uint64) {
 	v := &t.arena[vi]
-	vhi := v.hi(t.cfg.UniverseBits)
-	if v.lo > hi || vhi < lo {
+	vhi := rangeHi(vlo, v.plen, t.cfg.UniverseBits)
+	if vlo > hi || vhi < lo {
 		return 0, 0
 	}
-	if lo <= v.lo && vhi <= hi {
+	if lo <= vlo && vhi <= hi {
 		s := t.subtreeSum(vi)
 		return s, s
 	}
 	// Partial overlap: v's own count is ambiguous — those events landed
 	// somewhere in v's range but we cannot tell which side of the query
 	// boundary. Exclude from the lower bound, include in the upper.
-	low, high = 0, v.count
+	low, high = 0, t.count(vi)
 	if v.childBase == nilIdx {
 		return low, high
 	}
@@ -139,7 +142,8 @@ func (t *Tree) estimate(vi uint32, lo, hi uint64) (low, high uint64) {
 		if t.arena[ci].dead {
 			continue
 		}
-		cl, ch := t.estimate(ci, lo, hi)
+		clo, _ := t.childBounds(vlo, v.plen, i)
+		cl, ch := t.estimate(ci, clo, lo, hi)
 		low += cl
 		high += ch
 	}
@@ -172,7 +176,7 @@ func (t *Tree) HotRanges(theta float64) []HotRange {
 	}
 	cut := theta * float64(t.n)
 	var out []HotRange
-	t.hot(0, 0, cut, &out)
+	t.hot(0, 0, 0, cut, &out)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Lo != out[j].Lo {
 			return out[i].Lo < out[j].Lo
@@ -182,24 +186,25 @@ func (t *Tree) HotRanges(theta float64) []HotRange {
 	return out
 }
 
-// hot returns the residual (non-hot) weight of the subtree at slot vi,
-// appending hot ranges found within to out.
-func (t *Tree) hot(vi uint32, depth int, cut float64, out *[]HotRange) uint64 {
+// hot returns the residual (non-hot) weight of the subtree at slot vi
+// (range start lo), appending hot ranges found within to out.
+func (t *Tree) hot(vi uint32, lo uint64, depth int, cut float64, out *[]HotRange) uint64 {
 	v := &t.arena[vi]
-	w := v.count
+	w := t.count(vi)
 	if v.childBase != nilIdx {
 		fan := t.fanout(v.plen)
 		for i := 0; i < fan; i++ {
 			ci := v.childBase + uint32(i)
 			if !t.arena[ci].dead {
-				w += t.hot(ci, depth+1, cut, out)
+				clo, _ := t.childBounds(lo, v.plen, i)
+				w += t.hot(ci, clo, depth+1, cut, out)
 			}
 		}
 	}
 	if float64(w) >= cut {
 		*out = append(*out, HotRange{
-			Lo:     v.lo,
-			Hi:     v.hi(t.cfg.UniverseBits),
+			Lo:     lo,
+			Hi:     rangeHi(lo, v.plen, t.cfg.UniverseBits),
 			Weight: w,
 			Frac:   float64(w) / float64(t.n),
 			Depth:  depth,

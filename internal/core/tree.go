@@ -18,10 +18,24 @@ type Tree struct {
 
 	// arena is the node slab: slot 0 is the root, children occupy
 	// contiguous blocks (see node.go). free holds recycled children
-	// blocks keyed by log2 of their size.
+	// blocks keyed by log2 of their size. pool holds the node counters
+	// in width-class slabs (see counter.go).
 	arena []node
 	free  [maxFreeLists][]uint32
+	pool  counterPool
 	n     uint64 // events (total weight) processed
+
+	// wideCounters pins every counter allocation to the 64-bit class,
+	// reproducing the pre-pool layout exactly. NewWide sets it; the
+	// packed/wide equivalence suite and the countwidth experiment compare
+	// the two layouts on identical streams.
+	wideCounters bool
+
+	// promotions counts counter overflow promotions; promoted[k] counts
+	// those that landed in class k (k >= 1; a weighted update can skip
+	// classes).
+	promotions uint64
+	promoted   [counterClasses]uint64
 
 	nodes    int
 	maxNodes int
@@ -49,9 +63,13 @@ type Tree struct {
 
 	// lastLeaf is the one-entry leaf cache of the batched ingest path
 	// (batch.go): the arena slot the previous batched update landed in,
-	// nilIdx when empty. It is revalidated before every use and dropped
-	// by structural rewrites.
+	// nilIdx when empty, with the leaf's bounds carried alongside (nodes
+	// no longer store lo, so the cache keeps the copy validation needs).
+	// It is revalidated before every use and dropped by structural
+	// rewrites.
 	lastLeaf uint32
+	lastLo   uint64
+	lastHi   uint64
 }
 
 // Stats is a snapshot of the tree's bookkeeping counters.
@@ -61,30 +79,50 @@ type Stats struct {
 	Nodes        int    // live nodes (including the root)
 	MaxNodes     int    // high-water mark of live nodes
 	MemoryBytes  int    // Nodes * NodeBytes (the paper's 16 B/node model)
-	ArenaBytes   int    // actual node-slab footprint (see Tree.ArenaBytes)
+	ArenaBytes   int    // actual node-slab + counter-pool footprint (see Tree.ArenaBytes)
 	Splits       uint64 // split operations performed
 	Merges       uint64 // nodes folded into their parents
 	MergeBatches uint64 // batched merge passes run
 	Height       int    // maximum tree height H
+
+	// Counter-pool occupancy and promotion accounting (see counter.go).
+	CounterSlots8     int    // live 8-bit pooled counters
+	CounterSlots16    int    // live 16-bit pooled counters
+	CounterSlots32    int    // live 32-bit pooled counters
+	CounterSlots64    int    // live 64-bit pooled counters
+	CounterPoolBytes  int    // physical counter-pool footprint (included in ArenaBytes)
+	CounterPromotions uint64 // overflow promotions to a wider class
 }
 
 // New builds an empty RAP tree (the rap_init of Section 3.2). The tree
 // starts as a single counter covering the whole universe, the "one counter
 // which counts all instructions" starting point of Section 2.
-func New(cfg Config) (*Tree, error) {
+func New(cfg Config) (*Tree, error) { return newTree(cfg, false) }
+
+// NewWide builds a RAP tree whose counters are all allocated at the full
+// 64-bit width, byte-for-byte reproducing the pre-pool storage cost. It
+// exists as the reference layout: fed the same stream, a packed tree and a
+// wide tree must produce identical estimates and identical snapshot bytes
+// (the promotion ladder changes representation, never values). The
+// equivalence fuzzer and the countwidth density experiment are its users.
+func NewWide(cfg Config) (*Tree, error) { return newTree(cfg, true) }
+
+func newTree(cfg Config, wide bool) (*Tree, error) {
 	cfg, err := cfg.validate()
 	if err != nil {
 		return nil, err
 	}
 	t := &Tree{
-		cfg:      cfg,
-		shift:    bits.TrailingZeros(uint(cfg.Branch)),
-		height:   cfg.Height(),
-		mask:     suffixMask(cfg.UniverseBits),
-		arena:    []node{{childBase: nilIdx}},
-		nodes:    1,
-		lastLeaf: nilIdx,
+		cfg:          cfg,
+		shift:        bits.TrailingZeros(uint(cfg.Branch)),
+		height:       cfg.Height(),
+		mask:         suffixMask(cfg.UniverseBits),
+		arena:        []node{{cref: crefNone, childBase: nilIdx}},
+		wideCounters: wide,
+		nodes:        1,
+		lastLeaf:     nilIdx,
 	}
+	t.arena[0].cref = t.counterAlloc(0)
 	t.maxNodes = 1
 	if cfg.MergeEvery != 0 {
 		t.mergeInterval = cfg.MergeEvery
@@ -121,10 +159,14 @@ func (t *Tree) MaxNodeCount() int { return t.maxNodes }
 // 128 bits per node.
 func (t *Tree) MemoryBytes() int { return t.nodes * NodeBytes }
 
-// ArenaBytes returns the actual backing-store footprint of the node arena,
-// including slab slack and freed blocks awaiting reuse. It differs from
-// MemoryBytes, which charges live nodes at the paper's accounting rate.
-func (t *Tree) ArenaBytes() int { return cap(t.arena) * int(unsafe.Sizeof(node{})) }
+// ArenaBytes returns the actual backing-store footprint of the profile:
+// the node slab plus the counter pools, including slab slack and freed
+// slots awaiting reuse. It differs from MemoryBytes, which charges live
+// nodes at the paper's accounting rate; ArenaBytes/Nodes is the real
+// bytes-per-node density the packed-counter layout is measured by.
+func (t *Tree) ArenaBytes() int {
+	return cap(t.arena)*int(unsafe.Sizeof(node{})) + t.pool.bytes()
+}
 
 // Stats returns a snapshot of the tree's counters.
 func (t *Tree) Stats() Stats {
@@ -139,6 +181,13 @@ func (t *Tree) Stats() Stats {
 		Merges:       t.merges,
 		MergeBatches: t.mergeBatches,
 		Height:       t.height,
+
+		CounterSlots8:     t.pool.live(0),
+		CounterSlots16:    t.pool.live(1),
+		CounterSlots32:    t.pool.live(2),
+		CounterSlots64:    t.pool.live(3),
+		CounterPoolBytes:  t.pool.bytes(),
+		CounterPromotions: t.promotions,
 	}
 }
 
@@ -190,7 +239,7 @@ func (t *Tree) AddN(p uint64, weight uint64) {
 		return
 	}
 	t.n += weight
-	t.credit(vi, weight)
+	t.credit(vi, p, weight)
 }
 
 // descend returns the slot of the smallest live node covering p.
@@ -215,18 +264,19 @@ func (t *Tree) descend(p uint64) uint32 {
 	}
 }
 
-// credit adds weight to slot vi's counter and runs the split and merge
-// stages of the update pipeline. It is the shared tail of AddN and the
-// batched entry points of batch.go, so every ingest path takes identical
-// split/merge decisions.
-func (t *Tree) credit(vi uint32, weight uint64) {
-	v := &t.arena[vi]
-	v.count += weight
+// credit adds weight to slot vi's counter (promoting it to a wider pool
+// class on overflow) and runs the split and merge stages of the update
+// pipeline. p is the event point, from which the node's range start is
+// derived when a split needs it — nodes no longer store lo. credit is the
+// shared tail of AddN and the batched entry points of batch.go, so every
+// ingest path takes identical split/merge decisions.
+func (t *Tree) credit(vi uint32, p uint64, weight uint64) {
+	nv := t.addCount(vi, weight)
 
 	// Stage 4 of the pipeline: compare against the split threshold. split
-	// may grow the arena, so v is dead after this point.
-	if float64(v.count) > t.SplitThreshold() && int(v.plen) < t.cfg.UniverseBits {
-		t.split(vi)
+	// may grow the arena, so node pointers are dead after this point.
+	if plen := t.arena[vi].plen; float64(nv) > t.SplitThreshold() && int(plen) < t.cfg.UniverseBits {
+		t.split(vi, prefixOf(p, plen, t.cfg.UniverseBits))
 	}
 
 	if t.n >= t.nextMerge {
@@ -234,26 +284,26 @@ func (t *Tree) credit(vi uint32, weight uint64) {
 	}
 }
 
-// split sprouts children under v covering its entire range. The original
-// node keeps its counter; children start at zero (Section 2.2). For a node
-// with merge holes, only the missing children are created (the "extra
-// operation" split case of Section 3.3).
-func (t *Tree) split(vi uint32) {
+// split sprouts children under slot vi (whose range starts at lo) covering
+// its entire range. The original node keeps its counter; children start at
+// zero (Section 2.2). For a node with merge holes, only the missing
+// children are created (the "extra operation" split case of Section 3.3).
+func (t *Tree) split(vi uint32, lo uint64) {
 	fan := t.fanout(t.arena[vi].plen)
 	if t.arena[vi].childBase == nilIdx {
 		base := t.allocBlock(fan) // may move the arena
 		t.arena[vi].childBase = base
 		t.setChildGeometry(vi)
 	}
-	v := &t.arena[vi] // stable: split allocates nothing past this point
+	v := &t.arena[vi] // stable: split allocates no arena past this point
+	cplen := v.plen + uint8(t.childStride(v.plen))
 	created := 0
 	for i := 0; i < fan; i++ {
 		c := &t.arena[v.childBase+uint32(i)]
 		if !c.dead {
 			continue
 		}
-		lo, plen := t.childBounds(v.lo, v.plen, i)
-		*c = node{lo: lo, plen: plen, childBase: nilIdx}
+		*c = node{cref: t.counterAlloc(0), childBase: nilIdx, plen: cplen}
 		t.nodes++
 		created++
 	}
@@ -263,10 +313,10 @@ func (t *Tree) split(vi uint32) {
 	}
 	if t.hooks != nil && t.hooks.Split != nil {
 		t.hooks.Split(SplitEvent{
-			Lo:          v.lo,
-			Hi:          v.hi(t.cfg.UniverseBits),
+			Lo:          lo,
+			Hi:          rangeHi(lo, v.plen, t.cfg.UniverseBits),
 			Depth:       t.depthOf(v.plen),
-			Count:       v.count,
+			Count:       t.count(vi),
 			Threshold:   t.SplitThreshold(),
 			N:           t.n,
 			NewChildren: created,
@@ -292,7 +342,7 @@ func (t *Tree) runMergeBatch() {
 	t.mergeBatches++
 	before := t.merges
 	thr := t.mergeThreshold()
-	t.mergeNode(0, thr)
+	t.mergeNode(0, 0, thr)
 	t.compact()
 	t.invalidateLeafCache()
 	t.advanceMergeSchedule()
@@ -310,15 +360,16 @@ func (t *Tree) runMergeBatch() {
 }
 
 // compact rebuilds the arena in depth-first order, dropping freed blocks
-// and the holes between them. Running it at the tail of every merge batch
-// keeps two promises cheap: the slab's footprint tracks the live tree (a
-// merge batch genuinely releases memory instead of parking blocks on
-// freelists), and a root-to-leaf descent path lands on consecutive blocks
-// of the slab, which is what makes the index-linked layout faster than
-// pointer chasing on skewed streams — the hot chain occupies a handful of
-// cache lines laid out in walk order. Cost is one O(slots) copy per merge
-// batch, amortized by the geometric merge schedule exactly like the merge
-// walk itself.
+// and the holes between them, then rebuilds the counter pools densely in
+// the same order. Running it at the tail of every merge batch keeps two
+// promises cheap: the slab's footprint tracks the live tree (a merge
+// batch genuinely releases node and counter memory instead of parking it
+// on freelists), and a root-to-leaf descent path lands on consecutive
+// blocks of the slab, which is what makes the index-linked layout faster
+// than pointer chasing on skewed streams — the hot chain occupies a
+// handful of cache lines laid out in walk order. Cost is one O(slots)
+// copy per merge batch, amortized by the geometric merge schedule exactly
+// like the merge walk itself.
 func (t *Tree) compact() {
 	// The new slab needs 1 + sum(attached block sizes) slots, which the old
 	// length bounds (it additionally counts freed blocks), so the appends
@@ -327,6 +378,32 @@ func (t *Tree) compact() {
 	na := make([]node, 1, len(t.arena))
 	na[0] = t.arena[0]
 	t.compactInto(&na, 0, 0)
+	// Re-home every live counter into fresh pools, visiting nodes in the
+	// new DFS slab order so pool layout follows descent order too. Classes
+	// are preserved: a counter's class is always the narrowest that fits
+	// its (never-decreasing) value, or the 64-bit class on a wide tree.
+	// Slabs are sized exactly: after a merge batch the pool footprint is
+	// precisely the live counters, with no growth slack or freed slots.
+	var perClass [counterClasses]int
+	for i := range na {
+		if !na[i].dead {
+			perClass[na[i].cref>>crefIdxBits]++
+		}
+	}
+	np := counterPool{
+		w8:  make([]uint8, 0, perClass[0]),
+		w16: make([]uint16, 0, perClass[1]),
+		w32: make([]uint32, 0, perClass[2]),
+		w64: make([]uint64, 0, perClass[3]),
+	}
+	for i := range na {
+		if na[i].dead {
+			continue
+		}
+		cref := na[i].cref
+		na[i].cref = np.alloc(cref>>crefIdxBits, t.pool.value(cref))
+	}
+	t.pool = np
 	t.arena = na
 	t.free = [maxFreeLists][]uint32{}
 }
@@ -368,16 +445,19 @@ func (t *Tree) advanceMergeSchedule() {
 	t.nextMerge = t.n + t.mergeInterval
 }
 
-// mergeNode post-order folds cold childless descendants of v into their
-// parents. A child is folded when, after its own subtree has been
-// compacted, it has no children left and its counter is at or below the
-// merge threshold. Counts only ever move upward, preserving the
-// lower-bound property of every estimate; since at most one threshold of
-// count can move up per level, the ε·n error bound is preserved
-// (Section 2.2).
-// The merge path never allocates (freeBlock only pushes to a freelist),
-// so the arena is stable and node pointers may be held across recursion.
-func (t *Tree) mergeNode(vi uint32, thr float64) {
+// mergeNode post-order folds cold childless descendants of the node at
+// slot vi (range start lo) into their parents. A child is folded when,
+// after its own subtree has been compacted, it has no children left and
+// its counter is at or below the merge threshold. Counts only ever move
+// upward, preserving the lower-bound property of every estimate; since at
+// most one threshold of count can move up per level, the ε·n error bound
+// is preserved (Section 2.2). A folded child's pool slot is released
+// along with its node slot.
+// The merge path never grows the arena (freeBlock only pushes to a
+// freelist), so node pointers may be held across recursion; counter-pool
+// storage may move (a fold can promote the parent's counter), which never
+// invalidates arena pointers.
+func (t *Tree) mergeNode(vi uint32, lo uint64, thr float64) {
 	v := &t.arena[vi]
 	if v.childBase == nilIdx {
 		return
@@ -389,19 +469,25 @@ func (t *Tree) mergeNode(vi uint32, thr float64) {
 		if c.dead {
 			continue
 		}
-		t.mergeNode(ci, thr)
-		if c.childBase == nilIdx && float64(c.count) <= thr {
+		clo, _ := t.childBounds(lo, v.plen, i)
+		t.mergeNode(ci, clo, thr)
+		if c.childBase != nilIdx {
+			continue
+		}
+		cnt := t.count(ci)
+		if float64(cnt) <= thr {
 			if t.hooks != nil && t.hooks.Merge != nil {
 				t.hooks.Merge(MergeEvent{
-					Lo:        c.lo,
-					Hi:        c.hi(t.cfg.UniverseBits),
+					Lo:        clo,
+					Hi:        rangeHi(clo, c.plen, t.cfg.UniverseBits),
 					Depth:     t.depthOf(c.plen),
-					Count:     c.count,
+					Count:     cnt,
 					Threshold: thr,
 					N:         t.n,
 				})
 			}
-			v.count += c.count
+			t.addCount(vi, cnt)
+			t.counterRelease(ci)
 			c.dead = true
 			t.nodes--
 			t.merges++

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountWidthPackedDenserAndEquivalent(t *testing.T) {
+	r, err := CountWidth(Options{Events: 200_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.EstimatesEqual || !r.SnapshotsEqual {
+		t.Fatalf("packed and wide layouts diverged: estimates %v, snapshots %v",
+			r.EstimatesEqual, r.SnapshotsEqual)
+	}
+	if r.DensityGain <= 1 {
+		t.Fatalf("density gain %.2f, want > 1 (packed %d B, wide %d B)",
+			r.DensityGain, r.PackedArena, r.WideArena)
+	}
+	if r.PackedPool >= r.WidePool {
+		t.Fatalf("packed pool %d B not smaller than wide pool %d B", r.PackedPool, r.WidePool)
+	}
+	if r.Promotions == 0 {
+		t.Fatal("a 200k zipf stream promoted no counters")
+	}
+	if total := r.Slots[0] + r.Slots[1] + r.Slots[2] + r.Slots[3]; total != r.Nodes {
+		t.Fatalf("%d live counters for %d nodes", total, r.Nodes)
+	}
+	var sb strings.Builder
+	r.Print(&sb)
+	if !strings.Contains(sb.String(), "density gain") {
+		t.Error("printed table missing density gain line")
+	}
+}

@@ -24,8 +24,10 @@ type MicroRow struct {
 	Updates        uint64  // timed update operations
 	NsPerOp        float64 // wall nanoseconds per update
 	MUpdatesPerSec float64
-	Nodes          int // live nodes when the run finished
-	ArenaBytes     int // actual node-slab footprint when the run finished
+	Nodes          int     // live nodes when the run finished
+	ArenaBytes     int     // node slab plus counter pools when the run finished
+	ModelBytes     float64 // the paper's 16 B/node accounting model, per node
+	BytesPerNode   float64 // actual ArenaBytes / Nodes
 }
 
 // MicroResult is the full ingest-path cost table.
@@ -92,6 +94,10 @@ func Micro(o Options) (MicroResult, error) {
 			NsPerOp:    float64(elapsed.Nanoseconds()) / float64(n),
 			Nodes:      t.NodeCount(),
 			ArenaBytes: t.ArenaBytes(),
+			ModelBytes: core.NodeBytes,
+		}
+		if row.Nodes > 0 {
+			row.BytesPerNode = float64(row.ArenaBytes) / float64(row.Nodes)
 		}
 		if s := elapsed.Seconds(); s > 0 {
 			row.MUpdatesPerSec = float64(n) / s / 1e6
@@ -164,9 +170,11 @@ func Micro(o Options) (MicroResult, error) {
 func (r MicroResult) Print(w io.Writer) {
 	header(w, "Micro: per-update ingest cost by entry point")
 	fmt.Fprintf(w, "updates per run: %d\n\n", r.Events)
-	fmt.Fprintf(w, "%-16s %10s %12s %8s %12s\n", "op", "ns/op", "Mupdates/s", "nodes", "arena bytes")
+	fmt.Fprintf(w, "%-16s %10s %12s %8s %12s %8s %8s\n",
+		"op", "ns/op", "Mupdates/s", "nodes", "arena bytes", "B/node", "model")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-16s %10.1f %12.2f %8d %12d\n",
-			row.Op, row.NsPerOp, row.MUpdatesPerSec, row.Nodes, row.ArenaBytes)
+		fmt.Fprintf(w, "%-16s %10.1f %12.2f %8d %12d %8.2f %8.0f\n",
+			row.Op, row.NsPerOp, row.MUpdatesPerSec, row.Nodes, row.ArenaBytes,
+			row.BytesPerNode, row.ModelBytes)
 	}
 }

@@ -30,6 +30,14 @@ func TestMicroCoversEveryIngestPath(t *testing.T) {
 		if row.ArenaBytes <= 0 {
 			t.Errorf("%s arena bytes = %d", row.Op, row.ArenaBytes)
 		}
+		if row.ModelBytes != 16 {
+			t.Errorf("%s model bytes = %f, want the paper's 16", row.Op, row.ModelBytes)
+		}
+		// Physical bytes per live node: 12 B node plus a pooled counter
+		// (1-8 B), with slab slack from retired merge holes on top.
+		if row.BytesPerNode <= 12 || row.BytesPerNode > 64 {
+			t.Errorf("%s bytes/node = %f, outside (12, 64]", row.Op, row.BytesPerNode)
+		}
 	}
 	var sb strings.Builder
 	r.Print(&sb)

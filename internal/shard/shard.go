@@ -432,6 +432,12 @@ func (e *Engine) Stats() core.Stats {
 		agg.Splits += st.Splits
 		agg.Merges += st.Merges
 		agg.MergeBatches += st.MergeBatches
+		agg.CounterSlots8 += st.CounterSlots8
+		agg.CounterSlots16 += st.CounterSlots16
+		agg.CounterSlots32 += st.CounterSlots32
+		agg.CounterSlots64 += st.CounterSlots64
+		agg.CounterPoolBytes += st.CounterPoolBytes
+		agg.CounterPromotions += st.CounterPromotions
 	}
 	return agg
 }

@@ -203,10 +203,14 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	if back.N() != e.N() {
 		t.Fatalf("restored N = %d, want %d", back.N(), e.N())
 	}
-	// ArenaBytes is physical slab capacity, not logical state, and a
-	// restored tree allocates exactly what it needs — exclude it.
+	// ArenaBytes and CounterPoolBytes are physical slab capacity, not
+	// logical state, and a restored tree allocates exactly what it needs;
+	// CounterPromotions is ingest history snapshots do not carry — exclude
+	// all three.
 	got, want := back.Stats(), e.Stats()
 	got.ArenaBytes, want.ArenaBytes = 0, 0
+	got.CounterPoolBytes, want.CounterPoolBytes = 0, 0
+	got.CounterPromotions, want.CounterPromotions = 0, 0
 	if got != want {
 		t.Fatalf("restored stats %+v != %+v", got, want)
 	}
