@@ -7,12 +7,15 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"rap/internal/audit"
 	"rap/internal/flight"
 	"rap/internal/ingest"
 	"rap/internal/obs"
+	"rap/internal/span"
 )
 
 // admin is the opt-in operator surface of rapd: metrics exposition,
@@ -25,11 +28,13 @@ type admin struct {
 	in      *ingest.Ingestor
 	reg     *obs.Registry
 	strace  *obs.StructuralTrace
-	aud     *audit.Auditor   // nil unless -audit
-	rec     *flight.Recorder // nil unless the flight recorder is wired
-	eng     *flight.Engine   // nil unless the flight recorder is wired
-	effCfg  any              // resolved configuration, captured in bundles
-	ckEvery time.Duration    // checkpoint cadence; freshness is judged against it
+	tracer  *span.Tracer           // nil unless request tracing is wired
+	aQuery  *obs.AdaptiveHistogram // adaptive "query" stage profile; nil in bare tests
+	aud     *audit.Auditor         // nil unless -audit
+	rec     *flight.Recorder       // nil unless the flight recorder is wired
+	eng     *flight.Engine         // nil unless the flight recorder is wired
+	effCfg  any                    // resolved configuration, captured in bundles
+	ckEvery time.Duration          // checkpoint cadence; freshness is judged against it
 	start   time.Time
 }
 
@@ -45,12 +50,18 @@ type admin struct {
 //	/v1/hotranges  hot ranges at ?theta= (epoch-served)
 //	/v1/stats      profile counters at the epoch cut
 //	               (all /v1 answers carry X-RAP-Epoch-Seq/-Cut staleness
-//	               headers and return 429 while admission is at Siege)
+//	               headers, honor an inbound traceparent, stamp one on the
+//	               response, and return 429 while admission is at Siege)
+//	/spans         recorded request spans as JSONL (?trace=, ?name=, ?slow=1, ?limit=)
+//	/profilez      adaptive per-stage latency profiles with span exemplars
 //	/vars          flight-recorder windowed series queries
 //	/alerts        alert rule states as JSON
-//	/statusz       human-readable status page
+//	/statusz       human-readable status page (with the slow-op log)
 //	/debug/bundle  one-shot diagnostic bundle (gzipped tar)
 //	/debug/pprof/  the standard Go profiler endpoints
+//
+// Every endpoint is counted into rap_http_requests_total{path,code} and
+// timed into rap_http_request_seconds{path} by the instrument wrapper.
 func (a *admin) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -112,10 +123,14 @@ func (a *admin) handler() http.Handler {
 		enc.Encode(resp)
 	})
 	a.registerQueryAPI(mux)
+	if a.tracer != nil {
+		mux.Handle("/spans", a.tracer)
+	}
+	mux.HandleFunc("/profilez", a.profilez)
 	if a.rec != nil {
 		mux.Handle("/vars", a.rec)
 		mux.Handle("/alerts", a.eng)
-		mux.Handle("/statusz", &flight.Statusz{
+		sz := &flight.Statusz{
 			App:      "rapd",
 			Start:    a.start,
 			Registry: a.reg,
@@ -128,7 +143,11 @@ func (a *admin) handler() http.Handler {
 				"rap_tree_arena_bytes",
 				"rap_flight_bytes",
 			},
-		})
+		}
+		if a.tracer != nil {
+			sz.SlowOps = a.slowOps
+		}
+		mux.Handle("/statusz", sz)
 		mux.Handle("/debug/bundle", flight.BundleHandler(a.bundleConfig))
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -136,7 +155,68 @@ func (a *admin) handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return a.instrument(mux)
+}
+
+// instrument wraps the admin mux with per-endpoint HTTP metrics: a
+// request counter by path and status code and a latency histogram by
+// path. Paths are normalized to the known endpoint set so a scanner
+// probing random URLs cannot mint unbounded label values.
+func (a *admin) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		p := normalizePath(r.URL.Path)
+		a.reg.Counter("rap_http_requests_total",
+			"Admin-plane HTTP requests by normalized path and status code.",
+			obs.L("path", p), obs.L("code", strconv.Itoa(sw.code))).Add(1)
+		a.reg.Duration("rap_http_request_seconds",
+			"Admin-plane HTTP request latency by normalized path.",
+			obs.L("path", p)).ObserveSince(start)
+	})
+}
+
+// statusWriter captures the status code an inner handler writes; an
+// implicit 200 (body written without WriteHeader) keeps the default.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// normalizePath maps a request path onto the served endpoint set, so the
+// path label stays low-cardinality.
+func normalizePath(p string) string {
+	switch p {
+	case "/metrics", "/metrics.json", "/healthz", "/readyz", "/trace", "/audit",
+		"/v1/estimate", "/v1/hotranges", "/v1/stats", "/spans", "/profilez",
+		"/vars", "/alerts", "/statusz", "/debug/bundle":
+		return p
+	}
+	if strings.HasPrefix(p, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// slowOps adapts the tracer's slow-op log to the /statusz rows.
+func (a *admin) slowOps() []flight.SlowOp {
+	recs := a.tracer.SlowOps()
+	out := make([]flight.SlowOp, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, flight.SlowOp{
+			At:       time.Unix(0, r.StartNano),
+			Name:     r.Name,
+			Duration: time.Duration(r.DurationNs),
+			TraceID:  r.TraceID,
+		})
+	}
+	return out
 }
 
 func writeStatus(w http.ResponseWriter, code int, body map[string]any) {
@@ -270,6 +350,13 @@ func (a *admin) bundleConfig() flight.BundleConfig {
 		Engine:          a.eng,
 		Trace:           a.strace,
 		EffectiveConfig: a.effCfg,
+	}
+	if a.tracer != nil {
+		cfg.Spans = a.tracer
+	}
+	cfg.Profile = func() (any, bool) {
+		doc := a.profileDoc(defaultProfileTheta)
+		return doc, len(doc.Stages) > 0
 	}
 	if a.aud != nil {
 		cfg.AuditReport = func() (any, bool) {

@@ -18,12 +18,20 @@
 // (sampled split/merge structural events as JSONL), the versioned query
 // API /v1/estimate, /v1/hotranges, and /v1/stats (answers served
 // lock-free from the latest published epoch, with staleness headers and
-// 429s while admission is at Siege), /vars (flight-recorder
-// metric history with windowed queries), /alerts (the in-process alert
-// rules), /statusz (a human-readable status page), /debug/bundle (a
-// one-shot gzipped-tar diagnostic bundle), and /debug/pprof. The flight
-// recorder scrapes the registry every -flight-every into a bounded
-// in-memory ring of -flight-depth delta-compressed frames.
+// 429s while admission is at Siege), /spans (recorded request spans as
+// JSONL; /v1 requests honor an inbound W3C traceparent header and stamp
+// one on the response), /profilez (RAP-tree adaptive latency profiles
+// per pipeline stage, with span exemplars and a fixed-ladder
+// comparison), /vars (flight-recorder metric history with windowed
+// queries), /alerts (the in-process alert rules), /statusz (a
+// human-readable status page, including the slow-op log), /debug/bundle
+// (a one-shot gzipped-tar diagnostic bundle), and /debug/pprof. The
+// flight recorder scrapes the registry every -flight-every into a
+// bounded in-memory ring of -flight-depth delta-compressed frames.
+// Request tracing samples 1 in -span-sample traces end to end through
+// enqueue, queue wait, shard apply, merge batches, epoch publish, and
+// checkpoint cut/write; spans slower than -slow-op are always recorded,
+// and while any alert fires every span is recorded.
 //
 // Trace-file and generator sources are replayable, so crash recovery is
 // lossless for them. Stdin is a one-shot stream: events between the last
@@ -42,6 +50,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -51,6 +60,7 @@ import (
 	"rap/internal/flight"
 	"rap/internal/ingest"
 	"rap/internal/obs"
+	"rap/internal/span"
 	"rap/internal/trace"
 	"rap/internal/workload"
 )
@@ -81,6 +91,10 @@ type cliConfig struct {
 	admin       string // admin HTTP address, "" = disabled
 	traceSample uint64 // structural trace sampling: keep 1 in N decisions
 	traceCap    int    // structural trace ring capacity
+
+	spanSample uint64        // request-span head sampling: keep 1 in N traces
+	spanCap    int           // span ring capacity
+	slowOp     time.Duration // slow-op promotion threshold (0: disabled)
 
 	flightEvery time.Duration // flight recorder scrape cadence
 	flightDepth int           // flight recorder ring depth, in frames
@@ -143,6 +157,9 @@ func parseFlags(args []string, errOut io.Writer) cliConfig {
 	fs.StringVar(&c.admin, "admin", "", "admin HTTP address serving /metrics, /healthz, /readyz, /trace, /vars, /alerts, /statusz, /debug/bundle, pprof (empty: disabled)")
 	fs.Uint64Var(&c.traceSample, "trace-sample", 64, "structural trace sampling: record 1 in N split/merge decisions")
 	fs.IntVar(&c.traceCap, "trace-cap", 4096, "structural trace ring capacity, in events")
+	fs.Uint64Var(&c.spanSample, "span-sample", 100, "request-span head sampling: keep 1 in N traces with all their child spans")
+	fs.IntVar(&c.spanCap, "span-cap", 4096, "request-span ring capacity, in spans")
+	fs.DurationVar(&c.slowOp, "slow-op", 100*time.Millisecond, "record any span at least this long regardless of sampling (0: disabled)")
 	fs.DurationVar(&c.flightEvery, "flight-every", time.Second, "flight recorder scrape cadence")
 	fs.IntVar(&c.flightDepth, "flight-depth", 900, "flight recorder history depth, in scrapes (depth x cadence of retained history)")
 	fs.StringVar(&c.dumpBundle, "dump-bundle", "", "write a diagnostic bundle to this path when the daemon exits")
@@ -197,11 +214,18 @@ func (c cliConfig) validate() error {
 		return fmt.Errorf("-snapshot-max-stale %v: bound must be positive", c.snapshotMaxStale)
 	}
 	if c.admin == "" {
-		for _, name := range []string{"flight-every", "flight-depth", "dump-bundle"} {
+		for _, name := range []string{"flight-every", "flight-depth", "dump-bundle",
+			"span-sample", "span-cap", "slow-op"} {
 			if c.setFlags[name] {
 				return fmt.Errorf("-%s requires -admin", name)
 			}
 		}
+	}
+	if c.setFlags["span-sample"] && c.spanSample < 1 {
+		return fmt.Errorf("-span-sample %d: rate must be >= 1", c.spanSample)
+	}
+	if c.setFlags["span-cap"] && c.spanCap < 1 {
+		return fmt.Errorf("-span-cap %d: capacity must be >= 1", c.spanCap)
 	}
 	if c.setFlags["flight-every"] && c.flightEvery <= 0 {
 		return fmt.Errorf("-flight-every %v: cadence must be positive", c.flightEvery)
@@ -345,11 +369,32 @@ func run(ctx context.Context, c cliConfig, out io.Writer) error {
 	// The observability plane is built only when the admin endpoint is
 	// requested, keeping the uninstrumented daemon's hot path hook-free.
 	var strace *obs.StructuralTrace
+	var tracer *span.Tracer
+	var engPtr atomic.Pointer[flight.Engine]
 	if c.admin != "" {
 		opts.Metrics = obs.NewRegistry()
 		obs.RegisterRuntime(opts.Metrics)
 		strace = obs.NewStructuralTrace(c.traceSample, c.traceCap)
 		opts.StructuralTrace = strace
+		// The tracer must exist before Open so ingest threads spans through
+		// the pipeline, but its Force hook watches the alert engine, which
+		// is only built after Open. The atomic pointer bridges the gap: a
+		// nil engine simply means no forced recording yet.
+		slow := c.slowOp
+		if slow <= 0 {
+			slow = -1 // the flag's 0 means off; 0 in span.Options selects the default
+		}
+		tracer = span.New(span.Options{
+			SampleRate:    c.spanSample,
+			Capacity:      c.spanCap,
+			SlowThreshold: slow,
+			Force: func() bool {
+				e := engPtr.Load()
+				return e != nil && e.AnyFiring()
+			},
+		})
+		tracer.Register(opts.Metrics)
+		opts.Tracer = tracer
 	}
 
 	in, err := ingest.Open(opts, specs)
@@ -376,13 +421,19 @@ func run(ctx context.Context, c cliConfig, out io.Writer) error {
 		}
 		eng := flight.NewEngine(rec, flight.BuiltinRules(bcfg)...)
 		eng.Register(opts.Metrics)
+		engPtr.Store(eng) // arm the tracer's force hook
 		stopRec := rec.Start()
 		defer stopRec()
+
+		aQuery := obs.NewAdaptiveHistogram()
+		aQuery.Register(opts.Metrics, "query")
 
 		a = &admin{
 			in:      in,
 			reg:     opts.Metrics,
 			strace:  strace,
+			tracer:  tracer,
+			aQuery:  aQuery,
 			aud:     in.Auditor(),
 			rec:     rec,
 			eng:     eng,
@@ -479,6 +530,9 @@ func (c cliConfig) effective() map[string]any {
 		"admin":            c.admin,
 		"trace_sample":     c.traceSample,
 		"trace_cap":        c.traceCap,
+		"span_sample":      c.spanSample,
+		"span_cap":         c.spanCap,
+		"slow_op":          c.slowOp.String(),
 		"flight_every":     c.flightEvery.String(),
 		"flight_depth":     c.flightDepth,
 		"audit":            c.audit,

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"rap/internal/obs"
+)
+
+// /profilez is the adaptive latency-profile endpoint: the RAP tree
+// dogfooded as its own telemetry. Each pipeline stage (queue_wait, apply,
+// query) carries an obs.AdaptiveHistogram over the nanosecond universe;
+// this handler reports their quantiles, hot latency ranges with span-ID
+// exemplars, and — as a cross-check — the same quantiles computed from
+// the fixed-octave ladder histograms covering the same stage.
+
+// defaultProfileTheta is the hot-range threshold used when the caller
+// does not pass ?theta= (and by diagnostic bundles).
+const defaultProfileTheta = 0.05
+
+// profileStage is one stage's adaptive profile. Quantiles are pointers so
+// an empty stage omits them instead of emitting NaN (invalid JSON).
+type profileStage struct {
+	Count      uint64                 `json:"count"`
+	SumSeconds float64                `json:"sum_seconds"`
+	TreeNodes  int                    `json:"tree_nodes"`
+	P50Seconds *float64               `json:"p50_seconds,omitempty"`
+	P90Seconds *float64               `json:"p90_seconds,omitempty"`
+	P99Seconds *float64               `json:"p99_seconds,omitempty"`
+	HotRanges  []obs.AdaptiveHotRange `json:"hot_ranges,omitempty"`
+	Ladder     *ladderProfile         `json:"ladder,omitempty"`
+}
+
+// ladderProfile is the fixed-ladder histogram's view of the same stage.
+// Adaptive and ladder quantiles must agree to within one octave bucket —
+// that invariant is what makes the dogfood trustworthy.
+type ladderProfile struct {
+	Series     string   `json:"series"`
+	Count      uint64   `json:"count"`
+	P50Seconds *float64 `json:"p50_seconds,omitempty"`
+	P99Seconds *float64 `json:"p99_seconds,omitempty"`
+}
+
+type profilezResponse struct {
+	Theta  float64                 `json:"theta"`
+	Stages map[string]profileStage `json:"stages"`
+}
+
+func (a *admin) profilez(w http.ResponseWriter, r *http.Request) {
+	theta := defaultProfileTheta
+	if s := r.URL.Query().Get("theta"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 || v > 1 {
+			writeStatus(w, http.StatusBadRequest, map[string]any{
+				"status": "bad_request",
+				"reason": "theta must be a float in (0, 1]",
+			})
+			return
+		}
+		theta = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(a.profileDoc(theta))
+}
+
+// profileDoc assembles the /profilez document (also captured in bundles
+// as profile.json).
+func (a *admin) profileDoc(theta float64) profilezResponse {
+	resp := profilezResponse{Theta: theta, Stages: map[string]profileStage{}}
+	stages := map[string]*obs.AdaptiveHistogram{}
+	if a.in != nil {
+		for name, h := range a.in.Profiles() {
+			stages[name] = h
+		}
+	}
+	if a.aQuery != nil {
+		stages["query"] = a.aQuery
+	}
+	var snap []obs.FamilySnapshot
+	if a.reg != nil && len(stages) > 0 {
+		snap = a.reg.Snapshot()
+	}
+	for name, h := range stages {
+		st := profileStage{
+			Count:      h.Count(),
+			SumSeconds: h.Sum(),
+			TreeNodes:  h.NodeCount(),
+			P50Seconds: jsonFloat(h.Quantile(0.50)),
+			P90Seconds: jsonFloat(h.Quantile(0.90)),
+			P99Seconds: jsonFloat(h.Quantile(0.99)),
+			HotRanges:  h.HotRanges(theta),
+			Ladder:     ladderFor(snap, name),
+		}
+		resp.Stages[name] = st
+	}
+	return resp
+}
+
+// ladderFor computes the fixed-ladder quantiles covering one stage,
+// merging bucket counts across the series that instrument it (shards for
+// apply, /v1 paths for query).
+func ladderFor(snap []obs.FamilySnapshot, stage string) *ladderProfile {
+	var series string
+	match := func(map[string]string) bool { return true }
+	switch stage {
+	case "queue_wait":
+		series = "rap_ingest_queue_wait_seconds"
+	case "apply":
+		series = "rap_ingest_apply_seconds"
+	case "query":
+		series = "rap_http_request_seconds"
+		match = func(labels map[string]string) bool {
+			return strings.HasPrefix(labels["path"], "/v1/")
+		}
+	default:
+		return nil
+	}
+	var merged []obs.BucketCount
+	var count uint64
+	for _, f := range snap {
+		if f.Name != series {
+			continue
+		}
+		for _, ser := range f.Series {
+			if ser.Count == 0 || !match(ser.Labels) {
+				continue
+			}
+			merged = mergeBuckets(merged, ser.Buckets)
+			count += ser.Count
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	return &ladderProfile{
+		Series:     series,
+		Count:      count,
+		P50Seconds: jsonFloat(obs.QuantileFromBuckets(merged, 0.50)),
+		P99Seconds: jsonFloat(obs.QuantileFromBuckets(merged, 0.99)),
+	}
+}
+
+// mergeBuckets sums cumulative bucket counts across series sharing one
+// bucket ladder (every rapd duration histogram uses the same one).
+func mergeBuckets(dst, src []obs.BucketCount) []obs.BucketCount {
+	if dst == nil {
+		return append(dst, src...)
+	}
+	for i := range dst {
+		if i < len(src) {
+			dst[i].Count += src[i].Count
+		}
+	}
+	return dst
+}
+
+// jsonFloat drops NaN/Inf (no observations) instead of breaking the JSON
+// encoder.
+func jsonFloat(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}

@@ -8,6 +8,7 @@ import (
 
 	"rap/internal/admit"
 	"rap/internal/core"
+	"rap/internal/span"
 )
 
 // The versioned query API: /v1/estimate, /v1/hotranges, and /v1/stats
@@ -19,6 +20,12 @@ import (
 // about staleness and monotonicity without parsing bodies. When the
 // admission watchdog is at Siege the query plane sheds load with 429s:
 // under a structure attack every spare cycle belongs to the data plane.
+//
+// Each request is traced: an inbound W3C traceparent header continues the
+// caller's trace, the response is stamped with the handling span's
+// identity, and acquire/compute/encode child spans partition the request
+// so /spans shows exactly where a slow query spent its time. Request
+// latency also feeds the adaptive "query" stage profile on /profilez.
 
 // epochInfo is the staleness stanza every /v1 response embeds: which
 // published cut the answer describes and how old it is.
@@ -81,6 +88,41 @@ func (a *admin) registerQueryAPI(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/stats", a.v1Stats)
 }
 
+// startQuerySpan begins the request span for one /v1 call. An inbound W3C
+// traceparent header continues the caller's trace (inheriting its sampling
+// decision); otherwise a fresh root is started. The span's identity is
+// stamped back on the response headers immediately, so every outcome —
+// 200, 400, 429 — carries the traceparent the caller can correlate on.
+func (a *admin) startQuerySpan(w http.ResponseWriter, r *http.Request, name string) *span.Span {
+	if a.tracer == nil {
+		return nil
+	}
+	var sp *span.Span
+	if ctx, ok := span.FromRequest(r); ok {
+		sp = a.tracer.StartChild(ctx, name)
+	} else {
+		sp = a.tracer.StartRoot(name)
+	}
+	span.Inject(w.Header(), sp.Context())
+	return sp
+}
+
+// finishQuerySpan ends the request span and feeds the adaptive "query"
+// stage profile, attaching a span exemplar when the trace is kept.
+func (a *admin) finishQuerySpan(sp *span.Span, start time.Time) {
+	sp.End()
+	if a.aQuery == nil {
+		return
+	}
+	d := time.Since(start)
+	if sp.Sampled() {
+		c := sp.Context()
+		a.aQuery.ObserveExemplar(d, c.Trace.String(), c.Span.String())
+	} else {
+		a.aQuery.Observe(d)
+	}
+}
+
 // acquireEpoch pins a consistent epoch for one request, enforcing the
 // overload gate first. It returns nil after writing the error response;
 // on success the caller must Release the epoch.
@@ -122,35 +164,56 @@ func queryU64(r *http.Request, name string) (uint64, bool, error) {
 }
 
 func (a *admin) v1Estimate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sp := a.startQuerySpan(w, r, "v1.estimate")
+	defer a.finishQuerySpan(sp, start)
 	lo, okLo, errLo := queryU64(r, "lo")
 	hi, okHi, errHi := queryU64(r, "hi")
 	if errLo != nil || errHi != nil || !okLo || !okHi || lo > hi {
+		sp.SetAttr("outcome", "bad_request")
 		writeStatus(w, http.StatusBadRequest, map[string]any{
 			"status": "bad_request",
 			"reason": "need lo and hi query params (uint64, decimal or 0x hex) with lo <= hi",
 		})
 		return
 	}
+	acq := a.tracer.StartChild(sp.Context(), "acquire")
 	e := a.acquireEpoch(w)
+	acq.End()
 	if e == nil {
+		sp.SetAttr("outcome", "shed")
 		return
 	}
 	defer e.Release()
+	if sp.Sampled() {
+		sp.SetAttr("lo", strconv.FormatUint(lo, 10))
+		sp.SetAttr("hi", strconv.FormatUint(hi, 10))
+		sp.SetAttr("epoch_seq", strconv.FormatUint(e.Seq(), 10))
+	}
+	est := a.tracer.StartChild(sp.Context(), "estimate")
 	low, high := e.EstimateBounds(lo, hi)
+	point := e.Estimate(lo, hi)
+	est.End()
+	enc := a.tracer.StartChild(sp.Context(), "encode")
 	writeEpochJSON(w, e, estimateResponse{
 		Lo: lo, Hi: hi,
-		Estimate: e.Estimate(lo, hi),
+		Estimate: point,
 		Low:      low,
 		High:     high,
 		Epoch:    epochInfoOf(e),
 	})
+	enc.End()
 }
 
 func (a *admin) v1HotRanges(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sp := a.startQuerySpan(w, r, "v1.hotranges")
+	defer a.finishQuerySpan(sp, start)
 	theta := 0.01
 	if s := r.URL.Query().Get("theta"); s != "" {
 		v, err := strconv.ParseFloat(s, 64)
 		if err != nil || v <= 0 || v > 1 {
+			sp.SetAttr("outcome", "bad_request")
 			writeStatus(w, http.StatusBadRequest, map[string]any{
 				"status": "bad_request",
 				"reason": "theta must be a float in (0, 1]",
@@ -159,28 +222,47 @@ func (a *admin) v1HotRanges(w http.ResponseWriter, r *http.Request) {
 		}
 		theta = v
 	}
+	acq := a.tracer.StartChild(sp.Context(), "acquire")
 	e := a.acquireEpoch(w)
+	acq.End()
 	if e == nil {
+		sp.SetAttr("outcome", "shed")
 		return
 	}
 	defer e.Release()
+	hr := a.tracer.StartChild(sp.Context(), "hotranges")
 	hot := e.HotRanges(theta)
+	hr.End()
+	if sp.Sampled() {
+		sp.SetAttr("theta", strconv.FormatFloat(theta, 'g', -1, 64))
+		sp.SetAttr("ranges", strconv.Itoa(len(hot)))
+	}
 	ranges := make([]hotRangeJSON, len(hot))
 	for i, h := range hot {
 		ranges[i] = hotRangeJSON{Lo: h.Lo, Hi: h.Hi, Weight: h.Weight, Frac: h.Frac, Depth: h.Depth}
 	}
+	enc := a.tracer.StartChild(sp.Context(), "encode")
 	writeEpochJSON(w, e, hotRangesResponse{
 		Theta: theta, N: e.N(), Ranges: ranges, Epoch: epochInfoOf(e),
 	})
+	enc.End()
 }
 
-func (a *admin) v1Stats(w http.ResponseWriter, _ *http.Request) {
+func (a *admin) v1Stats(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sp := a.startQuerySpan(w, r, "v1.stats")
+	defer a.finishQuerySpan(sp, start)
+	acq := a.tracer.StartChild(sp.Context(), "acquire")
 	e := a.acquireEpoch(w)
+	acq.End()
 	if e == nil {
+		sp.SetAttr("outcome", "shed")
 		return
 	}
 	defer e.Release()
 	st := e.Stats()
+	enc := a.tracer.StartChild(sp.Context(), "encode")
+	defer enc.End()
 	writeEpochJSON(w, e, statsResponse{
 		N:            st.N,
 		UnadmittedN:  st.UnadmittedN,

@@ -209,6 +209,57 @@ func summarize(out io.Writer, entries map[string][]byte) error {
 		n := strings.Count(string(body), "\n")
 		fmt.Fprintf(out, "trace: %d structural events\n", n)
 	}
+	if body, ok := entries["spans.jsonl"]; ok {
+		spans, slow := 0, 0
+		traces := map[string]struct{}{}
+		for _, line := range strings.Split(string(body), "\n") {
+			if line == "" {
+				continue
+			}
+			var rec struct {
+				TraceID string `json:"trace_id"`
+				Slow    bool   `json:"slow"`
+			}
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				return fmt.Errorf("spans.jsonl: %w", err)
+			}
+			spans++
+			if rec.Slow {
+				slow++
+			}
+			traces[rec.TraceID] = struct{}{}
+		}
+		fmt.Fprintf(out, "spans: %d recorded across %d traces, %d slow\n", spans, len(traces), slow)
+	}
+	if body, ok := entries["profile.json"]; ok {
+		var doc struct {
+			Stages map[string]struct {
+				Count      uint64   `json:"count"`
+				P50Seconds *float64 `json:"p50_seconds"`
+				P99Seconds *float64 `json:"p99_seconds"`
+			} `json:"stages"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			return fmt.Errorf("profile.json: %w", err)
+		}
+		names := make([]string, 0, len(doc.Stages))
+		for name := range doc.Stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(out, "profile: %d stages\n", len(names))
+		for _, name := range names {
+			st := doc.Stages[name]
+			line := fmt.Sprintf("  %-12s n=%d", name, st.Count)
+			if st.P50Seconds != nil {
+				line += fmt.Sprintf(" p50=%.6fs", *st.P50Seconds)
+			}
+			if st.P99Seconds != nil {
+				line += fmt.Sprintf(" p99=%.6fs", *st.P99Seconds)
+			}
+			fmt.Fprintln(out, line)
+		}
+	}
 	if body, ok := entries["metrics.prom"]; ok {
 		n := 0
 		for _, line := range strings.Split(string(body), "\n") {

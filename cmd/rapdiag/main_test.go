@@ -10,6 +10,7 @@ import (
 
 	"rap/internal/flight"
 	"rap/internal/obs"
+	"rap/internal/span"
 )
 
 // writeTestBundle produces a real bundle on disk: a registry with one
@@ -27,12 +28,24 @@ func writeTestBundle(t *testing.T) string {
 		g.Set(float64(20 + i))
 		rec.Scrape(now.Add(time.Duration(i-5) * time.Second))
 	}
+	tracer := span.New(span.Options{SampleRate: 1, Capacity: 8, SlowThreshold: time.Nanosecond})
+	sp := tracer.StartRoot("v1.estimate")
+	time.Sleep(10 * time.Microsecond)
+	sp.End()
+	prof := obs.NewAdaptiveHistogram()
+	prof.Observe(3 * time.Millisecond)
 	path := filepath.Join(t.TempDir(), "bundle.tar.gz")
 	err := flight.WriteBundleFile(path, flight.BundleConfig{
-		App:             "raptest",
-		Registry:        reg,
-		Recorder:        rec,
-		Engine:          eng,
+		App:      "raptest",
+		Registry: reg,
+		Recorder: rec,
+		Engine:   eng,
+		Spans:    tracer,
+		Profile: func() (any, bool) {
+			return map[string]any{"stages": map[string]any{"apply": map[string]any{
+				"count": prof.Count(), "p50_seconds": prof.Quantile(0.5), "p99_seconds": prof.Quantile(0.99),
+			}}}, true
+		},
 		EffectiveConfig: map[string]any{"shards": 4},
 		AuditReport: func() (any, bool) {
 			return map[string]any{"verdict": "ok", "violations_total": 0, "ranges": []any{}}, true
@@ -58,6 +71,9 @@ func TestSummary(t *testing.T) {
 		"audit: verdict=ok",
 		"history: ",
 		"metrics: ",
+		"spans: 1 recorded across 1 traces, 1 slow",
+		"profile: 1 stages",
+		"apply",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("summary missing %q:\n%s", want, s)

@@ -8,6 +8,7 @@ import (
 
 	"rap/internal/audit"
 	"rap/internal/core"
+	"rap/internal/span"
 	"rap/internal/stats"
 )
 
@@ -40,8 +41,17 @@ type MicroResult struct {
 // matching the default ingest queue drain size order of magnitude.
 const microChunk = 4096
 
+// microReps is how many times each row is measured; the reported row is
+// the fastest repetition. Scheduler and GC interference on shared CI
+// runners is one-sided — it only ever adds time — so the minimum is the
+// stable per-update cost estimate a single sample is not, and the perf
+// gates comparing rows against committed baselines stop flaking on
+// runner noise.
+const microReps = 3
+
 // Micro runs every ingest entry point for o.Events updates each and
-// returns the cost table. Workload shapes mirror the root benchmarks:
+// returns the cost table; each row reports the fastest of microReps
+// repetitions. Workload shapes mirror the root benchmarks:
 // Zipf(2^20, s=1.2) for the skewed paths, uniform 64-bit for the
 // cache-hostile path, and Zipf(2^12, s=1.3) with weight 16 for the
 // hardware-style coalesced path. Point tables are precomputed so the
@@ -76,30 +86,37 @@ func Micro(o Options) (MicroResult, error) {
 	n := o.Events
 	r := MicroResult{Events: n}
 	measure := func(op string, setup func(t *core.Tree) error, ingest func(t *core.Tree)) error {
-		t, err := core.New(core.DefaultConfig())
-		if err != nil {
-			return err
-		}
-		if setup != nil {
-			if err := setup(t); err != nil {
+		var best time.Duration
+		var bestTree *core.Tree
+		for rep := 0; rep < microReps; rep++ {
+			t, err := core.New(core.DefaultConfig())
+			if err != nil {
 				return err
 			}
+			if setup != nil {
+				if err := setup(t); err != nil {
+					return err
+				}
+			}
+			start := time.Now()
+			ingest(t)
+			elapsed := time.Since(start)
+			if bestTree == nil || elapsed < best {
+				best, bestTree = elapsed, t
+			}
 		}
-		start := time.Now()
-		ingest(t)
-		elapsed := time.Since(start)
 		row := MicroRow{
 			Op:         op,
 			Updates:    n,
-			NsPerOp:    float64(elapsed.Nanoseconds()) / float64(n),
-			Nodes:      t.NodeCount(),
-			ArenaBytes: t.ArenaBytes(),
+			NsPerOp:    float64(best.Nanoseconds()) / float64(n),
+			Nodes:      bestTree.NodeCount(),
+			ArenaBytes: bestTree.ArenaBytes(),
 			ModelBytes: core.NodeBytes,
 		}
 		if row.Nodes > 0 {
 			row.BytesPerNode = float64(row.ArenaBytes) / float64(row.Nodes)
 		}
-		if s := elapsed.Seconds(); s > 0 {
+		if s := best.Seconds(); s > 0 {
 			row.MUpdatesPerSec = float64(n) / s / 1e6
 		}
 		r.Rows = append(r.Rows, row)
@@ -132,6 +149,23 @@ func Micro(o Options) (MicroResult, error) {
 		{"add/zipf/audit", auditTap, func(t *core.Tree) {
 			for i := uint64(0); i < n; i++ {
 				t.Add(zpoints[i&mask])
+			}
+		}},
+		// The tracing-overhead row: the same skewed Add stream with the
+		// span tracer running the way rapd runs it — one root+child span
+		// per drained batch at 1-in-100 head sampling. CI gates this row
+		// against the committed add/zipf baseline: tracing must cost
+		// under 5% or the observability is not free enough to dogfood.
+		{"add/zipf/span", nil, func(t *core.Tree) {
+			tr := span.New(span.Options{SampleRate: 100, Capacity: 4096, SlowThreshold: -1})
+			for fed := uint64(0); fed < n; fed += microChunk {
+				root := tr.StartRoot("ingest.batch")
+				sp := tr.StartChild(root.Context(), "apply")
+				for i := fed; i < fed+microChunk; i++ {
+					t.Add(zpoints[i&mask])
+				}
+				sp.End()
+				root.End()
 			}
 		}},
 		{"add/uniform", nil, func(t *core.Tree) {

@@ -10,7 +10,7 @@ func TestMicroCoversEveryIngestPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"add/zipf", "add/zipf/audit", "add/uniform", "addn/coalesced", "addbatch/zipf", "addsorted/zipf"}
+	want := []string{"add/zipf", "add/zipf/audit", "add/zipf/span", "add/uniform", "addn/coalesced", "addbatch/zipf", "addsorted/zipf"}
 	if len(r.Rows) != len(want) {
 		t.Fatalf("rows = %d, want %d", len(r.Rows), len(want))
 	}

@@ -420,6 +420,20 @@ func (e *Engine) Snapshot() []AlertStatus {
 	return out
 }
 
+// AnyFiring reports whether any alert is not ok. Unlike Firing it
+// allocates nothing — cheap enough for per-span force-sampling checks on
+// the ingest path.
+func (e *Engine) AnyFiring() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, a := range e.alerts {
+		if State(a.state.Load()) != StateOK {
+			return true
+		}
+	}
+	return false
+}
+
 // Firing returns the alerts not currently ok, worst first.
 func (e *Engine) Firing() []AlertStatus {
 	all := e.Snapshot()

@@ -15,6 +15,11 @@ type BuiltinConfig struct {
 	ArenaGrowthWarn, ArenaGrowthCrit float64
 	// ArenaGrowthWindow is the rate window for arena growth. Default 30s.
 	ArenaGrowthWindow time.Duration
+	// ProfileP99Warn/Crit are adaptive-profile p99 stage latencies in
+	// seconds (the rap_profile_p99_seconds gauges the RAP-tree latency
+	// histograms export). Defaults 0.25s and 1s — the top of the profile
+	// universe is ~1.07s, so crit means a stage pegged the scale.
+	ProfileP99Warn, ProfileP99Crit float64
 	// For delays transitions of the noisier rules (queue saturation,
 	// arena growth). Default 0: transition on the first offending scrape.
 	For time.Duration
@@ -42,6 +47,12 @@ func BuiltinRules(cfg BuiltinConfig) []Rule {
 	}
 	if cfg.ArenaGrowthWindow <= 0 {
 		cfg.ArenaGrowthWindow = 30 * time.Second
+	}
+	if cfg.ProfileP99Warn == 0 {
+		cfg.ProfileP99Warn = 0.25
+	}
+	if cfg.ProfileP99Crit == 0 {
+		cfg.ProfileP99Crit = 1.0
 	}
 
 	rules := []Rule{
@@ -89,6 +100,16 @@ func BuiltinRules(cfg BuiltinConfig) []Rule {
 			Crit:       cfg.ArenaGrowthCrit,
 			RateWindow: cfg.ArenaGrowthWindow,
 			For:        cfg.For,
+		},
+		{
+			Name:   "profile_p99",
+			Help:   "Adaptive-profile p99 latency of the slowest pipeline stage, seconds.",
+			Kind:   Threshold,
+			Series: "rap_profile_p99_seconds",
+			Agg:    AggMax,
+			Warn:   cfg.ProfileP99Warn,
+			Crit:   cfg.ProfileP99Crit,
+			For:    cfg.For,
 		},
 		{
 			Name:       "trace_evictions",

@@ -34,6 +34,13 @@ type BundleConfig struct {
 	Engine *Engine
 	// Trace contributes trace.jsonl, the structural event ring.
 	Trace *obs.StructuralTrace
+	// Spans contributes spans.jsonl, the request-span ring (satisfied by
+	// *span.Tracer; typed as an interface so flight stays decoupled from
+	// the tracing package).
+	Spans interface{ WriteJSONL(io.Writer) error }
+	// Profile returns the adaptive latency-profile document /profilez
+	// serves; contributes profile.json.
+	Profile func() (any, bool)
 	// AuditReport returns the latest audit report (and whether one
 	// exists); contributes audit.json.
 	AuditReport func() (any, bool)
@@ -140,6 +147,22 @@ func WriteBundle(w io.Writer, cfg BundleConfig) error {
 		}
 		if err := add("trace.jsonl", buf.Bytes()); err != nil {
 			return err
+		}
+	}
+	if cfg.Spans != nil {
+		var buf bytes.Buffer
+		if err := cfg.Spans.WriteJSONL(&buf); err != nil {
+			return err
+		}
+		if err := add("spans.jsonl", buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	if cfg.Profile != nil {
+		if doc, ok := cfg.Profile(); ok {
+			if err := addJSON("profile.json", doc); err != nil {
+				return err
+			}
 		}
 	}
 	if cfg.AuditReport != nil {

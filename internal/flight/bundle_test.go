@@ -37,12 +37,22 @@ func buildTestBundle(t *testing.T) map[string][]byte {
 			return map[string]any{"verdict": "pass", "violations_total": 0}, true
 		},
 		AdmitState:      func() (any, bool) { return map[string]any{"level": "Normal"}, true },
+		Spans:           jsonlWriter(`{"name":"v1.estimate","trace_id":"t1"}` + "\n"),
+		Profile:         func() (any, bool) { return map[string]any{"theta": 0.05}, true },
 		EffectiveConfig: map[string]any{"epsilon": 0.01},
 	})
 	if err != nil {
 		t.Fatalf("WriteBundle: %v", err)
 	}
 	return untar(t, buf.Bytes())
+}
+
+// jsonlWriter satisfies BundleConfig.Spans with canned JSONL content.
+type jsonlWriter string
+
+func (s jsonlWriter) WriteJSONL(w io.Writer) error {
+	_, err := io.WriteString(w, string(s))
+	return err
 }
 
 func untar(t *testing.T, raw []byte) map[string][]byte {
@@ -75,7 +85,8 @@ func TestBundleContents(t *testing.T) {
 	entries := buildTestBundle(t)
 	for _, name := range []string{
 		"meta.json", "build.json", "config.json", "metrics.prom",
-		"metrics_history.json", "alerts.json", "trace.jsonl", "audit.json", "admit.json",
+		"metrics_history.json", "alerts.json", "trace.jsonl",
+		"spans.jsonl", "profile.json", "audit.json", "admit.json",
 	} {
 		if _, ok := entries[name]; !ok {
 			t.Errorf("bundle missing %s (has %v)", name, keysOf(entries))
@@ -125,6 +136,12 @@ func TestBundleContents(t *testing.T) {
 	}
 	if !strings.Contains(string(entries["trace.jsonl"]), `"op":"split"`) {
 		t.Error("trace.jsonl missing recorded event")
+	}
+	if !strings.Contains(string(entries["spans.jsonl"]), `"name":"v1.estimate"`) {
+		t.Error("spans.jsonl missing recorded span")
+	}
+	if !strings.Contains(string(entries["profile.json"]), `"theta"`) {
+		t.Error("profile.json missing profile document")
 	}
 	if !strings.Contains(string(entries["audit.json"]), `"verdict": "pass"`) {
 		t.Error("audit.json missing verdict")

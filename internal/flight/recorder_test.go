@@ -121,13 +121,75 @@ func TestRecorderEvictionBounded(t *testing.T) {
 	}
 }
 
+// TestRecorderWindowAcrossEvictionBoundaries checks windowed queries stay
+// exact when the window edge lands inside a delta block, on a block
+// boundary, or beyond evicted history — and that evicting a whole block
+// shifts the answer by exactly that block.
+func TestRecorderWindowAcrossEvictionBoundaries(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("g", "")
+	rec := NewRecorder(reg, Options{Depth: 50, BlockFrames: 10})
+	// Value == scrape index, so every decoded point self-identifies.
+	for i := 0; i < 200; i++ {
+		g.Set(float64(i))
+		rec.Scrape(at(i))
+	}
+	now := at(199)
+
+	check := func(name string, window time.Duration, wantFirst, wantLast int) {
+		t.Helper()
+		series := rec.Query("g", window, now)
+		if len(series) != 1 {
+			t.Fatalf("%s: series = %d, want 1", name, len(series))
+		}
+		pts := series[0].Points
+		if len(pts) != wantLast-wantFirst+1 {
+			t.Fatalf("%s: %d points, want %d..%d", name, len(pts), wantFirst, wantLast)
+		}
+		for j, p := range pts {
+			idx := wantFirst + j
+			if p.UnixNano != at(idx).UnixNano() {
+				t.Fatalf("%s: point %d at %d, want t=%d — gap or duplicate at a block seam", name, j, p.UnixNano, idx)
+			}
+			if p.Value != float64(idx) {
+				t.Fatalf("%s: point t=%d decoded %v, want %v", name, idx, p.Value, idx)
+			}
+		}
+	}
+
+	// 200 scrapes with Depth 50 / BlockFrames 10 retain exactly frames
+	// 150..199 (eviction drops whole oldest blocks).
+	check("full history", 0, 150, 199)
+	// Window edge inside a block: cutoff t=174 is mid-block.
+	check("mid-block edge", 25*time.Second, 174, 199)
+	// Window edge exactly on a block boundary.
+	check("block-aligned edge", 19*time.Second, 180, 199)
+	// Window reaching past evicted history clips to what is retained.
+	check("past evicted history", 120*time.Second, 150, 199)
+
+	// Rate comes from the windowed points only: slope is 1/s throughout.
+	if s := rec.Query("g", 25*time.Second, now)[0]; math.Abs(s.Rate-1) > 1e-9 {
+		t.Errorf("windowed rate = %v, want 1", s.Rate)
+	}
+
+	// One more scrape pushes frames past Depth and evicts exactly one
+	// whole block: the oldest ten frames vanish together.
+	g.Set(200)
+	rec.Scrape(at(200))
+	now = at(200)
+	check("after block eviction", 0, 160, 200)
+}
+
 // TestRecorderHistogramDerivedSeries checks histograms flatten into
 // _count/_sum/_p50/_p95/_p99 series.
 func TestRecorderHistogramDerivedSeries(t *testing.T) {
 	reg := obs.NewRegistry()
 	h := reg.Histogram("lat", "", []float64{1, 2, 4})
-	for i := 0; i < 100; i++ {
-		h.Observe(1.5)
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5) // (0,1]
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(1.5) // (1,2]
 	}
 	rec := NewRecorder(reg, Options{})
 	rec.Scrape(at(0))
@@ -136,8 +198,9 @@ func TestRecorderHistogramDerivedSeries(t *testing.T) {
 		val float64
 	}{
 		{"lat_count", 100},
-		{"lat_sum", 150},
-		{"lat_p50", 1.5},
+		{"lat_sum", 100},
+		{"lat_p50", 1}, // rank 50 exactly fills (0,1]
+		{"lat_p95", 1.9},
 	} {
 		series := rec.Query(want.sel, 0, at(1))
 		if len(series) != 1 {

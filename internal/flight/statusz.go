@@ -42,6 +42,19 @@ type Statusz struct {
 	SparkSeries []string
 	// SparkWindow bounds sparkline history. Default 5 minutes.
 	SparkWindow time.Duration
+	// SlowOps supplies the tracing subsystem's slow-op log. Optional; the
+	// section is omitted when nil or empty.
+	SlowOps func() []SlowOp
+}
+
+// SlowOp is one slow-operation row on /statusz: an op that exceeded the
+// tracer's slow threshold, with its trace identity so the operator can
+// jump to /spans?trace=.
+type SlowOp struct {
+	At       time.Time
+	Name     string
+	Duration time.Duration
+	TraceID  string
 }
 
 type statuszAlert struct {
@@ -69,6 +82,11 @@ type statuszData struct {
 	AllOK     bool
 	Quantiles []statuszQuantiles
 	Sparks    []statuszSpark
+	SlowOps   []statuszSlowOp
+}
+
+type statuszSlowOp struct {
+	At, Name, Duration, Trace string
 }
 
 var statuszTmpl = template.Must(template.New("statusz").Parse(`<!doctype html>
@@ -98,6 +116,11 @@ th { background: #eee; }
 {{if .Quantiles}}<h2>latency</h2>
 <table><tr><th>histogram</th><th>count</th><th>p50</th><th>p95</th><th>p99</th></tr>
 {{range .Quantiles}}<tr><td>{{.Name}}</td><td>{{.Count}}</td><td>{{.P50}}</td><td>{{.P95}}</td><td>{{.P99}}</td></tr>
+{{end}}</table>{{end}}
+
+{{if .SlowOps}}<h2>slow ops</h2>
+<table><tr><th>at</th><th>op</th><th>duration</th><th>trace</th></tr>
+{{range .SlowOps}}<tr><td>{{.At}}</td><td>{{.Name}}</td><td class="warn">{{.Duration}}</td><td><a href="/spans?trace={{.Trace}}">{{.Trace}}</a></td></tr>
 {{end}}</table>{{end}}
 
 {{if .Sparks}}<h2>history</h2>
@@ -162,6 +185,19 @@ func (s *Statusz) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 		sort.Slice(d.Quantiles, func(i, j int) bool { return d.Quantiles[i].Name < d.Quantiles[j].Name })
+	}
+	if s.SlowOps != nil {
+		ops := s.SlowOps()
+		// Newest first; the log arrives oldest-first.
+		for i := len(ops) - 1; i >= 0; i-- {
+			op := ops[i]
+			d.SlowOps = append(d.SlowOps, statuszSlowOp{
+				At:       op.At.Format(time.RFC3339),
+				Name:     op.Name,
+				Duration: op.Duration.Round(time.Microsecond).String(),
+				Trace:    op.TraceID,
+			})
+		}
 	}
 	if s.Recorder != nil {
 		window := s.SparkWindow

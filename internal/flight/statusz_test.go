@@ -26,8 +26,13 @@ func TestStatuszRenders(t *testing.T) {
 	reg := obs.NewRegistry()
 	g := reg.Gauge("g", "")
 	h := reg.Duration("rap_ingest_batch_seconds", "")
-	for i := 0; i < 100; i++ {
-		h.Observe(0.002)
+	// Mass across two octave buckets so the p50 lands mid-bucket via
+	// interpolation (single-occupied-bucket inputs answer the bound).
+	for i := 0; i < 60; i++ {
+		h.Observe(0.0017)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(0.0007)
 	}
 	rec := NewRecorder(reg, Options{})
 	eng := NewEngine(rec, Rule{Name: "hot", Kind: Threshold, Series: "g", Crit: 10})
@@ -67,7 +72,9 @@ func TestStatuszRenders(t *testing.T) {
 			t.Errorf("statusz missing %q", want)
 		}
 	}
-	if !strings.Contains(body, "0.002") {
+	// p50: rank 50 lands 10/60 into (0.0016384, 0.0032768] after the 40
+	// low observations -> 0.001911...
+	if !strings.Contains(body, "0.0019") {
 		t.Errorf("statusz missing p50 estimate, body latency section: %.300s", body)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"rap/internal/core"
@@ -84,6 +85,15 @@ func (in *Ingestor) Checkpoint() error {
 
 func (in *Ingestor) checkpoint() (size int, err error) {
 	cutStart := time.Now()
+	root := in.opts.Tracer.StartRootAt("checkpoint", cutStart)
+	defer func() {
+		if err != nil {
+			root.SetAttr("error", err.Error())
+		} else {
+			root.SetAttr("bytes", strconv.Itoa(size))
+		}
+		root.End()
+	}()
 	var positions []sourcePos
 	snaps, err := in.engine.SnapshotShards(func() {
 		// Runs with every shard lock held: applied counters are exactly
@@ -101,11 +111,17 @@ func (in *Ingestor) checkpoint() (size int, err error) {
 	if err != nil {
 		return 0, err
 	}
+	cutEnd := time.Now()
+	cut := in.opts.Tracer.StartChildAt(root.Context(), "cut", cutStart)
+	cut.SetAttr("shards", strconv.Itoa(len(snaps)))
+	cut.EndAt(cutEnd)
 	if in.ckCutDur != nil {
-		in.ckCutDur.ObserveSince(cutStart)
+		in.ckCutDur.Observe(cutEnd.Sub(cutStart).Seconds())
 	}
 	writeStart := time.Now()
 	size, err = writeCheckpoint(in.opts.CheckpointDir, snaps, positions)
+	write := in.opts.Tracer.StartChildAt(root.Context(), "write", writeStart)
+	write.End()
 	if err == nil && in.ckWriteDur != nil {
 		in.ckWriteDur.ObserveSince(writeStart)
 	}

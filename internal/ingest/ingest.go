@@ -36,6 +36,7 @@ import (
 	"rap/internal/core"
 	"rap/internal/obs"
 	"rap/internal/shard"
+	"rap/internal/span"
 	"rap/internal/trace"
 )
 
@@ -183,6 +184,15 @@ type Options struct {
 	// whenever events arrived since the last publish. Only meaningful
 	// with ReadSnapshots.
 	SnapshotMaxStale time.Duration
+
+	// Tracer, when set, threads request-scoped spans through the pipeline:
+	// each enqueued batch becomes a trace whose children cover the
+	// queue-wait and shard-apply stages (with merge-batch and
+	// epoch-publish children attached when the apply triggered them), and
+	// each checkpoint becomes a trace with cut and write children. The
+	// tracer's sampling policy decides what is kept; unsampled batches pay
+	// one small allocation per 256-event batch.
+	Tracer *span.Tracer
 }
 
 // logfHandler is a minimal slog.Handler that renders records through a
@@ -268,10 +278,16 @@ type batch struct {
 	src    *sourceState
 	events []trace.Event
 
-	// enqueuedAt is stamped by enqueue when latency metrics are enabled,
-	// so the drain can observe the queue-wait stage. Zero when metrics are
-	// off: the hot path then pays nothing for the instrumentation.
+	// enqueuedAt is stamped by enqueue when latency metrics or tracing are
+	// enabled, so the drain can observe the queue-wait stage. Zero when
+	// both are off: the hot path then pays nothing for the
+	// instrumentation.
 	enqueuedAt time.Time
+
+	// sp is the batch's root span ("ingest.batch"), started at enqueue
+	// when a Tracer is configured. The drain worker attaches the
+	// stage children and ends it.
+	sp *span.Span
 }
 
 // shardQueue is the bounded queue feeding one shard of the engine. The
@@ -358,6 +374,13 @@ type Ingestor struct {
 	// Per-stage latency histograms, nil unless Metrics is configured.
 	hQueueWait *obs.Histogram   // enqueue → drain wait per batch
 	hApply     []*obs.Histogram // drain → applied, per shard
+
+	// Adaptive (RAP-tree-backed) companions to the fixed ladders above,
+	// nil unless Metrics is configured. Global across shards: the point is
+	// adaptive resolution over the latency distribution, and a per-shard
+	// split would just dilute each tree's mass.
+	aQueueWait *obs.AdaptiveHistogram
+	aApply     *obs.AdaptiveHistogram
 
 	// Checkpoint bookkeeping, updated by Checkpoint/loadCheckpoint and
 	// exported through Stats and the rap_checkpoint_* metrics.
@@ -629,6 +652,22 @@ func (in *Ingestor) registerMetrics() {
 			"Time to fold one drained batch into the shard tree, including the shard lock wait.",
 			obs.L("shard", strconv.Itoa(i)))
 	}
+	in.aQueueWait = obs.NewAdaptiveHistogram()
+	in.aQueueWait.Register(reg, "queue_wait")
+	in.aApply = obs.NewAdaptiveHistogram()
+	in.aApply.Register(reg, "apply")
+}
+
+// Profiles returns the pipeline's adaptive latency histograms by stage
+// name, for the /profilez endpoint. Nil until metrics are registered.
+func (in *Ingestor) Profiles() map[string]*obs.AdaptiveHistogram {
+	if in.aQueueWait == nil {
+		return nil
+	}
+	return map[string]*obs.AdaptiveHistogram{
+		"queue_wait": in.aQueueWait,
+		"apply":      in.aApply,
+	}
 }
 
 func (in *Ingestor) restore(st *checkpointState) error {
@@ -667,17 +706,32 @@ func (in *Ingestor) restore(st *checkpointState) error {
 // returned for reuse so steady-state draining does not allocate.
 func (in *Ingestor) apply(q *shardQueue, b batch, scratch []core.Sample) []core.Sample {
 	var start time.Time
-	if in.hApply != nil {
-		if in.hQueueWait != nil && !b.enqueuedAt.IsZero() {
-			in.hQueueWait.ObserveSince(b.enqueuedAt)
-		}
+	if in.hApply != nil || b.sp != nil {
 		start = time.Now()
+		if !b.enqueuedAt.IsZero() {
+			in.observeQueueWait(b, start)
+		}
 	}
+
+	// Only a kept batch pays for stat deltas and trigger attribution; the
+	// merge-batch / epoch-publish children exist to explain a slow apply
+	// in a recorded trace, not to census those events.
+	sampled := b.sp.Sampled()
+	var mergesBefore, mergesAfter uint64
+	pub := in.engine.Publisher()
+	var pubBefore uint64
+	if sampled && pub != nil {
+		pubBefore = pub.Published()
+	}
+
 	scratch = scratch[:0]
 	for _, e := range b.events {
 		scratch = append(scratch, core.Sample{Value: e.Value, Weight: e.Weight})
 	}
 	in.engine.WithShard(q.idx, func(tr *core.Tree) {
+		if sampled {
+			mergesBefore = tr.Stats().MergeBatches
+		}
 		// The tree's ledger delta across this batch is exactly the weight
 		// the admission gate refused from it — both reads happen under the
 		// same shard lock as the gate, so the attribution is exact.
@@ -685,11 +739,81 @@ func (in *Ingestor) apply(q *shardQueue, b batch, scratch []core.Sample) []core.
 		tr.AddSamples(scratch)
 		b.src.applied += uint64(len(b.events))
 		b.src.unadmitted += tr.UnadmittedN() - before
+		if sampled {
+			mergesAfter = tr.Stats().MergeBatches
+		}
 	})
-	if in.hApply != nil {
-		in.hApply[q.idx].ObserveSince(start)
+
+	if in.hApply == nil && b.sp == nil {
+		return scratch
 	}
+	end := time.Now()
+	applyDur := end.Sub(start)
+	if in.hApply != nil {
+		in.hApply[q.idx].Observe(applyDur.Seconds())
+	}
+	if b.sp == nil {
+		if in.aApply != nil {
+			in.aApply.Observe(applyDur)
+		}
+		return scratch
+	}
+
+	ap := in.opts.Tracer.StartChildAt(b.sp.Context(), "apply", start)
+	ap.SetAttr("shard", strconv.Itoa(q.idx))
+	if sampled {
+		// Merge batches and epoch publishes happen inside the tree during
+		// AddSamples with no context of their own; deltas across the apply
+		// attribute them to this batch, as children covering the apply
+		// window with the trigger named.
+		if mergesAfter > mergesBefore {
+			mb := in.opts.Tracer.StartChildAt(ap.Context(), "merge_batch", start)
+			mb.SetAttr("batches", strconv.FormatUint(mergesAfter-mergesBefore, 10))
+			mb.EndAt(end)
+		}
+		if pub != nil {
+			if d := pub.Published() - pubBefore; d > 0 {
+				ep := in.opts.Tracer.StartChildAt(ap.Context(), "epoch_publish", start)
+				ep.SetAttr("trigger", "offered-mass cadence")
+				ep.SetAttr("epochs", strconv.FormatUint(d, 10))
+				ep.EndAt(end)
+			}
+		}
+	}
+	ap.EndAt(end)
+	if in.aApply != nil {
+		if c := ap.Context(); sampled {
+			in.aApply.ObserveExemplar(applyDur, c.Trace.String(), c.Span.String())
+		} else {
+			in.aApply.Observe(applyDur)
+		}
+	}
+	b.sp.SetAttr("source", b.src.spec.Name)
+	b.sp.SetAttr("events", strconv.Itoa(len(b.events)))
+	b.sp.EndAt(end)
 	return scratch
+}
+
+// observeQueueWait records the enqueue→drain wait on the fixed and
+// adaptive histograms and, when the batch is traced, as a queue_wait child
+// span covering the wait interval.
+func (in *Ingestor) observeQueueWait(b batch, drained time.Time) {
+	wait := drained.Sub(b.enqueuedAt)
+	if in.hQueueWait != nil {
+		in.hQueueWait.Observe(wait.Seconds())
+	}
+	var qw *span.Span
+	if b.sp != nil {
+		qw = in.opts.Tracer.StartChildAt(b.sp.Context(), "queue_wait", b.enqueuedAt)
+		qw.EndAt(drained)
+	}
+	if in.aQueueWait != nil {
+		if c := qw.Context(); qw.Sampled() {
+			in.aQueueWait.ObserveExemplar(wait, c.Trace.String(), c.Span.String())
+		} else {
+			in.aQueueWait.Observe(wait)
+		}
+	}
 }
 
 // Run drives the pipeline until every source is drained or ctx is
@@ -1036,8 +1160,9 @@ func (in *Ingestor) pump(ctx context.Context, ss *sourceState, src trace.Source)
 // are replayed on the next run).
 func (in *Ingestor) enqueue(ctx context.Context, ss *sourceState, evs []trace.Event) bool {
 	b := batch{src: ss, events: evs}
-	if in.hQueueWait != nil {
+	if in.hQueueWait != nil || in.opts.Tracer != nil {
 		b.enqueuedAt = time.Now()
+		b.sp = in.opts.Tracer.StartRootAt("ingest.batch", b.enqueuedAt)
 	}
 	n := uint64(len(evs))
 	if in.opts.Drop == DropNewest {

@@ -72,5 +72,12 @@ func QuantileFromBuckets(buckets []BucketCount, q float64) float64 {
 	if inBucket <= 0 {
 		return upper
 	}
+	if inBucket == float64(total) {
+		// Every observation landed in this one bucket. Interpolating would
+		// invent sub-bucket precision from the bucket's arbitrary lower
+		// edge (p01 of a thousand identical values is not upper/1000); the
+		// only defined answer at ladder resolution is the bucket bound.
+		return upper
+	}
 	return lower + (upper-lower)*(rank-float64(prevCount))/inBucket
 }

@@ -1,0 +1,107 @@
+package span
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := New(Options{SampleRate: 1, SlowThreshold: -1})
+	s := tr.StartRoot("op")
+	defer s.End()
+	c := s.Context()
+	v := Encode(c)
+	if len(v) != tpLen {
+		t.Fatalf("encoded length %d, want %d: %q", len(v), tpLen, v)
+	}
+	got, err := Decode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip %+v != %+v", got, c)
+	}
+}
+
+func TestDecodeKnownVector(t *testing.T) {
+	// The W3C spec's own example value.
+	v := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	c, err := Decode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Trace.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace %s", c.Trace)
+	}
+	if c.Span.String() != "00f067aa0ba902b7" {
+		t.Fatalf("span %s", c.Span)
+	}
+	if !c.Sampled {
+		t.Fatal("sampled flag lost")
+	}
+	if Encode(c) != v {
+		t.Fatalf("re-encode %q", Encode(c))
+	}
+
+	unsampled, err := Decode("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unsampled.Sampled {
+		t.Fatal("flags 00 decoded as sampled")
+	}
+}
+
+func TestDecodeFutureVersionAndTrailing(t *testing.T) {
+	// Higher versions with extra dash-separated fields must still parse
+	// the version-00 prefix.
+	c, err := Decode("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra-stuff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Sampled || c.Trace.IsZero() {
+		t.Fatalf("future-version decode %+v", c)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",     // missing flags
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // invalid version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",  // zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",  // zero parent
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0x",  // bad flags hex
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // bad separator
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b701",   // shifted fields
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", // junk without dash
+	}
+	for _, v := range bad {
+		if _, err := Decode(v); err == nil {
+			t.Fatalf("Decode(%q) accepted", v)
+		}
+	}
+}
+
+func TestHTTPInjectAndFromRequest(t *testing.T) {
+	tr := New(Options{SampleRate: 1, SlowThreshold: -1})
+	s := tr.StartRoot("client")
+	defer s.End()
+
+	req := httptest.NewRequest("GET", "/v1/estimate", nil)
+	Inject(req.Header, s.Context())
+	got, ok := FromRequest(req)
+	if !ok || got != s.Context() {
+		t.Fatalf("FromRequest = %+v, %v", got, ok)
+	}
+
+	// Absent and invalid headers are ignored, not errors.
+	if _, ok := FromRequest(httptest.NewRequest("GET", "/", nil)); ok {
+		t.Fatal("absent header reported ok")
+	}
+	req = httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(Header, "garbage")
+	if _, ok := FromRequest(req); ok {
+		t.Fatal("invalid header reported ok")
+	}
+}
